@@ -1,0 +1,24 @@
+# Convenience targets for the hlf-bft reproduction.
+
+.PHONY: build test figures bench clean-results
+
+build:
+	cargo build --workspace --release
+
+test:
+	cargo test --workspace 2>&1 | tee test_output.txt
+
+# Regenerate every figure/table of the paper's evaluation.
+figures:
+	cargo run --release -p bench --bin fig6_signing        | tee results_fig6.txt
+	cargo run --release -p bench --bin fig7_lan_throughput -- --full | tee results_fig7_full.txt
+	cargo run --release -p bench --bin fig8_geo_latency    | tee results_fig8.txt
+	cargo run --release -p bench --bin fig9_geo_latency    | tee results_fig9.txt
+	cargo run --release -p bench --bin eq1_bound_check     | tee results_eq1.txt
+	cargo run --release -p bench --bin ablations           | tee results_ablations.txt
+
+bench:
+	cargo bench --workspace 2>&1 | tee bench_output.txt
+
+clean-results:
+	rm -f results_*.txt test_output.txt bench_output.txt

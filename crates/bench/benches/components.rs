@@ -1,0 +1,104 @@
+//! Criterion benchmarks for the remaining hot components: blockcutter,
+//! wire codec, envelope validation and the in-process transport.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hlf_transport::{Network, PeerId};
+use hlf_wire::{from_bytes, to_bytes};
+use ordering_core::blockcutter::BlockCutter;
+use std::hint::black_box;
+
+fn bench_blockcutter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blockcutter");
+    group.throughput(Throughput::Elements(1000));
+    for block_size in [10usize, 100] {
+        group.bench_function(format!("push-1k-env-block{block_size}"), |b| {
+            let envelope = Bytes::from(vec![0u8; 1024]);
+            let mut cutter = BlockCutter::new(block_size, usize::MAX);
+            b.iter(|| {
+                for _ in 0..1000 {
+                    if let Some(cut) = cutter.push(envelope.clone()) {
+                        black_box(cut.len());
+                    }
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    for size in [40usize, 1024, 4096] {
+        let block = hlf_fabric::block::Block::build(
+            7,
+            hlf_crypto::sha256::Hash256::ZERO,
+            (0..10).map(|i| Bytes::from(vec![i as u8; size])).collect(),
+        );
+        let encoded = to_bytes(&block);
+        group.throughput(Throughput::Bytes(encoded.len() as u64));
+        group.bench_function(format!("block-encode-{size}B-env"), |b| {
+            b.iter(|| to_bytes(black_box(&block)))
+        });
+        group.bench_function(format!("block-decode-{size}B-env"), |b| {
+            b.iter(|| from_bytes::<hlf_fabric::block::Block>(black_box(&encoded)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_transport(c: &mut Criterion) {
+    c.bench_function("transport/send-recv-1KiB", |b| {
+        let network = Network::new();
+        let tx = network.join(PeerId::replica(0));
+        let rx = network.join(PeerId::replica(1));
+        let payload = Bytes::from(vec![0u8; 1024]);
+        b.iter(|| {
+            tx.send(PeerId::replica(1), payload.clone()).unwrap();
+            black_box(rx.recv().unwrap());
+        });
+    });
+}
+
+fn bench_envelope_validation(c: &mut Criterion) {
+    use hlf_crypto::ecdsa::SigningKey;
+    use hlf_fabric::envelope::{Envelope, Proposal, ProposalResponse};
+    use hlf_fabric::types::RwSet;
+
+    let peer_keys: Vec<SigningKey> = (0..3)
+        .map(|i| SigningKey::from_seed(format!("bench-peer-{i}").as_bytes()))
+        .collect();
+    let endorser_keys: Vec<_> = peer_keys.iter().map(|k| *k.verifying_key()).collect();
+    let client_key = SigningKey::from_seed(b"bench-client");
+    let proposal = Proposal {
+        channel: "ch".into(),
+        chaincode: "kv".into(),
+        client: 1,
+        nonce: 1,
+        args: vec![Bytes::from_static(b"put"), Bytes::from_static(b"k")],
+    };
+    let tx_id = proposal.tx_id();
+    let responses: Vec<ProposalResponse> = (0..3)
+        .map(|i| {
+            ProposalResponse::sign(
+                i as u32,
+                &peer_keys[i],
+                &tx_id,
+                RwSet::default(),
+                Bytes::from_static(b"ok"),
+            )
+        })
+        .collect();
+    let envelope = Envelope::assemble(proposal, responses, &client_key).unwrap();
+
+    c.bench_function("fabric/validate-3-endorsements", |b| {
+        b.iter(|| black_box(envelope.valid_endorsements(&endorser_keys)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_blockcutter, bench_wire_codec, bench_transport, bench_envelope_validation
+}
+criterion_main!(benches);

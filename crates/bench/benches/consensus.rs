@@ -1,0 +1,97 @@
+//! Criterion benchmarks for the consensus state machine: cost of a
+//! full instance (PROPOSE / WRITE / ACCEPT with real signatures) under
+//! the deterministic harness, and of the synchronization-phase
+//! selection function.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hlf_consensus::messages::{Request, StopData, Vote, VotePhase};
+use hlf_consensus::quorum::QuorumSystem;
+use hlf_consensus::sync::select;
+use hlf_consensus::testing::{test_keys, Cluster};
+use hlf_wire::{ClientId, NodeId};
+use std::hint::black_box;
+
+fn bench_instance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus");
+    for (n, f) in [(4usize, 1usize), (7, 2)] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(format!("instance-n{n}"), |b| {
+            let mut cluster = Cluster::classic(n, f);
+            let mut seq = 0u64;
+            b.iter(|| {
+                seq += 1;
+                cluster.submit_to_all(Request::new(
+                    ClientId(1),
+                    seq,
+                    Bytes::from(vec![0u8; 256]),
+                ));
+                cluster.run_to_quiescence();
+                black_box(cluster.steps())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_batched_instance(c: &mut Criterion) {
+    // One instance carrying a 100-request batch: the per-request
+    // amortization that makes signed votes cheap.
+    c.bench_function("consensus/instance-batch100", |b| {
+        let mut cluster = Cluster::classic(4, 1);
+        let mut seq = 0u64;
+        b.iter(|| {
+            // Submit to followers first (no proposal), then the leader
+            // batches everything.
+            for _ in 0..100 {
+                seq += 1;
+                let request = Request::new(ClientId(1), seq, Bytes::from(vec![0u8; 256]));
+                for i in 1..4 {
+                    cluster.submit_to(i, request.clone());
+                }
+            }
+            for s in (seq - 99)..=seq {
+                cluster.submit_to(0, Request::new(ClientId(1), s, Bytes::from(vec![0u8; 256])));
+            }
+            cluster.run_to_quiescence();
+        });
+    });
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let (signing, verifying) = test_keys(4);
+    let quorums = QuorumSystem::classic(4, 1).unwrap();
+    let batch = hlf_consensus::messages::Batch::new(vec![Request::new(
+        ClientId(1),
+        1,
+        Bytes::from(vec![0u8; 256]),
+    )]);
+    let hash = batch.digest();
+    let cert: Vec<Vote> = (0..3)
+        .map(|i| Vote::sign(&signing[i], VotePhase::Write, NodeId(i as u32), 5, 0, hash))
+        .collect();
+    let collect: Vec<StopData> = (0..3)
+        .map(|i| {
+            StopData::sign(
+                &signing[i],
+                NodeId(i as u32),
+                1,
+                5,
+                Some((0, hash)),
+                Some(batch.clone()),
+                cert.clone(),
+                None,
+            )
+        })
+        .collect();
+    c.bench_function("consensus/sync-select", |b| {
+        b.iter(|| select(black_box(&collect), 1, &quorums, &verifying).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_instance, bench_batched_instance, bench_selection
+}
+criterion_main!(benches);

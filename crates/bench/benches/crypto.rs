@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks for the crypto substrate: the primitives
+//! whose cost drives the paper's Figure 6 and Equation (1).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hlf_crypto::ecdsa::SigningKey;
+use hlf_crypto::sha256::{sha256, Hash256};
+use hlf_fabric::block::Block;
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| b.iter(|| sha256(black_box(&data))));
+    }
+    group.finish();
+}
+
+fn bench_ecdsa(c: &mut Criterion) {
+    let key = SigningKey::from_seed(b"bench-ecdsa");
+    let digest = sha256(b"block header");
+    c.bench_function("ecdsa/sign", |b| b.iter(|| key.sign_digest(black_box(&digest))));
+    let signature = key.sign_digest(&digest);
+    c.bench_function("ecdsa/verify", |b| {
+        b.iter(|| {
+            key.verifying_key()
+                .verify_digest(black_box(&digest), black_box(&signature))
+                .unwrap()
+        })
+    });
+}
+
+fn bench_block_signing(c: &mut Criterion) {
+    // The full ordering-node signing step: header hash + ECDSA, for the
+    // paper's two block sizes.
+    let key = SigningKey::from_seed(b"bench-block");
+    for block_size in [10usize, 100] {
+        let envelopes: Vec<Bytes> = (0..block_size)
+            .map(|i| Bytes::from(vec![i as u8; 1024]))
+            .collect();
+        c.bench_function(&format!("block/sign-{block_size}env"), |b| {
+            b.iter(|| {
+                let mut block = Block::build(black_box(1), Hash256::ZERO, envelopes.clone());
+                block.sign(0, &key);
+                block
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sha256, bench_ecdsa, bench_block_signing
+}
+criterion_main!(benches);

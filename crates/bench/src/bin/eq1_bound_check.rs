@@ -1,0 +1,109 @@
+//! **Equation (1)**: the paper's peak-throughput bound
+//!
+//! ```text
+//! TP_os(bs, es, r)  <=  min( TP_sign * bs ,  TP_bftsmart(bs, es, r) )
+//! ```
+//!
+//! i.e. the ordering service can go no faster than either the rate at
+//! which one node signs block headers (times envelopes per block) or
+//! the rate at which BFT-SMaRt orders envelopes. This harness measures
+//! all three quantities on the same host and checks the inequality.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin eq1_bound_check
+//! ```
+
+use bench::{ktps, paper_signing_threads, run_lan_throughput, run_raw_consensus_throughput, LanConfig};
+use bytes::Bytes;
+use hlf_crypto::ecdsa::SigningKey;
+use hlf_crypto::sha256::Hash256;
+use hlf_fabric::block::Block;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One-node aggregate signing rate with the paper's worker count.
+fn measure_tp_sign() -> f64 {
+    let threads = paper_signing_threads();
+    let stop = Arc::new(AtomicBool::new(false));
+    let signed = Arc::new(AtomicU64::new(0));
+    let workers: Vec<_> = (0..threads)
+        .map(|w| {
+            let stop = Arc::clone(&stop);
+            let signed = Arc::clone(&signed);
+            std::thread::spawn(move || {
+                let key = SigningKey::from_seed(format!("eq1-{w}").as_bytes());
+                let envelopes: Vec<Bytes> = (0..10).map(|i| Bytes::from(vec![i as u8; 8])).collect();
+                let mut number = 1u64;
+                let mut prev = Hash256::ZERO;
+                while !stop.load(Ordering::Relaxed) {
+                    let mut block = Block::build(number, prev, envelopes.clone());
+                    block.sign(w as u32, &key);
+                    prev = block.header.hash();
+                    number += 1;
+                    signed.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(300));
+    let start_count = signed.load(Ordering::Relaxed);
+    let start = Instant::now();
+    std::thread::sleep(Duration::from_secs(2));
+    let elapsed = start.elapsed();
+    let count = signed.load(Ordering::Relaxed) - start_count;
+    stop.store(true, Ordering::Relaxed);
+    for worker in workers {
+        let _ = worker.join();
+    }
+    count as f64 / elapsed.as_secs_f64()
+}
+
+fn main() {
+    println!("# Equation (1) bound check: TP_os <= min(TP_sign * bs, TP_bftsmart)");
+    let tp_sign = measure_tp_sign();
+    println!(
+        "TP_sign  = {:.0} block signatures/sec ({} signer threads)\n",
+        tp_sign,
+        paper_signing_threads()
+    );
+
+    println!(
+        "{:>9} {:>9} {:>14} {:>14} {:>14} {:>8}",
+        "blk size", "env size", "TP_sign*bs", "TP_bftsmart", "TP_os", "holds?"
+    );
+    let mut all_hold = true;
+    for (block_size, envelope_size) in [(10usize, 40usize), (10, 1024), (100, 40), (100, 1024)] {
+        let tp_bftsmart =
+            run_raw_consensus_throughput(4, 1, envelope_size, Duration::from_secs(2));
+        let mut config = LanConfig::new(4, 1);
+        config.block_size = block_size;
+        config.envelope_size = envelope_size;
+        config.receivers = 1;
+        config.measure = Duration::from_secs(2);
+        let tp_os = run_lan_throughput(&config).tx_per_sec;
+
+        let sign_bound = tp_sign * block_size as f64;
+        let bound = sign_bound.min(tp_bftsmart);
+        // Allow 15% measurement slack: the three quantities come from
+        // separate runs under different contention.
+        let holds = tp_os <= bound * 1.15;
+        all_hold &= holds;
+        println!(
+            "{block_size:>9} {envelope_size:>9} {:>13}k {:>13}k {:>13}k {:>8}",
+            ktps(sign_bound),
+            ktps(tp_bftsmart),
+            ktps(tp_os),
+            if holds { "yes" } else { "NO" }
+        );
+    }
+    println!(
+        "\nbound {} across all measured configurations",
+        if all_hold { "holds" } else { "VIOLATED" }
+    );
+    println!(
+        "(The paper derives the same bound in §6.1 and confirms it in §6.2:\n\
+         at blocks of 10 the signature term binds for small envelopes; at\n\
+         blocks of 100 the consensus term binds.)"
+    );
+}

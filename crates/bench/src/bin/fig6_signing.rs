@@ -1,0 +1,113 @@
+//! **Figure 6**: ECDSA signature generation throughput for Fabric block
+//! headers as a function of worker threads.
+//!
+//! The paper measures up to 16 worker threads on a 16-hardware-thread
+//! Xeon E5520 pair, peaking at ~8.4 k signatures/s, and notes the rate
+//! is independent of envelope and block sizes because only the
+//! fixed-size *header* is signed. This harness reproduces both
+//! observations with our from-scratch P-256 implementation.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig6_signing
+//! ```
+
+use bytes::Bytes;
+use hlf_crypto::ecdsa::SigningKey;
+use hlf_fabric::block::Block;
+use hlf_crypto::sha256::Hash256;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Measures aggregate header-signing throughput with `threads` workers.
+fn signing_rate(threads: usize, envelope_size: usize, block_size: usize) -> f64 {
+    let stop = Arc::new(AtomicBool::new(false));
+    let signed = Arc::new(AtomicU64::new(0));
+    let envelopes: Vec<Bytes> = (0..block_size)
+        .map(|i| Bytes::from(vec![i as u8; envelope_size]))
+        .collect();
+
+    let workers: Vec<_> = (0..threads)
+        .map(|w| {
+            let stop = Arc::clone(&stop);
+            let signed = Arc::clone(&signed);
+            let envelopes = envelopes.clone();
+            std::thread::spawn(move || {
+                let key = SigningKey::from_seed(format!("fig6-{w}").as_bytes());
+                let mut number = w as u64 + 1;
+                let mut prev = Hash256::ZERO;
+                while !stop.load(Ordering::Relaxed) {
+                    // Build + sign a full block exactly as an ordering
+                    // node would: header over the envelope data hash.
+                    let mut block = Block::build(number, prev, envelopes.clone());
+                    block.sign(w as u32, &key);
+                    prev = block.header.hash();
+                    number += 1;
+                    signed.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(300)); // warm-up
+    let start_count = signed.load(Ordering::Relaxed);
+    let start = Instant::now();
+    std::thread::sleep(Duration::from_secs(2));
+    let elapsed = start.elapsed();
+    let count = signed.load(Ordering::Relaxed) - start_count;
+    stop.store(true, Ordering::Relaxed);
+    for worker in workers {
+        let _ = worker.join();
+    }
+    count as f64 / elapsed.as_secs_f64()
+}
+
+fn main() {
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    println!("# Figure 6: block-header signature generation throughput");
+    println!("# blocks of 10 empty envelopes, sweeping worker threads");
+    println!(
+        "# host parallelism: {host_parallelism} hardware thread(s); the curve \
+         saturates there"
+    );
+    println!("{:>8} {:>16}", "threads", "ksignatures/sec");
+    let mut series = Vec::new();
+    for threads in [1usize, 2, 4, 8, 16] {
+        let rate = signing_rate(threads, 0, 10);
+        println!("{threads:>8} {:>16.2}", rate / 1000.0);
+        series.push((threads, rate));
+    }
+
+    let peak = series.iter().map(|(_, r)| *r).fold(0.0f64, f64::max);
+    println!("\npeak: {:.0} signatures/sec", peak);
+    println!(
+        "theoretical ordering bound at 10 envelopes/block: {:.0} tx/s\n",
+        peak * 10.0
+    );
+
+    // The paper's second observation: the rate does not depend on
+    // envelope or block size, because only the header is signed.
+    let max_threads = host_parallelism.min(16);
+    println!("# size-independence check (at {max_threads} threads):");
+    println!("{:>14} {:>12} {:>16}", "envelope", "block size", "ksignatures/sec");
+    for (envelope_size, block_size) in [(0, 10), (1024, 10), (0, 100), (4096, 100)] {
+        let rate = signing_rate(max_threads, envelope_size, block_size);
+        println!(
+            "{envelope_size:>12} B {block_size:>12} {:>16.2}",
+            rate / 1000.0
+        );
+    }
+    println!(
+        "\n(Variation here reflects the *hashing* of the block data, which\n\
+         grows with block bytes; the signature itself covers only the\n\
+         32-byte header digest, as in the paper.)"
+    );
+    println!(
+        "\npaper reference: ~8.4 ksignatures/sec at 16 threads on 2009-era\n\
+         Xeon E5520; absolute rates differ with hardware, the scaling\n\
+         shape is the result under reproduction."
+    );
+}

@@ -1,0 +1,112 @@
+//! **Figure 8 (a-d)**: geo-distributed latency with blocks of 10
+//! envelopes — BFT-SMaRt vs WHEAT at four frontends (Canada, Oregon,
+//! Virginia, São Paulo), for envelope sizes 40 B / 200 B / 1 KiB /
+//! 4 KiB, median and 90th percentile.
+//!
+//! Runs on the deterministic WAN simulator with the AWS inter-region
+//! RTT matrix (see `hlf-simnet::regions`).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig8_geo_latency
+//! ```
+
+use hlf_simnet::SimTime;
+use ordering_core::sim::{run_geo_experiment, GeoConfig, Protocol};
+
+/// Shared by fig8 (block size 10) and fig9 (block size 100).
+pub fn run_geo_figure(block_size: usize, figure: &str) {
+    println!("# Figure {figure}: EC2-style latency, 4 receivers, blocks of {block_size} envelopes");
+    println!("# per frontend: median / p90 milliseconds\n");
+
+    let envelope_sizes = [40usize, 200, 1024, 4096];
+    let protocols = [(Protocol::BftSmart, "BFT-SMaRt"), (Protocol::Wheat, "WHEAT")];
+
+    // regions gathered from the first run
+    let mut region_names: Vec<String> = Vec::new();
+    // results[env][proto] = Vec<(median, p90)>
+    let mut results: Vec<Vec<Vec<(f64, f64)>>> = Vec::new();
+
+    for &envelope_size in &envelope_sizes {
+        let mut per_proto = Vec::new();
+        for &(protocol, _) in &protocols {
+            let mut config = GeoConfig::new(protocol);
+            config.envelope_size = envelope_size;
+            config.block_size = block_size;
+            config.duration = SimTime::from_secs(45);
+            config.warmup = SimTime::from_secs(5);
+            config.rate_per_frontend = 275.0; // >1000 tx/s aggregate
+            let result = run_geo_experiment(&config);
+            if region_names.is_empty() {
+                region_names = result
+                    .frontends
+                    .iter()
+                    .map(|f| f.region.name().to_string())
+                    .collect();
+            }
+            per_proto.push(
+                result
+                    .frontends
+                    .iter()
+                    .map(|f| (f.median_ms, f.p90_ms))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        results.push(per_proto);
+    }
+
+    for (slot, region) in region_names.iter().enumerate() {
+        println!("## panel: frontend in {region}");
+        println!(
+            "{:>10} {:>22} {:>22}",
+            "envelope", "BFT-SMaRt med/p90", "WHEAT med/p90"
+        );
+        for (env_index, &envelope_size) in envelope_sizes.iter().enumerate() {
+            let (bft_median, bft_p90) = results[env_index][0][slot];
+            let (wheat_median, wheat_p90) = results[env_index][1][slot];
+            println!(
+                "{envelope_size:>8} B {bft_median:>12.0} / {bft_p90:<7.0} {wheat_median:>12.0} / {wheat_p90:<7.0}"
+            );
+        }
+        println!();
+    }
+
+    // The paper's headline observations, restated over our numbers.
+    let avg = |proto: usize| -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0.0;
+        for env in &results {
+            for &(median, _) in &env[proto] {
+                sum += median;
+                count += 1.0;
+            }
+        }
+        sum / count
+    };
+    let bft_avg = avg(0);
+    let wheat_avg = avg(1);
+    println!(
+        "WHEAT vs BFT-SMaRt average median: {wheat_avg:.0} ms vs {bft_avg:.0} ms \
+         ({:.0}% lower; paper: \"almost 50%\")",
+        100.0 * (1.0 - wheat_avg / bft_avg)
+    );
+    // Envelope size insensitivity: spread across sizes per frontend.
+    let mut max_spread: f64 = 0.0;
+    for proto in 0..2 {
+        for slot in 0..region_names.len() {
+            let medians: Vec<f64> = results.iter().map(|env| env[proto][slot].0).collect();
+            let spread =
+                medians.iter().cloned().fold(f64::MIN, f64::max)
+                    - medians.iter().cloned().fold(f64::MAX, f64::min);
+            max_spread = max_spread.max(spread);
+        }
+    }
+    println!(
+        "largest 40 B -> 4 KiB median spread at any frontend: {max_spread:.0} ms \
+         (paper: never above 29 ms)"
+    );
+}
+
+#[allow(dead_code)]
+fn main() {
+    run_geo_figure(10, "8");
+}

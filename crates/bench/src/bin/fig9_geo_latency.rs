@@ -1,0 +1,75 @@
+//! **Figure 9 (a-d)**: geo-distributed latency with blocks of **100**
+//! envelopes — the paper's second WAN experiment, showing latencies up
+//! to ~63 ms higher than Figure 8 because block generation slows down
+//! at a fixed workload.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig9_geo_latency
+//! ```
+
+use hlf_simnet::SimTime;
+use ordering_core::sim::{run_geo_experiment, GeoConfig, Protocol};
+
+fn main() {
+    println!("# Figure 9: EC2-style latency, 4 receivers, blocks of 100 envelopes");
+    println!("# per frontend: median / p90 milliseconds\n");
+
+    let envelope_sizes = [40usize, 200, 1024, 4096];
+
+    // Also re-run block size 10 at 1 KiB for the fig8-vs-fig9 delta the
+    // paper calls out.
+    let mut fig9_reference = 0.0;
+
+    for &envelope_size in &envelope_sizes {
+        println!("## envelope size {envelope_size} B");
+        println!(
+            "{:<12} {:>22} {:>22}",
+            "frontend", "BFT-SMaRt med/p90", "WHEAT med/p90"
+        );
+        let mut rows: Vec<Vec<(String, f64, f64)>> = Vec::new();
+        for protocol in [Protocol::BftSmart, Protocol::Wheat] {
+            let mut config = GeoConfig::new(protocol);
+            config.envelope_size = envelope_size;
+            config.block_size = 100;
+            config.duration = SimTime::from_secs(45);
+            config.warmup = SimTime::from_secs(5);
+            config.rate_per_frontend = 275.0;
+            let result = run_geo_experiment(&config);
+            rows.push(
+                result
+                    .frontends
+                    .iter()
+                    .map(|f| (f.region.name().to_string(), f.median_ms, f.p90_ms))
+                    .collect(),
+            );
+            if envelope_size == 1024 && protocol == Protocol::BftSmart {
+                fig9_reference = result.frontends[0].median_ms;
+            }
+        }
+        for ((region, bft_median, bft_p90), (_, wheat_median, wheat_p90)) in
+            rows[0].iter().zip(&rows[1])
+        {
+            println!(
+                "{region:<12} {bft_median:>12.0} / {bft_p90:<7.0} {wheat_median:>12.0} / {wheat_p90:<7.0}"
+            );
+        }
+        println!();
+    }
+
+    // Delta vs figure 8 (block size 10) at the Canada frontend, 1 KiB.
+    let mut config = GeoConfig::new(Protocol::BftSmart);
+    config.envelope_size = 1024;
+    config.block_size = 10;
+    config.duration = SimTime::from_secs(45);
+    config.warmup = SimTime::from_secs(5);
+    config.rate_per_frontend = 275.0;
+    let fig8 = run_geo_experiment(&config);
+    let fig8_reference = fig8.frontends[0].median_ms;
+
+    println!(
+        "block-size effect (Canada, 1 KiB, BFT-SMaRt): {fig8_reference:.0} ms at \
+         10 env/block vs {fig9_reference:.0} ms at 100 env/block \
+         (+{:.0} ms; paper: up to 63 ms higher)",
+        fig9_reference - fig8_reference
+    );
+}

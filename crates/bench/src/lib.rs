@@ -1,0 +1,337 @@
+//! Shared harness code for the paper-reproduction benchmarks.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the DSN
+//! 2018 paper (see `DESIGN.md` §4 for the experiment index); this
+//! library holds the workload drivers they share.
+
+use bytes::Bytes;
+use hlf_consensus::messages::Batch;
+use hlf_smr::app::{Application, Outbound};
+use hlf_smr::runtime::{ClusterRuntime, RuntimeOptions};
+use ordering_core::frontend::{Frontend, FrontendConfig};
+use ordering_core::service::{OrderingService, ServiceOptions};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Envelope sizes the paper evaluates (§6.2): a SHA-256 hash, three
+/// ECDSA endorsement signatures, and 1 / 4 KiB transactions.
+pub const PAPER_ENVELOPE_SIZES: [usize; 4] = [40, 200, 1024, 4096];
+/// Receiver counts the paper sweeps.
+pub const PAPER_RECEIVERS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+/// Cluster sizes (tolerating f = 1, 2, 3).
+pub const PAPER_CLUSTERS: [(usize, usize); 3] = [(4, 1), (7, 2), (10, 3)];
+
+/// One LAN-throughput measurement point (one bar of Fig. 7).
+#[derive(Clone, Debug)]
+pub struct LanConfig {
+    /// Cluster size.
+    pub n: usize,
+    /// Fault threshold.
+    pub f: usize,
+    /// Envelopes per block (10 or 100 in the paper).
+    pub block_size: usize,
+    /// Envelope payload bytes.
+    pub envelope_size: usize,
+    /// Number of receiver frontends.
+    pub receivers: usize,
+    /// Signer threads per node.
+    pub signing_threads: usize,
+    /// Measurement window (after 1 s warm-up).
+    pub measure: Duration,
+    /// Frontends verify orderer signatures and accept after `f + 1`
+    /// copies (paper footnote 8) instead of matching `2f + 1`.
+    pub verify_frontends: bool,
+    /// Sign each block twice (paper footnote 10).
+    pub double_sign: bool,
+}
+
+impl LanConfig {
+    /// A point with paper-style defaults.
+    pub fn new(n: usize, f: usize) -> LanConfig {
+        LanConfig {
+            n,
+            f,
+            block_size: 10,
+            envelope_size: 1024,
+            receivers: 1,
+            signing_threads: paper_signing_threads(),
+            measure: Duration::from_secs(3),
+            verify_frontends: false,
+            double_sign: false,
+        }
+    }
+}
+
+/// Signer threads matching the host (the paper uses 16, one per
+/// hardware thread of its Xeon E5520 pair).
+pub fn paper_signing_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(8)
+        .min(16)
+}
+
+/// Result of one LAN-throughput point.
+#[derive(Clone, Copy, Debug)]
+pub struct LanResult {
+    /// Envelopes ordered per second, measured at node 0 (as in the
+    /// paper).
+    pub tx_per_sec: f64,
+    /// Blocks generated per second at node 0.
+    pub blocks_per_sec: f64,
+    /// Total envelopes ordered during the window.
+    pub envelopes: u64,
+}
+
+/// Runs one LAN throughput measurement: an in-process ordering cluster,
+/// `receivers` subscriber frontends draining blocks, and submitter
+/// threads keeping the cluster saturated under a bounded outstanding
+/// window.
+pub fn run_lan_throughput(config: &LanConfig) -> LanResult {
+    let mut service = OrderingService::start(
+        config.n,
+        ServiceOptions::new(config.f)
+            .with_block_size(config.block_size)
+            .with_signing_threads(config.signing_threads)
+            // Saturation benchmarks keep a standing backlog; the
+            // leader is healthy, so do not let request age trigger
+            // regency churn.
+            .with_request_timeout_ms(60_000)
+            .with_frontend_verification(config.verify_frontends)
+            .with_double_sign(config.double_sign),
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let submitted = Arc::new(AtomicU64::new(0));
+
+    // Receiver frontends: subscribe and drain.
+    let mut receiver_threads = Vec::new();
+    for slot in 0..config.receivers {
+        let mut frontend_config =
+            FrontendConfig::new(hlf_wire::ClientId(5000 + slot as u32), config.n, config.f);
+        if config.verify_frontends {
+            frontend_config =
+                frontend_config.with_verification(service.orderer_keys().to_vec());
+        }
+        let frontend = Frontend::connect(service.network(), frontend_config);
+        let stop = Arc::clone(&stop);
+        receiver_threads.push(std::thread::spawn(move || {
+            let mut frontend = frontend;
+            while !stop.load(Ordering::Relaxed) {
+                let _ = frontend.next_block(Duration::from_millis(20));
+            }
+        }));
+    }
+
+    // Submitter frontends: blast envelopes with a bounded window
+    // against node 0's executed count (flow control standing in for
+    // the TCP backpressure real clients get).
+    // Outstanding-request window: enough to saturate the pipeline
+    // (multiple consensus batches) without growing unbounded queues —
+    // real BFT-SMaRt clients are similarly bounded.
+    let window = 4_000u64;
+    let mut submitter_threads = Vec::new();
+    for slot in 0..2 {
+        let mut frontend = service.frontend();
+        let stop = Arc::clone(&stop);
+        let submitted = Arc::clone(&submitted);
+        let size = config.envelope_size;
+        let executed_probe = service.executed_probe(0);
+        submitter_threads.push(std::thread::spawn(move || {
+            let mut i: u64 = 0;
+            while !stop.load(Ordering::Relaxed) {
+                if submitted.load(Ordering::Relaxed).saturating_sub(executed_probe()) > window {
+                    std::thread::sleep(Duration::from_millis(1));
+                    continue;
+                }
+                let mut payload = vec![0u8; size.max(16)];
+                payload[..8].copy_from_slice(&i.to_le_bytes());
+                payload[8] = slot as u8;
+                frontend.submit(Bytes::from(payload));
+                submitted.fetch_add(1, Ordering::Relaxed);
+                i += 1;
+            }
+        }));
+    }
+
+    // Warm-up, then measure at node 0.
+    std::thread::sleep(Duration::from_secs(1));
+    let probe = service.executed_probe(0);
+    let start_count = probe();
+    let start = Instant::now();
+    std::thread::sleep(config.measure);
+    let elapsed = start.elapsed();
+    let envelopes = probe() - start_count;
+
+    stop.store(true, Ordering::Relaxed);
+    for thread in submitter_threads {
+        let _ = thread.join();
+    }
+    for thread in receiver_threads {
+        let _ = thread.join();
+    }
+    service.shutdown();
+
+    let tx_per_sec = envelopes as f64 / elapsed.as_secs_f64();
+    LanResult {
+        tx_per_sec,
+        blocks_per_sec: tx_per_sec / config.block_size as f64,
+        envelopes,
+    }
+}
+
+/// An application that does nothing — used to measure the raw
+/// BFT-SMaRt ordering rate (the `TP_bftsmart` term of the paper's
+/// equation 1) without block cutting or signing.
+#[derive(Debug, Default)]
+pub struct NullApp;
+
+impl Application for NullApp {
+    fn execute_batch(&mut self, _cid: u64, _batch: &Batch, _tentative: bool) -> Vec<Outbound> {
+        Vec::new()
+    }
+    fn snapshot(&self) -> Bytes {
+        Bytes::new()
+    }
+    fn restore(&mut self, _snapshot: &[u8]) {}
+}
+
+/// Measures raw consensus ordering throughput (no blocks, no signing)
+/// for `envelope_size` payloads on an `n`-node cluster.
+pub fn run_raw_consensus_throughput(
+    n: usize,
+    f: usize,
+    envelope_size: usize,
+    measure: Duration,
+) -> f64 {
+    let cluster = ClusterRuntime::start(
+        n,
+        RuntimeOptions::classic(f).with_request_timeout_ms(60_000),
+        |_| Box::new(NullApp),
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let submitted = Arc::new(AtomicU64::new(0));
+    let window = 4_000u64;
+
+    let mut threads = Vec::new();
+    for slot in 0..2 {
+        let mut proxy = cluster.proxy_with(hlf_smr::client::ProxyConfig::classic(
+            hlf_wire::ClientId(7000 + slot as u32),
+            n,
+            f,
+        ));
+        let stop = Arc::clone(&stop);
+        let submitted = Arc::clone(&submitted);
+        let stats = cluster_stats_probe(&cluster, 0);
+        threads.push(std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                if submitted.load(Ordering::Relaxed).saturating_sub(stats()) > window {
+                    std::thread::sleep(Duration::from_millis(1));
+                    continue;
+                }
+                let mut payload = vec![0u8; envelope_size.max(16)];
+                payload[..8].copy_from_slice(&i.to_le_bytes());
+                payload[8] = slot;
+                proxy.invoke_async(payload);
+                submitted.fetch_add(1, Ordering::Relaxed);
+                i += 1;
+            }
+        }));
+    }
+
+    std::thread::sleep(Duration::from_secs(1));
+    let probe = cluster_stats_probe(&cluster, 0);
+    let start_count = probe();
+    let start = Instant::now();
+    std::thread::sleep(measure);
+    let elapsed = start.elapsed();
+    let done = probe() - start_count;
+
+    stop.store(true, Ordering::Relaxed);
+    for thread in threads {
+        let _ = thread.join();
+    }
+    cluster.shutdown();
+    done as f64 / elapsed.as_secs_f64()
+}
+
+fn cluster_stats_probe(
+    cluster: &ClusterRuntime,
+    node: usize,
+) -> impl Fn() -> u64 + Send + 'static {
+    // NodeStats lives behind an Arc owned by the handle; expose a
+    // cheap sampling closure.
+    let stats = cluster.stats_arc(node);
+    move || stats.executed_requests()
+}
+
+/// Formats a throughput in the paper's "ktrans/sec" unit.
+pub fn ktps(tx_per_sec: f64) -> String {
+    format!("{:.1}", tx_per_sec / 1000.0)
+}
+
+/// Measures replicated-counter throughput at a given checkpoint period
+/// (ablation ABL3: the paper's §5.2 claims frequent checkpoints are
+/// cheap because the ordering state is tiny).
+pub fn run_checkpoint_sweep_point(
+    n: usize,
+    f: usize,
+    checkpoint_interval: u64,
+    measure: Duration,
+) -> f64 {
+    let cluster = ClusterRuntime::start(
+        n,
+        RuntimeOptions::classic(f)
+            .with_request_timeout_ms(60_000)
+            .with_checkpoint_interval(checkpoint_interval),
+        |_| Box::new(NullApp),
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let submitted = Arc::new(AtomicU64::new(0));
+    let window = 4_000u64;
+    let mut threads = Vec::new();
+    for slot in 0..2u8 {
+        let mut proxy = cluster.proxy_with(hlf_smr::client::ProxyConfig::classic(
+            hlf_wire::ClientId(8000 + slot as u32),
+            n,
+            f,
+        ));
+        let stop = Arc::clone(&stop);
+        let submitted = Arc::clone(&submitted);
+        let stats = cluster.stats_arc(0);
+        threads.push(std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                if submitted
+                    .load(Ordering::Relaxed)
+                    .saturating_sub(stats.executed_requests())
+                    > window
+                {
+                    std::thread::sleep(Duration::from_millis(1));
+                    continue;
+                }
+                let mut payload = vec![0u8; 256];
+                payload[..8].copy_from_slice(&i.to_le_bytes());
+                payload[8] = slot;
+                proxy.invoke_async(payload);
+                submitted.fetch_add(1, Ordering::Relaxed);
+                i += 1;
+            }
+        }));
+    }
+    std::thread::sleep(Duration::from_secs(1));
+    let stats = cluster.stats_arc(0);
+    let start_count = stats.executed_requests();
+    let start = Instant::now();
+    std::thread::sleep(measure);
+    let elapsed = start.elapsed();
+    let done = stats.executed_requests() - start_count;
+    stop.store(true, Ordering::Relaxed);
+    for thread in threads {
+        let _ = thread.join();
+    }
+    cluster.shutdown();
+    done as f64 / elapsed.as_secs_f64()
+}

@@ -1,0 +1,1494 @@
+//! The Mod-SMaRt replica: a sans-io consensus state machine.
+//!
+//! The replica consumes *inputs* — client requests, peer messages, clock
+//! ticks — and emits [`Action`]s: messages to send, batches to deliver,
+//! tentative deliveries to roll back. It performs no I/O and reads no
+//! clock, which lets the identical protocol logic run:
+//!
+//! * on real threads over [`hlf_transport`](https://docs.rs) channels
+//!   for the LAN throughput experiments, and
+//! * inside the [`hlf_simnet`](https://docs.rs) discrete-event simulator
+//!   for the geo-distributed latency experiments.
+//!
+//! ## Protocol recap (paper §4)
+//!
+//! The leader of the current *regency* proposes a batch (PROPOSE); every
+//! replica echoes a signed WRITE vote for the batch digest; on a quorum
+//! of WRITEs a replica sends a signed ACCEPT; on a quorum of ACCEPTs the
+//! batch is decided. WHEAT's *tentative execution* additionally delivers
+//! the batch right after the WRITE quorum. Timeouts escalate through
+//! request forwarding into a STOP / STOP-DATA / SYNC leader change.
+
+use crate::messages::{Batch, ConsensusMsg, DecisionProof, Request, StopData, Vote, VotePhase};
+use crate::quorum::QuorumSystem;
+use crate::sync::{select, validate_sync};
+use hlf_crypto::ecdsa::{SigningKey, VerifyingKey};
+use hlf_crypto::sha256::Hash256;
+use hlf_wire::{ClientId, NodeId};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+/// How many future instances' messages a replica buffers while lagging.
+const FUTURE_HORIZON: u64 = 64;
+/// How many recent decisions are cached to answer `ValueRequest`s.
+const RECENT_DECISIONS: usize = 64;
+/// Per-client cap on remembered delivered request ids (dedup window).
+const DEDUP_WINDOW: usize = 4096;
+
+/// Static configuration of a replica.
+#[derive(Clone)]
+pub struct Config {
+    /// This replica's identity (an index below `quorums.n()`).
+    pub node: NodeId,
+    /// The quorum system (classic or WHEAT-weighted).
+    pub quorums: QuorumSystem,
+    /// Every replica's public key, indexed by node id.
+    pub keys: Vec<VerifyingKey>,
+    /// This replica's private key (for WRITE/ACCEPT votes and
+    /// STOP-DATA records).
+    pub signing_key: SigningKey,
+    /// WHEAT tentative execution: deliver after the WRITE quorum.
+    pub tentative_execution: bool,
+    /// Maximum requests per proposed batch (the paper uses 400).
+    pub batch_max: usize,
+    /// Maximum total payload bytes per batch.
+    pub max_batch_bytes: usize,
+    /// Base request timeout; twice this triggers a leader change.
+    pub request_timeout_ms: u64,
+    /// Cap on the pending request pool.
+    pub max_pending: usize,
+}
+
+impl std::fmt::Debug for Config {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Config")
+            .field("node", &self.node)
+            .field("n", &self.quorums.n())
+            .field("f", &self.quorums.f())
+            .field("tentative_execution", &self.tentative_execution)
+            .field("batch_max", &self.batch_max)
+            .finish()
+    }
+}
+
+impl Config {
+    /// A classic BFT-SMaRt configuration with paper defaults
+    /// (batches of up to 400 requests, 2 s request timeout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys.len() != quorums.n()` or `node` is out of range.
+    pub fn new(
+        node: NodeId,
+        quorums: QuorumSystem,
+        keys: Vec<VerifyingKey>,
+        signing_key: SigningKey,
+    ) -> Config {
+        assert_eq!(keys.len(), quorums.n(), "one key per replica");
+        assert!(node.as_usize() < quorums.n(), "node id out of range");
+        Config {
+            node,
+            quorums,
+            keys,
+            signing_key,
+            tentative_execution: false,
+            batch_max: 400,
+            max_batch_bytes: 8 * 1024 * 1024,
+            request_timeout_ms: 2_000,
+            max_pending: 100_000,
+        }
+    }
+
+    /// Enables WHEAT tentative execution.
+    pub fn with_tentative_execution(mut self, enabled: bool) -> Config {
+        self.tentative_execution = enabled;
+        self
+    }
+
+    /// Overrides the batch size limit.
+    pub fn with_batch_max(mut self, batch_max: usize) -> Config {
+        self.batch_max = batch_max;
+        self
+    }
+
+    /// Overrides the request timeout.
+    pub fn with_request_timeout_ms(mut self, ms: u64) -> Config {
+        self.request_timeout_ms = ms;
+        self
+    }
+}
+
+/// An effect the driver must carry out.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Action {
+    /// Send `msg` to every *other* replica.
+    Broadcast(ConsensusMsg),
+    /// Send `msg` to one replica.
+    Send(NodeId, ConsensusMsg),
+    /// WHEAT only: the batch reached a WRITE quorum and is delivered
+    /// tentatively; a later [`Action::Rollback`] may undo it.
+    DeliverTentative {
+        /// Instance delivered tentatively.
+        cid: u64,
+        /// The tentatively delivered batch.
+        batch: Batch,
+    },
+    /// Undo the tentative delivery of `cid` (leader change re-bound a
+    /// different value).
+    Rollback {
+        /// Instance whose tentative delivery is revoked.
+        cid: u64,
+    },
+    /// Final, irreversible decision of `cid`.
+    Commit {
+        /// Decided instance.
+        cid: u64,
+        /// Decided batch.
+        batch: Batch,
+        /// Transferable quorum proof of the decision.
+        proof: DecisionProof,
+    },
+    /// The replica detected it is behind: the application layer should
+    /// run state transfer up to `target_cid`.
+    Behind {
+        /// First instance the rest of the group is working on.
+        target_cid: u64,
+    },
+}
+
+/// Counters exposed for benchmarks and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Instances decided.
+    pub decided_instances: u64,
+    /// Requests delivered inside decided batches.
+    pub delivered_requests: u64,
+    /// Regency changes installed.
+    pub regency_changes: u64,
+    /// Tentative deliveries rolled back.
+    pub rollbacks: u64,
+}
+
+/// Per-instance consensus state.
+#[derive(Debug)]
+struct Instance {
+    /// Epoch = the regency this round runs under.
+    epoch: u32,
+    batch: Option<Batch>,
+    hash: Option<Hash256>,
+    writes: HashMap<NodeId, Vote>,
+    accepts: HashMap<NodeId, Vote>,
+    write_sent: bool,
+    accept_sent: bool,
+    /// Digest delivered tentatively (WHEAT), if any.
+    tentative: Option<Hash256>,
+    /// Sticky across epoch bumps: our most recent WRITE in this
+    /// instance, its value, and supporting votes (the potential
+    /// certificate reported in STOP-DATA).
+    last_write: Option<(u32, Hash256)>,
+    last_write_value: Option<Batch>,
+    last_write_cert: Vec<Vote>,
+}
+
+impl Instance {
+    fn new(epoch: u32) -> Instance {
+        Instance {
+            epoch,
+            batch: None,
+            hash: None,
+            writes: HashMap::new(),
+            accepts: HashMap::new(),
+            write_sent: false,
+            accept_sent: false,
+            tentative: None,
+            last_write: None,
+            last_write_value: None,
+            last_write_cert: Vec::new(),
+        }
+    }
+
+    /// Resets per-epoch vote state while keeping the sticky write
+    /// history (used when a regency change bumps the epoch).
+    fn bump_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
+        self.batch = None;
+        self.hash = None;
+        self.writes.clear();
+        self.accepts.clear();
+        self.write_sent = false;
+        self.accept_sent = false;
+        // `tentative` is kept: a rollback is only emitted if the new
+        // epoch binds a different value.
+    }
+}
+
+/// The Mod-SMaRt consensus replica.
+///
+/// # Examples
+///
+/// Drive four replicas by hand through one instance (the
+/// [`crate::testing::Cluster`] harness automates this):
+///
+/// ```
+/// use hlf_consensus::testing::Cluster;
+/// use hlf_consensus::messages::Request;
+/// use hlf_wire::ClientId;
+///
+/// let mut cluster = Cluster::classic(4, 1);
+/// cluster.submit_to_all(Request::new(ClientId(1), 1, &b"tx"[..]));
+/// cluster.run_to_quiescence();
+/// let decisions = cluster.decisions(0);
+/// assert_eq!(decisions.len(), 1);
+/// assert_eq!(decisions[0].1.requests[0].payload.as_ref(), b"tx");
+/// ```
+pub struct Replica {
+    cfg: Config,
+    regency: u32,
+    /// Current undecided instance id (instances start at 1).
+    next_cid: u64,
+    inst: Instance,
+    /// FIFO pool of requests not yet decided.
+    pending: VecDeque<Request>,
+    pending_ids: HashSet<(ClientId, u64)>,
+    /// Recently delivered request ids per client (dedup).
+    delivered: HashMap<ClientId, BTreeSet<u64>>,
+    /// Most recent decision (reported in STOP-DATA).
+    last_decision: Option<(u64, Batch, DecisionProof)>,
+    recent_decisions: VecDeque<(u64, Batch, DecisionProof)>,
+    // Timeout machinery.
+    now_ms: u64,
+    oldest_pending_since: Option<u64>,
+    forwarded: bool,
+    timeout_ms: u64,
+    // Regency change.
+    stop_votes: BTreeMap<u32, BTreeSet<NodeId>>,
+    stop_sent_for: u32,
+    syncing: bool,
+    sync_started_at: u64,
+    collect: HashMap<NodeId, StopData>,
+    /// SYNC accepted while behind, adopted after state transfer.
+    pending_sync: Option<(u32, u64, Batch)>,
+    // Catch-up.
+    future: BTreeMap<u64, Vec<(NodeId, ConsensusMsg)>>,
+    fetching_value: bool,
+    fetch_started_at: u64,
+    /// Current-instance agreement messages that arrived while a
+    /// synchronization phase was in progress (or for a newer epoch than
+    /// ours); replayed once the sync concludes.
+    sync_buffer: Vec<(NodeId, ConsensusMsg)>,
+    /// STOP-DATA records that reached us (as prospective leader) before
+    /// our own STOP quorum installed the regency.
+    early_stopdata: Vec<(NodeId, StopData)>,
+    metrics: Metrics,
+}
+
+impl std::fmt::Debug for Replica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("node", &self.cfg.node)
+            .field("regency", &self.regency)
+            .field("next_cid", &self.next_cid)
+            .field("pending", &self.pending.len())
+            .field("syncing", &self.syncing)
+            .finish()
+    }
+}
+
+impl Replica {
+    /// Creates a replica at regency 0, instance 1.
+    pub fn new(cfg: Config) -> Replica {
+        let timeout = cfg.request_timeout_ms;
+        Replica {
+            inst: Instance::new(0),
+            cfg,
+            regency: 0,
+            next_cid: 1,
+            pending: VecDeque::new(),
+            pending_ids: HashSet::new(),
+            delivered: HashMap::new(),
+            last_decision: None,
+            recent_decisions: VecDeque::new(),
+            now_ms: 0,
+            oldest_pending_since: None,
+            forwarded: false,
+            timeout_ms: timeout,
+            stop_votes: BTreeMap::new(),
+            stop_sent_for: 0,
+            syncing: false,
+            sync_started_at: 0,
+            collect: HashMap::new(),
+            pending_sync: None,
+            future: BTreeMap::new(),
+            fetching_value: false,
+            fetch_started_at: 0,
+            sync_buffer: Vec::new(),
+            early_stopdata: Vec::new(),
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// This replica's id.
+    pub fn node(&self) -> NodeId {
+        self.cfg.node
+    }
+
+    /// Current regency.
+    pub fn regency(&self) -> u32 {
+        self.regency
+    }
+
+    /// The leader of regency `r` is replica `r mod n`.
+    pub fn leader_of(&self, regency: u32) -> NodeId {
+        NodeId(regency % self.cfg.quorums.n() as u32)
+    }
+
+    /// Current leader.
+    pub fn leader(&self) -> NodeId {
+        self.leader_of(self.regency)
+    }
+
+    /// Returns `true` if this replica currently leads.
+    pub fn is_leader(&self) -> bool {
+        self.leader() == self.cfg.node
+    }
+
+    /// The instance currently being agreed on.
+    pub fn next_cid(&self) -> u64 {
+        self.next_cid
+    }
+
+    /// Number of requests waiting to be ordered.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Counter snapshot.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics
+    }
+
+    /// Returns `true` while a synchronization phase is in progress.
+    pub fn is_syncing(&self) -> bool {
+        self.syncing
+    }
+
+    // ------------------------------------------------------------------
+    // Inputs
+    // ------------------------------------------------------------------
+
+    /// Handles a client request arriving at this replica.
+    pub fn on_request(&mut self, now_ms: u64, request: Request) -> Vec<Action> {
+        self.now_ms = self.now_ms.max(now_ms);
+        let mut actions = Vec::new();
+        self.enqueue_request(request);
+        self.try_propose(&mut actions);
+        actions
+    }
+
+    /// Handles a message from peer `from`.
+    pub fn on_message(&mut self, now_ms: u64, from: NodeId, msg: ConsensusMsg) -> Vec<Action> {
+        self.now_ms = self.now_ms.max(now_ms);
+        let mut actions = Vec::new();
+        self.handle(from, msg, &mut actions);
+        actions
+    }
+
+    /// Advances the replica's clock; drives timeout escalation.
+    pub fn on_tick(&mut self, now_ms: u64) -> Vec<Action> {
+        self.now_ms = self.now_ms.max(now_ms);
+        let mut actions = Vec::new();
+        // Retry an outstanding value fetch whose replies were lost.
+        if self.fetching_value
+            && self.now_ms.saturating_sub(self.fetch_started_at) > self.timeout_ms
+        {
+            self.fetching_value = false;
+            self.maybe_fetch_gap(&mut actions);
+        }
+        if self.syncing {
+            if self.now_ms.saturating_sub(self.sync_started_at) > self.timeout_ms {
+                self.request_regency_change(self.regency + 1, &mut actions);
+                self.sync_started_at = self.now_ms;
+            }
+            return actions;
+        }
+        if let Some(t0) = self.oldest_pending_since {
+            let age = self.now_ms.saturating_sub(t0);
+            if age > self.timeout_ms && !self.forwarded {
+                // Stage 1: forward pending requests to the leader in case
+                // the client never reached it.
+                self.forwarded = true;
+                if !self.is_leader() {
+                    let leader = self.leader();
+                    for request in self.pending.iter().take(self.cfg.batch_max) {
+                        actions.push(Action::Send(
+                            leader,
+                            ConsensusMsg::Forward {
+                                request: request.clone(),
+                            },
+                        ));
+                    }
+                }
+            }
+            if age > 2 * self.timeout_ms {
+                // Stage 2: demand a leader change.
+                self.request_regency_change(self.regency + 1, &mut actions);
+                self.oldest_pending_since = Some(self.now_ms);
+                self.forwarded = false;
+            }
+        }
+        actions
+    }
+
+    /// Installs state recovered through application-level state
+    /// transfer: the replica resumes at `last_decided + 1`.
+    ///
+    /// Delivered request ids cannot be reconstructed here; the
+    /// application's own dedup (e.g. the ordering service's envelope
+    /// hashes) covers requests decided while this replica was behind.
+    pub fn install_state(&mut self, now_ms: u64, last_decided: u64) -> Vec<Action> {
+        self.now_ms = self.now_ms.max(now_ms);
+        let mut actions = Vec::new();
+        if last_decided < self.next_cid {
+            return actions;
+        }
+        self.next_cid = last_decided + 1;
+        self.inst = Instance::new(self.regency);
+        self.fetching_value = false;
+        if let Some((regency, cid, batch)) = self.pending_sync.take() {
+            if regency == self.regency && cid == self.next_cid {
+                self.adopt_proposal(cid, batch, &mut actions);
+            }
+        }
+        self.drain_future(&mut actions);
+        self.replay_sync_buffer(&mut actions);
+        actions
+    }
+
+    // ------------------------------------------------------------------
+    // Request pool
+    // ------------------------------------------------------------------
+
+    fn enqueue_request(&mut self, request: Request) {
+        if self.pending.len() >= self.cfg.max_pending {
+            return;
+        }
+        let id = request.id();
+        if self.pending_ids.contains(&id) || self.was_delivered(&id) {
+            return;
+        }
+        self.pending_ids.insert(id);
+        self.pending.push_back(request);
+        if self.oldest_pending_since.is_none() {
+            self.oldest_pending_since = Some(self.now_ms);
+        }
+    }
+
+    fn was_delivered(&self, id: &(ClientId, u64)) -> bool {
+        self.delivered
+            .get(&id.0)
+            .is_some_and(|set| set.contains(&id.1))
+    }
+
+    fn mark_delivered(&mut self, batch: &Batch) {
+        for request in &batch.requests {
+            let id = request.id();
+            self.pending_ids.remove(&id);
+            let set = self.delivered.entry(id.0).or_default();
+            set.insert(id.1);
+            while set.len() > DEDUP_WINDOW {
+                let min = *set.iter().next().expect("non-empty set");
+                set.remove(&min);
+            }
+        }
+        let ids: HashSet<(ClientId, u64)> = batch.requests.iter().map(|r| r.id()).collect();
+        self.pending.retain(|r| !ids.contains(&r.id()));
+    }
+
+    // ------------------------------------------------------------------
+    // Proposing
+    // ------------------------------------------------------------------
+
+    fn try_propose(&mut self, actions: &mut Vec<Action>) {
+        if !self.is_leader()
+            || self.syncing
+            || self.inst.batch.is_some()
+            || self.pending.is_empty()
+        {
+            return;
+        }
+        let batch = self.build_batch();
+        if batch.is_empty() {
+            return;
+        }
+        let msg = ConsensusMsg::Propose {
+            cid: self.next_cid,
+            epoch: self.regency,
+            batch,
+        };
+        actions.push(Action::Broadcast(msg.clone()));
+        self.handle(self.cfg.node, msg, actions);
+    }
+
+    fn build_batch(&self) -> Batch {
+        let mut requests = Vec::new();
+        let mut bytes = 0usize;
+        for request in &self.pending {
+            if requests.len() >= self.cfg.batch_max {
+                break;
+            }
+            bytes += request.payload.len();
+            if !requests.is_empty() && bytes > self.cfg.max_batch_bytes {
+                break;
+            }
+            requests.push(request.clone());
+        }
+        Batch::new(requests)
+    }
+
+    // ------------------------------------------------------------------
+    // Message dispatch
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, from: NodeId, msg: ConsensusMsg, actions: &mut Vec<Action>) {
+        match msg {
+            ConsensusMsg::Propose { cid, epoch, batch } => {
+                self.handle_propose(from, cid, epoch, batch, actions)
+            }
+            ConsensusMsg::Write(vote) => self.handle_write(from, vote, actions),
+            ConsensusMsg::Accept(vote) => self.handle_accept(from, vote, actions),
+            ConsensusMsg::Stop { regency } => self.handle_stop(from, regency, actions),
+            ConsensusMsg::StopData(sd) => self.handle_stop_data(from, sd, actions),
+            ConsensusMsg::Sync {
+                regency,
+                collect,
+                cid,
+                batch,
+            } => self.handle_sync(from, regency, collect, cid, batch, actions),
+            ConsensusMsg::Forward { request } => {
+                self.enqueue_request(request);
+                self.try_propose(actions);
+            }
+            ConsensusMsg::ValueRequest { cid } => self.handle_value_request(from, cid, actions),
+            ConsensusMsg::ValueReply { cid, batch, proof } => {
+                self.handle_value_reply(cid, batch, proof, actions)
+            }
+        }
+    }
+
+    /// Buffers a current-instance agreement message that cannot be
+    /// processed yet (a synchronization phase is running, or the vote
+    /// belongs to a newer epoch we have not installed).
+    fn buffer_for_after_sync(&mut self, from: NodeId, msg: ConsensusMsg) {
+        if self.sync_buffer.len() < 4 * self.cfg.quorums.n() * 4 {
+            self.sync_buffer.push((from, msg));
+        }
+    }
+
+    /// Replays messages buffered during a synchronization phase.
+    fn replay_sync_buffer(&mut self, actions: &mut Vec<Action>) {
+        if self.sync_buffer.is_empty() || self.syncing {
+            return;
+        }
+        let buffered = std::mem::take(&mut self.sync_buffer);
+        for (from, msg) in buffered {
+            self.handle(from, msg, actions);
+        }
+    }
+
+    /// Buffers a message for a future instance; triggers value fetch if
+    /// enough distinct peers are demonstrably ahead.
+    fn buffer_future(&mut self, from: NodeId, msg: ConsensusMsg, cid: u64, actions: &mut Vec<Action>) {
+        if cid > self.next_cid + FUTURE_HORIZON {
+            return;
+        }
+        self.future.entry(cid).or_default().push((from, msg));
+        self.maybe_fetch_gap(actions);
+    }
+
+    /// Starts (or continues) fetching the current instance's decided
+    /// value when at least `f + 1` distinct peers are observably ahead
+    /// of us — at least one of them is correct and has the decision.
+    fn maybe_fetch_gap(&mut self, actions: &mut Vec<Action>) {
+        if self.fetching_value {
+            return;
+        }
+        let ahead: HashSet<NodeId> = self
+            .future
+            .iter()
+            .filter(|(&cid, _)| cid > self.next_cid)
+            .flat_map(|(_, msgs)| msgs.iter().map(|(n, _)| *n))
+            .collect();
+        if ahead.len() >= self.cfg.quorums.one_correct_count() {
+            self.fetching_value = true;
+            self.fetch_started_at = self.now_ms;
+            let cid = self.next_cid;
+            for node in ahead {
+                actions.push(Action::Send(node, ConsensusMsg::ValueRequest { cid }));
+            }
+        }
+    }
+
+    fn drain_future(&mut self, actions: &mut Vec<Action>) {
+        // Process buffered messages for the (new) current instance.
+        self.future.retain(|&cid, _| cid >= self.next_cid);
+        while let Some(msgs) = self.future.remove(&self.next_cid) {
+            let before = self.next_cid;
+            for (from, msg) in msgs {
+                self.handle(from, msg, actions);
+                if self.next_cid != before {
+                    // Decided while draining; outer loop re-checks.
+                    break;
+                }
+            }
+            if self.next_cid == before {
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Agreement rounds
+    // ------------------------------------------------------------------
+
+    fn handle_propose(
+        &mut self,
+        from: NodeId,
+        cid: u64,
+        epoch: u32,
+        batch: Batch,
+        actions: &mut Vec<Action>,
+    ) {
+        if cid > self.next_cid {
+            self.buffer_future(from, ConsensusMsg::Propose { cid, epoch, batch }, cid, actions);
+            return;
+        }
+        if cid < self.next_cid {
+            return;
+        }
+        if self.syncing || epoch > self.inst.epoch {
+            self.buffer_for_after_sync(from, ConsensusMsg::Propose { cid, epoch, batch });
+            return;
+        }
+        if epoch != self.regency || from != self.leader() || self.inst.batch.is_some() {
+            return;
+        }
+        // Validate the batch: non-empty (normal path), within limits,
+        // and free of already-delivered requests.
+        if batch.is_empty()
+            || batch.len() > self.cfg.batch_max
+            || batch.payload_bytes() > self.cfg.max_batch_bytes
+            || batch.requests.iter().any(|r| self.was_delivered(&r.id()))
+        {
+            return;
+        }
+        self.accept_proposal(batch, actions);
+    }
+
+    /// Installs a batch as the current proposal and casts our WRITE.
+    fn accept_proposal(&mut self, batch: Batch, actions: &mut Vec<Action>) {
+        let hash = batch.digest();
+        self.inst.hash = Some(hash);
+        self.inst.batch = Some(batch.clone());
+
+        let vote = Vote::sign(
+            &self.cfg.signing_key,
+            VotePhase::Write,
+            self.cfg.node,
+            self.next_cid,
+            self.inst.epoch,
+            hash,
+        );
+        self.inst.write_sent = true;
+        self.inst.last_write = Some((self.inst.epoch, hash));
+        self.inst.last_write_value = Some(batch);
+        self.inst.last_write_cert = vec![vote.clone()];
+
+        actions.push(Action::Broadcast(ConsensusMsg::Write(vote.clone())));
+        self.record_write(vote, actions);
+    }
+
+    fn handle_write(&mut self, from: NodeId, vote: Vote, actions: &mut Vec<Action>) {
+        if vote.cid > self.next_cid {
+            self.buffer_future(from, ConsensusMsg::Write(vote.clone()), vote.cid, actions);
+            return;
+        }
+        if vote.cid < self.next_cid || vote.phase != VotePhase::Write || vote.node != from {
+            return;
+        }
+        if self.syncing || vote.epoch > self.inst.epoch {
+            self.buffer_for_after_sync(from, ConsensusMsg::Write(vote));
+            return;
+        }
+        if vote.epoch != self.inst.epoch {
+            return;
+        }
+        if from != self.cfg.node {
+            let Some(key) = self.cfg.keys.get(from.as_usize()) else {
+                return;
+            };
+            if !vote.verify(key) {
+                return;
+            }
+        }
+        self.record_write(vote, actions);
+    }
+
+    fn record_write(&mut self, vote: Vote, actions: &mut Vec<Action>) {
+        self.inst.writes.entry(vote.node).or_insert(vote);
+        self.check_write_quorum(actions);
+    }
+
+    fn check_write_quorum(&mut self, actions: &mut Vec<Action>) {
+        let Some(hash) = self.inst.hash else {
+            return;
+        };
+        let voters = self
+            .inst
+            .writes
+            .values()
+            .filter(|v| v.hash == hash)
+            .map(|v| v.node);
+        if !self.cfg.quorums.is_quorum(voters) {
+            return;
+        }
+        // Snapshot the certificate for a possible STOP-DATA.
+        self.inst.last_write_cert = self
+            .inst
+            .writes
+            .values()
+            .filter(|v| v.hash == hash)
+            .cloned()
+            .collect();
+
+        if !self.inst.accept_sent {
+            self.inst.accept_sent = true;
+            let vote = Vote::sign(
+                &self.cfg.signing_key,
+                VotePhase::Accept,
+                self.cfg.node,
+                self.next_cid,
+                self.inst.epoch,
+                hash,
+            );
+            actions.push(Action::Broadcast(ConsensusMsg::Accept(vote.clone())));
+            self.record_accept(vote, actions);
+        }
+
+        if self.cfg.tentative_execution && self.inst.tentative.is_none() {
+            if let Some(batch) = self.inst.batch.clone() {
+                self.inst.tentative = Some(hash);
+                actions.push(Action::DeliverTentative {
+                    cid: self.next_cid,
+                    batch,
+                });
+            }
+        }
+    }
+
+    fn handle_accept(&mut self, from: NodeId, vote: Vote, actions: &mut Vec<Action>) {
+        if vote.cid > self.next_cid {
+            self.buffer_future(from, ConsensusMsg::Accept(vote.clone()), vote.cid, actions);
+            return;
+        }
+        if vote.cid < self.next_cid || vote.phase != VotePhase::Accept || vote.node != from {
+            return;
+        }
+        if self.syncing || vote.epoch > self.inst.epoch {
+            self.buffer_for_after_sync(from, ConsensusMsg::Accept(vote));
+            return;
+        }
+        if vote.epoch != self.inst.epoch {
+            return;
+        }
+        if from != self.cfg.node {
+            let Some(key) = self.cfg.keys.get(from.as_usize()) else {
+                return;
+            };
+            if !vote.verify(key) {
+                return;
+            }
+        }
+        self.record_accept(vote, actions);
+    }
+
+    fn record_accept(&mut self, vote: Vote, actions: &mut Vec<Action>) {
+        self.inst.accepts.entry(vote.node).or_insert(vote);
+        self.try_decide(actions);
+    }
+
+    fn try_decide(&mut self, actions: &mut Vec<Action>) {
+        // Find a hash with an accept quorum. Usually this is the
+        // proposed hash, but a replica that missed the PROPOSE can still
+        // learn the decision digest this way.
+        let mut by_hash: HashMap<Hash256, Vec<NodeId>> = HashMap::new();
+        for vote in self.inst.accepts.values() {
+            by_hash.entry(vote.hash).or_default().push(vote.node);
+        }
+        let decided_hash = by_hash
+            .into_iter()
+            .find(|(_, voters)| self.cfg.quorums.is_quorum(voters.iter().copied()))
+            .map(|(hash, _)| hash);
+        let Some(hash) = decided_hash else {
+            return;
+        };
+
+        let proof = DecisionProof {
+            cid: self.next_cid,
+            hash,
+            votes: self
+                .inst
+                .accepts
+                .values()
+                .filter(|v| v.hash == hash)
+                .cloned()
+                .collect(),
+        };
+
+        match self.inst.batch.clone() {
+            Some(batch) if batch.digest() == hash => {
+                self.commit(batch, proof, actions);
+            }
+            _ => {
+                // Decided digest known, value missing: fetch it.
+                if !self.fetching_value {
+                    self.fetching_value = true;
+                    let cid = self.next_cid;
+                    for node in self.cfg.quorums.nodes() {
+                        if node != self.cfg.node {
+                            actions.push(Action::Send(node, ConsensusMsg::ValueRequest { cid }));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn commit(&mut self, batch: Batch, proof: DecisionProof, actions: &mut Vec<Action>) {
+        let cid = self.next_cid;
+        self.mark_delivered(&batch);
+        self.last_decision = Some((cid, batch.clone(), proof.clone()));
+        self.recent_decisions.push_back((cid, batch.clone(), proof.clone()));
+        while self.recent_decisions.len() > RECENT_DECISIONS {
+            self.recent_decisions.pop_front();
+        }
+        self.metrics.decided_instances += 1;
+        self.metrics.delivered_requests += batch.len() as u64;
+
+        actions.push(Action::Commit { cid, batch, proof });
+
+        // Advance to the next instance.
+        self.next_cid += 1;
+        self.inst = Instance::new(self.regency);
+        self.fetching_value = false;
+        self.timeout_ms = self.cfg.request_timeout_ms;
+        self.forwarded = false;
+        self.oldest_pending_since = if self.pending.is_empty() {
+            None
+        } else {
+            Some(self.now_ms)
+        };
+
+        self.drain_future(actions);
+        self.maybe_fetch_gap(actions);
+        self.try_propose(actions);
+    }
+
+    // ------------------------------------------------------------------
+    // Regency change
+    // ------------------------------------------------------------------
+
+    fn request_regency_change(&mut self, regency: u32, actions: &mut Vec<Action>) {
+        if regency <= self.regency || self.stop_sent_for >= regency {
+            return;
+        }
+        self.stop_sent_for = regency;
+        self.timeout_ms = self.timeout_ms.saturating_mul(2);
+        actions.push(Action::Broadcast(ConsensusMsg::Stop { regency }));
+        self.note_stop_vote(self.cfg.node, regency, actions);
+    }
+
+    fn handle_stop(&mut self, from: NodeId, regency: u32, actions: &mut Vec<Action>) {
+        if regency <= self.regency || from.as_usize() >= self.cfg.quorums.n() {
+            return;
+        }
+        self.note_stop_vote(from, regency, actions);
+    }
+
+    fn note_stop_vote(&mut self, from: NodeId, regency: u32, actions: &mut Vec<Action>) {
+        self.stop_votes.entry(regency).or_default().insert(from);
+        let votes = self.stop_votes[&regency].len();
+        // Amplification: join once f+1 distinct replicas demand the
+        // change (at least one of them is correct).
+        if votes >= self.cfg.quorums.one_correct_count() && self.stop_sent_for < regency {
+            self.stop_sent_for = regency;
+            actions.push(Action::Broadcast(ConsensusMsg::Stop { regency }));
+            self.note_stop_vote(self.cfg.node, regency, actions);
+            return;
+        }
+        if votes >= self.cfg.quorums.certify_count() && regency > self.regency {
+            self.install_regency(regency, actions);
+        }
+    }
+
+    fn install_regency(&mut self, regency: u32, actions: &mut Vec<Action>) {
+        self.regency = regency;
+        self.metrics.regency_changes += 1;
+        self.syncing = true;
+        self.sync_started_at = self.now_ms;
+        self.collect.clear();
+        self.stop_votes.retain(|&r, _| r > regency);
+
+        let decision = self.last_decision.as_ref().map(|(_, _, proof)| proof.clone());
+        let write_cert = if self
+            .cfg
+            .quorums
+            .is_quorum(self.inst.last_write_cert.iter().map(|v| v.node))
+        {
+            self.inst.last_write_cert.clone()
+        } else {
+            Vec::new()
+        };
+        let sd = StopData::sign(
+            &self.cfg.signing_key,
+            self.cfg.node,
+            regency,
+            self.next_cid,
+            self.inst.last_write,
+            self.inst.last_write_value.clone(),
+            write_cert,
+            decision,
+        );
+
+        // Pause the current epoch's votes; keep sticky write history.
+        self.inst.bump_epoch(regency);
+
+        let leader = self.leader();
+        if leader == self.cfg.node {
+            self.handle_stop_data(self.cfg.node, sd, actions);
+            // Replay STOP-DATA that arrived before we installed this
+            // regency.
+            let early = std::mem::take(&mut self.early_stopdata);
+            for (from, early_sd) in early {
+                if early_sd.regency == regency {
+                    self.handle_stop_data(from, early_sd, actions);
+                } else if early_sd.regency > regency {
+                    self.early_stopdata.push((from, early_sd));
+                }
+            }
+        } else {
+            actions.push(Action::Send(leader, ConsensusMsg::StopData(sd)));
+        }
+    }
+
+    fn handle_stop_data(&mut self, from: NodeId, sd: StopData, actions: &mut Vec<Action>) {
+        if sd.node != from {
+            return;
+        }
+        // STOP-DATA can outrun the STOP quorum: if it names a regency
+        // we have not installed yet and we would lead it, keep it.
+        if sd.regency > self.regency && self.leader_of(sd.regency) == self.cfg.node {
+            if self.early_stopdata.len() < 4 * self.cfg.quorums.n() {
+                self.early_stopdata.push((from, sd));
+            }
+            return;
+        }
+        if !self.syncing || sd.regency != self.regency || self.leader() != self.cfg.node {
+            return;
+        }
+        let Some(key) = self.cfg.keys.get(sd.node.as_usize()) else {
+            return;
+        };
+        if !sd.verify_signature(key) {
+            return;
+        }
+        self.collect.entry(sd.node).or_insert(sd);
+        if self.collect.len() < self.cfg.quorums.collect_count() {
+            return;
+        }
+        let collect: Vec<StopData> = self.collect.values().cloned().collect();
+        let Ok(selection) = select(&collect, self.regency, &self.cfg.quorums, &self.cfg.keys)
+        else {
+            return;
+        };
+        let batch = match &selection.bound {
+            Some(bound) => match &bound.value {
+                Some(batch) => batch.clone(),
+                // Bound hash without recoverable bytes: wait for more
+                // STOP-DATA (another entry may carry the value) or for
+                // the sync timeout to escalate.
+                None => return,
+            },
+            None => self.build_batch(), // possibly empty: sync may no-op
+        };
+        let msg = ConsensusMsg::Sync {
+            regency: self.regency,
+            collect,
+            cid: selection.cid,
+            batch,
+        };
+        actions.push(Action::Broadcast(msg.clone()));
+        self.handle(self.cfg.node, msg, actions);
+    }
+
+    fn handle_sync(
+        &mut self,
+        from: NodeId,
+        regency: u32,
+        collect: Vec<StopData>,
+        cid: u64,
+        batch: Batch,
+        actions: &mut Vec<Action>,
+    ) {
+        if regency < self.regency || from != self.leader_of(regency) {
+            return;
+        }
+        if validate_sync(
+            &collect,
+            regency,
+            cid,
+            &batch,
+            &self.cfg.quorums,
+            &self.cfg.keys,
+        )
+        .is_err()
+        {
+            return;
+        }
+        if regency > self.regency {
+            // We missed the STOP quorum; the validated collect set is
+            // itself evidence that the group moved on.
+            self.regency = regency;
+            self.metrics.regency_changes += 1;
+            self.inst.bump_epoch(regency);
+            self.stop_votes.retain(|&r, _| r > regency);
+        }
+
+        // The synchronization phase is over.
+        self.syncing = false;
+        self.collect.clear();
+        self.sync_started_at = self.now_ms;
+        self.forwarded = false;
+        if self.oldest_pending_since.is_some() {
+            self.oldest_pending_since = Some(self.now_ms);
+        }
+
+        match cid.cmp(&self.next_cid) {
+            std::cmp::Ordering::Less => {
+                // We already decided this instance; nothing to adopt.
+            }
+            std::cmp::Ordering::Greater => {
+                // We are behind: remember the proposal, ask for state
+                // transfer.
+                self.pending_sync = Some((regency, cid, batch));
+                actions.push(Action::Behind { target_cid: cid });
+            }
+            std::cmp::Ordering::Equal => {
+                self.adopt_proposal(cid, batch, actions);
+            }
+        }
+        self.replay_sync_buffer(actions);
+    }
+
+    /// Adopts a synchronization-phase proposal for the current instance.
+    fn adopt_proposal(&mut self, cid: u64, batch: Batch, actions: &mut Vec<Action>) {
+        debug_assert_eq!(cid, self.next_cid);
+        let new_hash = batch.digest();
+
+        // WHEAT rollback: a tentatively delivered value that differs
+        // from the newly bound one must be undone.
+        if let Some(tentative) = self.inst.tentative {
+            if tentative != new_hash {
+                self.inst.tentative = None;
+                self.metrics.rollbacks += 1;
+                actions.push(Action::Rollback { cid });
+            }
+        }
+
+        self.inst.bump_epoch(self.regency);
+        if batch.is_empty() {
+            // An empty re-proposal still runs agreement so the group
+            // converges on instance numbering.
+        }
+        self.accept_proposal(batch, actions);
+    }
+
+    // ------------------------------------------------------------------
+    // Value transfer
+    // ------------------------------------------------------------------
+
+    fn handle_value_request(&mut self, from: NodeId, cid: u64, actions: &mut Vec<Action>) {
+        if let Some((_, batch, proof)) = self
+            .recent_decisions
+            .iter()
+            .find(|(decided_cid, _, _)| *decided_cid == cid)
+        {
+            actions.push(Action::Send(
+                from,
+                ConsensusMsg::ValueReply {
+                    cid,
+                    batch: batch.clone(),
+                    proof: proof.clone(),
+                },
+            ));
+        }
+    }
+
+    fn handle_value_reply(
+        &mut self,
+        cid: u64,
+        batch: Batch,
+        proof: DecisionProof,
+        actions: &mut Vec<Action>,
+    ) {
+        if cid != self.next_cid {
+            return;
+        }
+        if proof.cid != cid
+            || proof.hash != batch.digest()
+            || proof.verify(&self.cfg.quorums, &self.cfg.keys).is_err()
+        {
+            return;
+        }
+        // A proven decision: adopt it directly.
+        if let Some(tentative) = self.inst.tentative {
+            if tentative != proof.hash {
+                self.inst.tentative = None;
+                self.metrics.rollbacks += 1;
+                actions.push(Action::Rollback { cid });
+            }
+        }
+        self.commit(batch, proof, actions);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index doubles as the node id in tests
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn make_replicas(n: usize, f: usize) -> Vec<Replica> {
+        let signing: Vec<SigningKey> = (0..n)
+            .map(|i| SigningKey::from_seed(format!("replica-unit-{i}").as_bytes()))
+            .collect();
+        let keys: Vec<VerifyingKey> = signing.iter().map(|k| *k.verifying_key()).collect();
+        (0..n)
+            .map(|i| {
+                Replica::new(Config::new(
+                    NodeId(i as u32),
+                    QuorumSystem::classic(n, f).unwrap(),
+                    keys.clone(),
+                    signing[i].clone(),
+                ))
+            })
+            .collect()
+    }
+
+    fn req(seq: u64) -> Request {
+        Request::new(ClientId(9), seq, Bytes::from(vec![seq as u8; 16]))
+    }
+
+    #[test]
+    fn leader_proposes_on_request() {
+        let mut replicas = make_replicas(4, 1);
+        let actions = replicas[0].on_request(0, req(1));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Broadcast(ConsensusMsg::Propose { cid: 1, epoch: 0, .. })
+        )));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Broadcast(ConsensusMsg::Write(_)))));
+    }
+
+    #[test]
+    fn non_leader_does_not_propose() {
+        let mut replicas = make_replicas(4, 1);
+        let actions = replicas[1].on_request(0, req(1));
+        assert!(actions.is_empty());
+        assert_eq!(replicas[1].pending_len(), 1);
+    }
+
+    #[test]
+    fn duplicate_requests_are_deduplicated() {
+        let mut replicas = make_replicas(4, 1);
+        replicas[1].on_request(0, req(1));
+        replicas[1].on_request(0, req(1));
+        assert_eq!(replicas[1].pending_len(), 1);
+    }
+
+    #[test]
+    fn full_happy_path_four_replicas() {
+        let mut replicas = make_replicas(4, 1);
+        // Every replica gets the request (clients broadcast).
+        let mut wire: Vec<(NodeId, ConsensusMsg)> = Vec::new();
+        let mut commits = vec![0usize; 4];
+        for r in replicas.iter_mut() {
+            for action in r.on_request(0, req(1)) {
+                if let Action::Broadcast(msg) = action {
+                    wire.push((r.node(), msg));
+                }
+            }
+        }
+        // Deliver messages until quiescence.
+        while let Some((from, msg)) = wire.pop() {
+            for i in 0..4 {
+                if NodeId(i as u32) == from {
+                    continue;
+                }
+                for action in replicas[i].on_message(0, from, msg.clone()) {
+                    match action {
+                        Action::Broadcast(m) => wire.push((NodeId(i as u32), m)),
+                        Action::Send(to, m) => {
+                            let j = to.as_usize();
+                            for a2 in replicas[j].on_message(0, NodeId(i as u32), m) {
+                                if let Action::Broadcast(m2) = a2 {
+                                    wire.push((NodeId(j as u32), m2));
+                                }
+                            }
+                        }
+                        Action::Commit { cid, batch, .. } => {
+                            assert_eq!(cid, 1);
+                            assert_eq!(batch.len(), 1);
+                            commits[i] += 1;
+                        }
+                        other => panic!("unexpected action {other:?}"),
+                    }
+                }
+            }
+        }
+        // The three non-self-delivering replicas commit; the leader also
+        // commits through its own broadcast loop above.
+        let total: usize = commits.iter().sum();
+        assert!(total >= 3, "commits: {commits:?}");
+        for r in &replicas {
+            if r.metrics().decided_instances > 0 {
+                assert_eq!(r.next_cid(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn write_votes_with_wrong_epoch_ignored() {
+        let mut replicas = make_replicas(4, 1);
+        let signing = SigningKey::from_seed(b"replica-unit-1");
+        let vote = Vote::sign(
+            &signing,
+            VotePhase::Write,
+            NodeId(1),
+            1,
+            5, // wrong epoch: regency is 0
+            Batch::empty().digest(),
+        );
+        let actions = replicas[0].on_message(0, NodeId(1), ConsensusMsg::Write(vote));
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn forged_vote_signature_rejected() {
+        let mut replicas = make_replicas(4, 1);
+        let wrong_key = SigningKey::from_seed(b"attacker");
+        let vote = Vote::sign(
+            &wrong_key,
+            VotePhase::Write,
+            NodeId(1),
+            1,
+            0,
+            Batch::empty().digest(),
+        );
+        let actions = replicas[0].on_message(0, NodeId(1), ConsensusMsg::Write(vote));
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn vote_relayed_by_wrong_sender_rejected() {
+        let mut replicas = make_replicas(4, 1);
+        let signing = SigningKey::from_seed(b"replica-unit-1");
+        let vote = Vote::sign(
+            &signing,
+            VotePhase::Write,
+            NodeId(1),
+            1,
+            0,
+            Batch::empty().digest(),
+        );
+        // Node 2 replays node 1's vote: `vote.node != from`.
+        let actions = replicas[0].on_message(0, NodeId(2), ConsensusMsg::Write(vote));
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn timeout_escalates_to_stop() {
+        let mut replicas = make_replicas(4, 1);
+        // Node 1 (not leader) has a pending request that never decides.
+        replicas[1].on_request(0, req(1));
+        // Stage 1 at t > timeout: forward to leader.
+        let actions = replicas[1].on_tick(2_500);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Send(NodeId(0), ConsensusMsg::Forward { .. }))));
+        // Stage 2 at t > 2*timeout: STOP for regency 1.
+        let actions = replicas[1].on_tick(4_500);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Broadcast(ConsensusMsg::Stop { regency: 1 }))));
+    }
+
+    #[test]
+    fn f_plus_one_stops_amplify() {
+        let mut replicas = make_replicas(4, 1);
+        // Two other replicas demand regency 1; we join without our own
+        // timeout having fired.
+        let a1 = replicas[3].on_message(0, NodeId(1), ConsensusMsg::Stop { regency: 1 });
+        assert!(a1.is_empty());
+        let a2 = replicas[3].on_message(0, NodeId(2), ConsensusMsg::Stop { regency: 1 });
+        assert!(a2
+            .iter()
+            .any(|a| matches!(a, Action::Broadcast(ConsensusMsg::Stop { regency: 1 }))));
+        // Own vote makes three: the regency installs and STOP-DATA goes
+        // to the new leader (node 1).
+        assert_eq!(replicas[3].regency(), 1);
+        assert!(replicas[3].is_syncing());
+        assert!(a2
+            .iter()
+            .any(|a| matches!(a, Action::Send(NodeId(1), ConsensusMsg::StopData(_)))));
+    }
+
+    #[test]
+    fn stale_stop_ignored() {
+        let mut replicas = make_replicas(4, 1);
+        let actions = replicas[0].on_message(0, NodeId(1), ConsensusMsg::Stop { regency: 0 });
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn value_request_answered_from_recent_decisions() {
+        let mut replicas = make_replicas(4, 1);
+        // Manufacture a decision on replica 0 via the full path: use 3
+        // replicas' accept votes.
+        let signing: Vec<SigningKey> = (0..4)
+            .map(|i| SigningKey::from_seed(format!("replica-unit-{i}").as_bytes()))
+            .collect();
+        let batch = Batch::new(vec![req(1)]);
+        let hash = batch.digest();
+        replicas[0].on_request(0, req(1)); // leader proposes; own write recorded
+        for i in 1..3 {
+            let w = Vote::sign(&signing[i], VotePhase::Write, NodeId(i as u32), 1, 0, hash);
+            replicas[0].on_message(0, NodeId(i as u32), ConsensusMsg::Write(w));
+        }
+        for i in 1..3 {
+            let a = Vote::sign(&signing[i], VotePhase::Accept, NodeId(i as u32), 1, 0, hash);
+            replicas[0].on_message(0, NodeId(i as u32), ConsensusMsg::Accept(a));
+        }
+        assert_eq!(replicas[0].metrics().decided_instances, 1);
+
+        let actions = replicas[0].on_message(0, NodeId(3), ConsensusMsg::ValueRequest { cid: 1 });
+        assert!(matches!(
+            &actions[..],
+            [Action::Send(NodeId(3), ConsensusMsg::ValueReply { cid: 1, .. })]
+        ));
+
+        // And a verified ValueReply lets a lagging replica commit
+        // directly.
+        let Action::Send(_, reply) = actions.into_iter().next().unwrap() else {
+            unreachable!()
+        };
+        let actions = replicas[3].on_message(0, NodeId(0), reply);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Commit { cid: 1, .. })));
+        assert_eq!(replicas[3].next_cid(), 2);
+    }
+
+    #[test]
+    fn bogus_value_reply_rejected() {
+        let mut replicas = make_replicas(4, 1);
+        let batch = Batch::new(vec![req(1)]);
+        let forged = DecisionProof {
+            cid: 1,
+            hash: batch.digest(),
+            votes: vec![],
+        };
+        let actions = replicas[3].on_message(
+            0,
+            NodeId(0),
+            ConsensusMsg::ValueReply {
+                cid: 1,
+                batch,
+                proof: forged,
+            },
+        );
+        assert!(actions.is_empty());
+        assert_eq!(replicas[3].next_cid(), 1);
+    }
+
+    #[test]
+    fn batch_respects_limits() {
+        let mut replicas = make_replicas(4, 1);
+        // More requests than batch_max: proposal caps at batch_max.
+        for seq in 0..500 {
+            replicas[0].enqueue_request(req(seq));
+        }
+        let batch = replicas[0].build_batch();
+        assert_eq!(batch.len(), 400);
+    }
+
+    #[test]
+    fn byzantine_leader_equivocation_cannot_decide_two_values() {
+        // The leader sends different batches to different replicas. With
+        // n = 4, each faction has at most 2 write votes for its hash —
+        // below the quorum of 3 — so neither value can be decided.
+        let mut replicas = make_replicas(4, 1);
+        let signing: Vec<SigningKey> = (0..4)
+            .map(|i| SigningKey::from_seed(format!("replica-unit-{i}").as_bytes()))
+            .collect();
+        let batch_a = Batch::new(vec![req(1)]);
+        let batch_b = Batch::new(vec![req(2)]);
+
+        // Replicas 1 and 2 get batch A; replica 3 gets batch B.
+        for i in [1usize, 2] {
+            replicas[i].on_message(
+                0,
+                NodeId(0),
+                ConsensusMsg::Propose {
+                    cid: 1,
+                    epoch: 0,
+                    batch: batch_a.clone(),
+                },
+            );
+        }
+        replicas[3].on_message(
+            0,
+            NodeId(0),
+            ConsensusMsg::Propose {
+                cid: 1,
+                epoch: 0,
+                batch: batch_b.clone(),
+            },
+        );
+
+        // Exchange all write votes among 1, 2, 3 (leader stays silent).
+        let votes: Vec<Vote> = vec![
+            Vote::sign(&signing[1], VotePhase::Write, NodeId(1), 1, 0, batch_a.digest()),
+            Vote::sign(&signing[2], VotePhase::Write, NodeId(2), 1, 0, batch_a.digest()),
+            Vote::sign(&signing[3], VotePhase::Write, NodeId(3), 1, 0, batch_b.digest()),
+        ];
+        for i in 1..4usize {
+            for vote in &votes {
+                if vote.node.as_usize() != i {
+                    let actions = replicas[i].on_message(
+                        0,
+                        vote.node,
+                        ConsensusMsg::Write(vote.clone()),
+                    );
+                    // No replica may reach an accept quorum.
+                    assert!(!actions
+                        .iter()
+                        .any(|a| matches!(a, Action::Commit { .. })));
+                }
+            }
+        }
+        for r in &replicas {
+            assert_eq!(r.metrics().decided_instances, 0);
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! The blockcutter: groups the totally ordered envelope stream into
+//! blocks (paper §5.1).
+//!
+//! Cutting decisions must be **deterministic functions of the ordered
+//! stream** — every ordering node must cut at exactly the same
+//! positions, or frontends could never collect matching blocks. The
+//! cutter therefore cuts on envelope count and on accumulated bytes,
+//! both properties of the stream itself. (Hyperledger Fabric's
+//! wall-clock `BatchTimeout` requires an *ordered* time trigger, as the
+//! reference implementation routes through consensus; see DESIGN.md.)
+
+use bytes::Bytes;
+use hlf_wire::{decode_seq, encode_seq, Encode, Reader, WireError};
+
+/// Deterministic envelope-to-block grouping.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use ordering_core::blockcutter::BlockCutter;
+///
+/// let mut cutter = BlockCutter::new(3, 1024 * 1024);
+/// assert!(cutter.push(Bytes::from_static(b"e1")).is_none());
+/// assert!(cutter.push(Bytes::from_static(b"e2")).is_none());
+/// let cut = cutter.push(Bytes::from_static(b"e3")).unwrap();
+/// assert_eq!(cut.len(), 3);
+/// assert_eq!(cutter.pending(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BlockCutter {
+    /// Envelopes per block (the paper evaluates 10 and 100).
+    block_size: usize,
+    /// Byte cap: a block is cut early rather than exceed this.
+    max_block_bytes: usize,
+    buffer: Vec<Bytes>,
+    buffered_bytes: usize,
+}
+
+impl BlockCutter {
+    /// Creates a cutter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    pub fn new(block_size: usize, max_block_bytes: usize) -> BlockCutter {
+        assert!(block_size > 0, "block size must be positive");
+        BlockCutter {
+            block_size,
+            max_block_bytes,
+            buffer: Vec::with_capacity(block_size),
+            buffered_bytes: 0,
+        }
+    }
+
+    /// Envelopes currently buffered.
+    pub fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// The configured envelopes-per-block.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Adds one ordered envelope; returns a full block's envelopes when
+    /// the addition completes a block.
+    ///
+    /// An envelope that would push the buffer past `max_block_bytes`
+    /// first cuts the buffered envelopes (if any), then starts the next
+    /// block — mirroring Fabric's `PreferredMaxBytes` behaviour, and
+    /// still a pure function of the stream.
+    pub fn push(&mut self, envelope: Bytes) -> Option<Vec<Bytes>> {
+        let overflow = !self.buffer.is_empty()
+            && self.buffered_bytes + envelope.len() > self.max_block_bytes;
+        if overflow {
+            let cut = self.drain();
+            self.buffered_bytes = envelope.len();
+            self.buffer.push(envelope);
+            return Some(cut);
+        }
+        self.buffered_bytes += envelope.len();
+        self.buffer.push(envelope);
+        if self.buffer.len() >= self.block_size {
+            Some(self.drain())
+        } else {
+            None
+        }
+    }
+
+    /// Cuts whatever is buffered (used by deterministic flush points
+    /// and snapshots).
+    pub fn drain(&mut self) -> Vec<Bytes> {
+        self.buffered_bytes = 0;
+        std::mem::take(&mut self.buffer)
+    }
+
+    /// Clones the pending envelopes (used for tentative-execution undo
+    /// records).
+    pub fn snapshot_envelopes(&self) -> Vec<Bytes> {
+        self.buffer.clone()
+    }
+
+    /// Replaces the pending envelopes (tentative-execution rollback).
+    pub fn restore_envelopes(&mut self, envelopes: Vec<Bytes>) {
+        self.buffered_bytes = envelopes.iter().map(Bytes::len).sum();
+        self.buffer = envelopes;
+    }
+
+    /// Serializes pending envelopes (checkpointing: buffered envelopes
+    /// are decided-but-uncut and must survive recovery).
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_seq(&self.buffer, &mut out);
+        out
+    }
+
+    /// Restores pending envelopes from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] for malformed snapshots.
+    pub fn restore(&mut self, snapshot: &mut Reader<'_>) -> Result<(), WireError> {
+        self.buffer = decode_seq(snapshot)?;
+        self.buffered_bytes = self.buffer.iter().map(Bytes::len).sum();
+        Ok(())
+    }
+}
+
+impl Encode for BlockCutter {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_seq(&self.buffer, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(len: usize) -> Bytes {
+        Bytes::from(vec![0xabu8; len])
+    }
+
+    #[test]
+    fn cuts_exactly_on_count() {
+        let mut cutter = BlockCutter::new(10, usize::MAX);
+        for i in 0..9 {
+            assert!(cutter.push(env(5)).is_none(), "envelope {i}");
+        }
+        let cut = cutter.push(env(5)).unwrap();
+        assert_eq!(cut.len(), 10);
+        assert_eq!(cutter.pending(), 0);
+        // And again: the cutter is reusable.
+        for _ in 0..9 {
+            assert!(cutter.push(env(5)).is_none());
+        }
+        assert_eq!(cutter.push(env(5)).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn byte_cap_cuts_early() {
+        let mut cutter = BlockCutter::new(100, 1000);
+        for _ in 0..3 {
+            assert!(cutter.push(env(300)).is_none());
+        }
+        // The fourth 300-byte envelope would exceed 1000 bytes: the
+        // first three are cut, the fourth starts the next block.
+        let cut = cutter.push(env(300)).unwrap();
+        assert_eq!(cut.len(), 3);
+        assert_eq!(cutter.pending(), 1);
+    }
+
+    #[test]
+    fn oversized_single_envelope_still_flows() {
+        let mut cutter = BlockCutter::new(10, 100);
+        // A lone envelope above the cap is buffered (it cannot be
+        // split); the next envelope cuts it.
+        assert!(cutter.push(env(500)).is_none());
+        let cut = cutter.push(env(10)).unwrap();
+        assert_eq!(cut.len(), 1);
+        assert_eq!(cutter.pending(), 1);
+    }
+
+    #[test]
+    fn drain_returns_partial() {
+        let mut cutter = BlockCutter::new(10, usize::MAX);
+        cutter.push(env(1));
+        cutter.push(env(2));
+        let cut = cutter.drain();
+        assert_eq!(cut.len(), 2);
+        assert_eq!(cutter.pending(), 0);
+        assert!(cutter.drain().is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_pending() {
+        let mut cutter = BlockCutter::new(10, usize::MAX);
+        cutter.push(env(3));
+        cutter.push(env(4));
+        let snap = cutter.snapshot();
+
+        let mut restored = BlockCutter::new(10, usize::MAX);
+        let mut reader = Reader::new(&snap);
+        restored.restore(&mut reader).unwrap();
+        assert_eq!(restored.pending(), 2);
+        // Byte accounting is rebuilt too: 7 more bytes fit the same way.
+        assert_eq!(restored.buffered_bytes, 7);
+    }
+
+    #[test]
+    fn determinism_same_stream_same_cuts() {
+        let stream: Vec<Bytes> = (0..57).map(|i| env((i % 7 + 1) * 10)).collect();
+        let run = |mut cutter: BlockCutter| {
+            let mut cuts = Vec::new();
+            for envelope in &stream {
+                if let Some(cut) = cutter.push(envelope.clone()) {
+                    cuts.push(cut.len());
+                }
+            }
+            cuts
+        };
+        let a = run(BlockCutter::new(10, 250));
+        let b = run(BlockCutter::new(10, 250));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn zero_block_size_rejected() {
+        let _ = BlockCutter::new(0, 100);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// No envelope is lost or duplicated by cutting.
+            #[test]
+            fn conservation(sizes in proptest::collection::vec(1usize..200, 1..100),
+                            block_size in 1usize..20) {
+                let mut cutter = BlockCutter::new(block_size, 500);
+                let mut out = Vec::new();
+                for (i, len) in sizes.iter().enumerate() {
+                    let envelope = Bytes::from(vec![i as u8; *len]);
+                    if let Some(cut) = cutter.push(envelope) {
+                        out.extend(cut);
+                    }
+                }
+                out.extend(cutter.drain());
+                prop_assert_eq!(out.len(), sizes.len());
+                for (i, envelope) in out.iter().enumerate() {
+                    prop_assert_eq!(envelope.len(), sizes[i]);
+                    prop_assert!(envelope.iter().all(|&b| b == i as u8));
+                }
+            }
+
+            /// Cut blocks never exceed the count cap.
+            #[test]
+            fn count_cap_respected(n in 1usize..200, block_size in 1usize..20) {
+                let mut cutter = BlockCutter::new(block_size, usize::MAX);
+                for i in 0..n {
+                    if let Some(cut) = cutter.push(Bytes::from(vec![0u8; 8])) {
+                        prop_assert_eq!(cut.len(), block_size, "at envelope {}", i);
+                    }
+                }
+                prop_assert!(cutter.pending() < block_size);
+            }
+        }
+    }
+}

@@ -1,0 +1,450 @@
+//! The frontend: the peer-side half of the ordering service
+//! (paper §5, Figure 4).
+//!
+//! A frontend (1) relays envelopes from its trust domain to the
+//! ordering cluster, and (2) collects the blocks the cluster pushes
+//! back. Because the default frontend does **not** verify orderer
+//! signatures, it waits for `2f + 1` byte-matching block copies — which
+//! guarantees at least `f + 1` valid signatures for downstream peers.
+//! With verification enabled (paper footnote 8), `f + 1` copies
+//! suffice.
+
+use crate::channel::tag_envelope;
+use bytes::Bytes;
+use hlf_crypto::ecdsa::VerifyingKey;
+use hlf_crypto::sha256::Hash256;
+use hlf_fabric::block::{Block, BlockSignature, SYSTEM_CHANNEL};
+use hlf_smr::client::{ProxyConfig, ServiceProxy};
+use hlf_transport::Network;
+use hlf_wire::{ClientId, NodeId};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// How the frontend decides a pushed block is trustworthy.
+#[derive(Clone, Debug)]
+pub enum DeliveryPolicy {
+    /// Collect `2f + 1` byte-matching copies; no signature checks
+    /// (the paper's default).
+    MatchOnly,
+    /// Verify each copy's signature and accept after `f + 1` valid
+    /// ones (paper footnote 8). Requires the orderer public keys.
+    Verify {
+        /// Orderer public keys indexed by node id.
+        orderer_keys: Vec<VerifyingKey>,
+    },
+}
+
+/// Frontend configuration.
+#[derive(Clone, Debug)]
+pub struct FrontendConfig {
+    /// This frontend's client identity on the SMR layer.
+    pub id: ClientId,
+    /// Ordering cluster size.
+    pub n: usize,
+    /// Fault threshold.
+    pub f: usize,
+    /// Trust policy for pushed blocks.
+    pub policy: DeliveryPolicy,
+}
+
+impl FrontendConfig {
+    /// Default (match-only) configuration.
+    pub fn new(id: ClientId, n: usize, f: usize) -> FrontendConfig {
+        FrontendConfig {
+            id,
+            n,
+            f,
+            policy: DeliveryPolicy::MatchOnly,
+        }
+    }
+
+    /// Switches to signature verification with `f + 1` copies.
+    pub fn with_verification(mut self, orderer_keys: Vec<VerifyingKey>) -> FrontendConfig {
+        self.policy = DeliveryPolicy::Verify { orderer_keys };
+        self
+    }
+}
+
+/// Per-block-number collection state.
+#[derive(Debug, Default)]
+struct Collecting {
+    /// header hash -> (block content, signatures gathered, nodes seen)
+    candidates: HashMap<Hash256, (Block, Vec<BlockSignature>, HashSet<NodeId>)>,
+}
+
+/// Frontend counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrontendStats {
+    /// Envelopes relayed to the cluster.
+    pub submitted: u64,
+    /// Blocks delivered in order.
+    pub delivered_blocks: u64,
+    /// Block copies discarded (bad signature, stale number...).
+    pub discarded_copies: u64,
+}
+
+/// The ordering-service frontend.
+pub struct Frontend {
+    proxy: ServiceProxy,
+    config: FrontendConfig,
+    /// Per-channel next block number to deliver (1 for new channels).
+    next_deliver: HashMap<String, u64>,
+    /// (channel, number) -> collection state.
+    collecting: BTreeMap<(String, u64), Collecting>,
+    /// (channel, number) -> completed block.
+    ready: BTreeMap<(String, u64), Block>,
+    stats: FrontendStats,
+}
+
+impl std::fmt::Debug for Frontend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Frontend")
+            .field("id", &self.config.id)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Frontend {
+    /// Connects a frontend to the cluster's network and registers for
+    /// block pushes.
+    pub fn connect(network: &Network, config: FrontendConfig) -> Frontend {
+        let proxy = ServiceProxy::new(
+            network,
+            ProxyConfig::classic(config.id, config.n, config.f),
+        );
+        proxy.subscribe();
+        Frontend {
+            proxy,
+            config,
+            next_deliver: HashMap::new(),
+            collecting: BTreeMap::new(),
+            ready: BTreeMap::new(),
+            stats: FrontendStats::default(),
+        }
+    }
+
+    /// This frontend's client id.
+    pub fn id(&self) -> ClientId {
+        self.config.id
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> FrontendStats {
+        self.stats
+    }
+
+    /// Relays an opaque envelope on the default [`SYSTEM_CHANNEL`].
+    pub fn submit(&mut self, envelope: impl Into<Bytes>) {
+        self.submit_to_channel(SYSTEM_CHANNEL, envelope);
+    }
+
+    /// Relays an opaque envelope on an explicit channel (asynchronous,
+    /// like the BFT shim's client thread pool). Each channel forms its
+    /// own hash chain of blocks.
+    pub fn submit_to_channel(&mut self, channel: &str, envelope: impl Into<Bytes>) {
+        self.stats.submitted += 1;
+        let tagged = tag_envelope(channel, &envelope.into());
+        self.proxy.invoke_async(tagged);
+    }
+
+    /// Copies needed before a block is trusted.
+    fn threshold(&self) -> usize {
+        match self.config.policy {
+            DeliveryPolicy::MatchOnly => 2 * self.config.f + 1,
+            DeliveryPolicy::Verify { .. } => self.config.f + 1,
+        }
+    }
+
+    fn next_deliver_on(&self, channel: &str) -> u64 {
+        self.next_deliver.get(channel).copied().unwrap_or(1)
+    }
+
+    /// Ingests one pushed block copy from `from`.
+    fn accept(&mut self, from: NodeId, block: Block) {
+        if block.header.number < self.next_deliver_on(&block.header.channel)
+            || !block.data_consistent()
+        {
+            self.stats.discarded_copies += 1;
+            return;
+        }
+        if let DeliveryPolicy::Verify { orderer_keys } = &self.config.policy {
+            // The copy must carry a valid signature from its sender.
+            let header_hash = block.header.hash();
+            let valid = block.signatures.iter().any(|s| {
+                s.node == from.0
+                    && orderer_keys
+                        .get(s.node as usize)
+                        .is_some_and(|key| key.verify_digest(&header_hash, &s.signature).is_ok())
+            });
+            if !valid {
+                self.stats.discarded_copies += 1;
+                return;
+            }
+        }
+        let slot = (block.header.channel.clone(), block.header.number);
+        let threshold = self.threshold();
+        let entry = self.collecting.entry(slot.clone()).or_default();
+        let key = block.header.hash();
+        let (stored, signatures, nodes) = entry
+            .candidates
+            .entry(key)
+            .or_insert_with(|| (block.clone(), Vec::new(), HashSet::new()));
+        if !nodes.insert(from) {
+            return; // duplicate copy from the same node
+        }
+        for signature in block.signatures {
+            if !signatures.iter().any(|s| s.node == signature.node) {
+                signatures.push(signature);
+            }
+        }
+        if nodes.len() >= threshold {
+            let mut complete = stored.clone();
+            complete.signatures = signatures.clone();
+            self.collecting.remove(&slot);
+            self.ready.insert(slot, complete);
+        }
+    }
+
+    /// Pops the next in-order ready block for any channel, preferring
+    /// the lexicographically first channel with one available.
+    fn pop_ready(&mut self) -> Option<Block> {
+        let slot = self
+            .ready
+            .keys()
+            .find(|(channel, number)| *number == self.next_deliver_on(channel))
+            .cloned()?;
+        let block = self.ready.remove(&slot).expect("key just seen");
+        self.next_deliver.insert(slot.0, slot.1 + 1);
+        self.stats.delivered_blocks += 1;
+        Some(block)
+    }
+
+    /// Returns the next block in sequence, waiting up to `timeout`.
+    ///
+    /// Blocks are delivered strictly in order; a gap (e.g. number 5
+    /// completing before 4) is held back until the predecessor arrives.
+    pub fn next_block(&mut self, timeout: Duration) -> Option<Block> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(block) = self.pop_ready() {
+                return Some(block);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let push = self.proxy.next_push(deadline - now)?;
+            let Ok(block) = hlf_wire::from_bytes::<Block>(&push.payload) else {
+                self.stats.discarded_copies += 1;
+                continue;
+            };
+            self.accept(push.from, block);
+        }
+    }
+
+    /// Like [`Frontend::next_block`], but only for one channel.
+    pub fn next_block_on(&mut self, channel: &str, timeout: Duration) -> Option<Block> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let slot = (channel.to_string(), self.next_deliver_on(channel));
+            if let Some(block) = self.ready.remove(&slot) {
+                self.next_deliver.insert(slot.0, slot.1 + 1);
+                self.stats.delivered_blocks += 1;
+                return Some(block);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let push = self.proxy.next_push(deadline - now)?;
+            let Ok(block) = hlf_wire::from_bytes::<Block>(&push.payload) else {
+                self.stats.discarded_copies += 1;
+                continue;
+            };
+            self.accept(push.from, block);
+        }
+    }
+
+    /// Drains any block copies that already arrived without waiting.
+    pub fn poll(&mut self) {
+        while let Some(push) = self.proxy.try_push() {
+            if let Ok(block) = hlf_wire::from_bytes::<Block>(&push.payload) {
+                self.accept(push.from, block);
+            } else {
+                self.stats.discarded_copies += 1;
+            }
+        }
+    }
+
+    /// Non-blocking: next in-order block if already complete.
+    pub fn try_next_block(&mut self) -> Option<Block> {
+        self.poll();
+        self.pop_ready()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlf_crypto::ecdsa::SigningKey;
+    use hlf_transport::PeerId;
+
+    fn orderer_keys(n: usize) -> (Vec<SigningKey>, Vec<VerifyingKey>) {
+        let sk: Vec<SigningKey> = (0..n)
+            .map(|i| SigningKey::from_seed(format!("fe-orderer-{i}").as_bytes()))
+            .collect();
+        let vk = sk.iter().map(|k| *k.verifying_key()).collect();
+        (sk, vk)
+    }
+
+    fn block(number: u64, prev: Hash256, tag: u8) -> Block {
+        Block::build(number, prev, vec![Bytes::from(vec![tag; 16])])
+    }
+
+    /// Builds a frontend plus raw replica endpoints to feed it by hand.
+    fn fixture(
+        policy: DeliveryPolicy,
+        n: usize,
+        f: usize,
+    ) -> (Frontend, Vec<hlf_transport::Endpoint>, Network) {
+        let network = Network::new();
+        let replicas: Vec<_> = (0..n as u32)
+            .map(|i| network.join(PeerId::replica(i)))
+            .collect();
+        let frontend = Frontend::connect(
+            &network,
+            FrontendConfig {
+                id: ClientId(50),
+                n,
+                f,
+                policy,
+            },
+        );
+        // Drain the Subscribe messages.
+        for r in &replicas {
+            let _ = r.recv_timeout(Duration::from_millis(100));
+        }
+        (frontend, replicas, network)
+    }
+
+    fn push_block(replica: &hlf_transport::Endpoint, block: &Block) {
+        let payload = Bytes::from(hlf_wire::to_bytes(block));
+        let msg = hlf_smr::wire::SmrMsg::Reply { seq: 0, payload };
+        replica
+            .send(PeerId::client(50), Bytes::from(hlf_wire::to_bytes(&msg)))
+            .unwrap();
+    }
+
+    #[test]
+    fn delivers_after_2f_plus_1_matching_copies() {
+        let (mut frontend, replicas, _n) = fixture(DeliveryPolicy::MatchOnly, 4, 1);
+        let (sk, _) = orderer_keys(4);
+        let base = block(1, Hash256::ZERO, 1);
+        // Each replica signs its own copy.
+        for (i, replica) in replicas.iter().enumerate().take(2) {
+            let mut copy = base.clone();
+            copy.sign(i as u32, &sk[i]);
+            push_block(replica, &copy);
+        }
+        // Two copies are not enough.
+        assert!(frontend.next_block(Duration::from_millis(100)).is_none());
+        let mut copy = base.clone();
+        copy.sign(2, &sk[2]);
+        push_block(&replicas[2], &copy);
+        let delivered = frontend.next_block(Duration::from_secs(2)).unwrap();
+        assert_eq!(delivered.header.number, 1);
+        // The merged block accumulated all three signatures, giving
+        // peers their f+1 valid ones.
+        assert_eq!(delivered.signatures.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_copies_from_one_node_count_once() {
+        let (mut frontend, replicas, _n) = fixture(DeliveryPolicy::MatchOnly, 4, 1);
+        let (sk, _) = orderer_keys(4);
+        let mut copy = block(1, Hash256::ZERO, 1);
+        copy.sign(0, &sk[0]);
+        for _ in 0..5 {
+            push_block(&replicas[0], &copy);
+        }
+        assert!(frontend.next_block(Duration::from_millis(150)).is_none());
+    }
+
+    #[test]
+    fn equivocating_minority_cannot_deliver() {
+        // A Byzantine node pushes a different block for number 1; the
+        // honest majority's block wins and the rogue one evaporates.
+        let (mut frontend, replicas, _n) = fixture(DeliveryPolicy::MatchOnly, 4, 1);
+        let (sk, _) = orderer_keys(4);
+        let honest = block(1, Hash256::ZERO, 1);
+        let rogue = block(1, Hash256::ZERO, 99);
+        let mut rogue_copy = rogue.clone();
+        rogue_copy.sign(3, &sk[3]);
+        push_block(&replicas[3], &rogue_copy);
+        for i in 0..3 {
+            let mut copy = honest.clone();
+            copy.sign(i as u32, &sk[i]);
+            push_block(&replicas[i], &copy);
+        }
+        let delivered = frontend.next_block(Duration::from_secs(2)).unwrap();
+        assert_eq!(delivered.header.data_hash, honest.header.data_hash);
+    }
+
+    #[test]
+    fn in_order_delivery_holds_back_gaps() {
+        let (mut frontend, replicas, _n) = fixture(DeliveryPolicy::MatchOnly, 4, 1);
+        let (sk, _) = orderer_keys(4);
+        let b1 = block(1, Hash256::ZERO, 1);
+        let b2 = block(2, b1.header.hash(), 2);
+        // Block 2 completes first.
+        for i in 0..3 {
+            let mut copy = b2.clone();
+            copy.sign(i as u32, &sk[i]);
+            push_block(&replicas[i], &copy);
+        }
+        assert!(frontend.next_block(Duration::from_millis(100)).is_none());
+        for i in 0..3 {
+            let mut copy = b1.clone();
+            copy.sign(i as u32, &sk[i]);
+            push_block(&replicas[i], &copy);
+        }
+        let first = frontend.next_block(Duration::from_secs(2)).unwrap();
+        assert_eq!(first.header.number, 1);
+        let second = frontend.next_block(Duration::from_secs(2)).unwrap();
+        assert_eq!(second.header.number, 2);
+        assert_eq!(frontend.stats().delivered_blocks, 2);
+    }
+
+    #[test]
+    fn verification_mode_needs_only_f_plus_1() {
+        let (sk, vk) = orderer_keys(4);
+        let (mut frontend, replicas, _n) =
+            fixture(DeliveryPolicy::Verify { orderer_keys: vk }, 4, 1);
+        let base = block(1, Hash256::ZERO, 1);
+        for i in 0..2 {
+            let mut copy = base.clone();
+            copy.sign(i as u32, &sk[i]);
+            push_block(&replicas[i], &copy);
+        }
+        let delivered = frontend.next_block(Duration::from_secs(2)).unwrap();
+        assert_eq!(delivered.header.number, 1);
+        assert_eq!(delivered.signatures.len(), 2);
+    }
+
+    #[test]
+    fn verification_mode_rejects_unsigned_copies() {
+        let (sk, vk) = orderer_keys(4);
+        let (mut frontend, replicas, _n) =
+            fixture(DeliveryPolicy::Verify { orderer_keys: vk }, 4, 1);
+        let base = block(1, Hash256::ZERO, 1);
+        // Unsigned copy and a copy signed with the wrong node id are
+        // both discarded.
+        push_block(&replicas[0], &base);
+        let mut wrong = base.clone();
+        wrong.sign(1, &sk[2]);
+        push_block(&replicas[1], &wrong);
+        assert!(frontend.next_block(Duration::from_millis(150)).is_none());
+        assert_eq!(frontend.stats().discarded_copies, 2);
+    }
+}

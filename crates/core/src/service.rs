@@ -1,0 +1,240 @@
+//! One-call assembly of the complete BFT ordering service: ordering
+//! cluster + frontends, ready for use by a Fabric-style network.
+
+use crate::frontend::{Frontend, FrontendConfig};
+use crate::node::{OrderingNodeApp, OrderingNodeConfig};
+use bytes::Bytes;
+use hlf_crypto::ecdsa::VerifyingKey;
+use hlf_smr::runtime::{ClusterKeys, ClusterRuntime, RuntimeOptions};
+use hlf_smr::storage::MemoryLog;
+use hlf_transport::Network;
+use hlf_wire::ClientId;
+use std::time::Duration;
+
+/// Service-level options.
+#[derive(Clone, Debug)]
+pub struct ServiceOptions {
+    /// Fault threshold; the cluster has `3f + 1` nodes (or more with
+    /// WHEAT spares).
+    pub f: usize,
+    /// Envelopes per block.
+    pub block_size: usize,
+    /// Signer threads per node.
+    pub signing_threads: usize,
+    /// WHEAT: weighted quorums + tentative execution.
+    pub wheat: bool,
+    /// Consensus batch cap.
+    pub batch_max: usize,
+    /// Request timeout before leader-change escalation.
+    pub request_timeout_ms: u64,
+    /// Frontends verify orderer signatures (then `f + 1` copies
+    /// suffice; paper footnote 8).
+    pub frontend_verification: bool,
+    /// Sign each block twice (paper footnote 10, halving `TP_sign`).
+    pub double_sign: bool,
+    /// Flush partial blocks at batch boundaries (deterministic
+    /// `BatchTimeout` stand-in).
+    pub flush_on_batch_end: bool,
+}
+
+impl ServiceOptions {
+    /// Paper-default options for fault threshold `f`.
+    pub fn new(f: usize) -> ServiceOptions {
+        ServiceOptions {
+            f,
+            block_size: 10,
+            signing_threads: 4,
+            wheat: false,
+            batch_max: 400,
+            request_timeout_ms: 2_000,
+            frontend_verification: false,
+            double_sign: false,
+            flush_on_batch_end: false,
+        }
+    }
+
+    /// Sets envelopes per block.
+    pub fn with_block_size(mut self, block_size: usize) -> ServiceOptions {
+        self.block_size = block_size;
+        self
+    }
+
+    /// Sets signer thread count per node.
+    pub fn with_signing_threads(mut self, threads: usize) -> ServiceOptions {
+        self.signing_threads = threads;
+        self
+    }
+
+    /// Enables WHEAT (weighted quorums + tentative execution). The
+    /// cluster must then be created with `3f + 1 + f·k` nodes.
+    pub fn with_wheat(mut self, wheat: bool) -> ServiceOptions {
+        self.wheat = wheat;
+        self
+    }
+
+    /// Enables frontend signature verification.
+    pub fn with_frontend_verification(mut self, on: bool) -> ServiceOptions {
+        self.frontend_verification = on;
+        self
+    }
+
+    /// Sets the request timeout.
+    pub fn with_request_timeout_ms(mut self, ms: u64) -> ServiceOptions {
+        self.request_timeout_ms = ms;
+        self
+    }
+
+    /// Enables the second block signature (paper footnote 10).
+    pub fn with_double_sign(mut self, enabled: bool) -> ServiceOptions {
+        self.double_sign = enabled;
+        self
+    }
+
+    /// Enables deterministic partial-block flushing at batch boundaries.
+    pub fn with_flush_on_batch_end(mut self, enabled: bool) -> ServiceOptions {
+        self.flush_on_batch_end = enabled;
+        self
+    }
+}
+
+/// A running BFT ordering service.
+pub struct OrderingService {
+    runtime: ClusterRuntime,
+    options: ServiceOptions,
+    n: usize,
+    orderer_keys: Vec<VerifyingKey>,
+    next_frontend: u32,
+}
+
+impl std::fmt::Debug for OrderingService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OrderingService")
+            .field("n", &self.n)
+            .field("f", &self.options.f)
+            .field("block_size", &self.options.block_size)
+            .finish()
+    }
+}
+
+impl OrderingService {
+    /// Boots an ordering cluster of `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid `(n, f)` or WHEAT-spare combinations.
+    pub fn start(n: usize, options: ServiceOptions) -> OrderingService {
+        let mut runtime_options = RuntimeOptions::classic(options.f)
+            .with_batch_max(options.batch_max)
+            .with_request_timeout_ms(options.request_timeout_ms);
+        runtime_options.wheat_weights = options.wheat;
+        runtime_options.tentative_execution = options.wheat;
+
+        // The runtime derives its consensus keys deterministically; the
+        // ordering apps reuse the same keys for block signatures (the
+        // two signature uses are domain-separated).
+        let keys = ClusterKeys::derive("runtime", n);
+        let orderer_keys = keys.verifying.clone();
+        let app_options = options.clone();
+        let runtime = ClusterRuntime::start_custom(
+            n,
+            runtime_options,
+            move |i, push| {
+                let config =
+                    OrderingNodeConfig::new(i as u32, keys.signing[i].clone())
+                        .with_block_size(app_options.block_size)
+                        .with_signing_threads(app_options.signing_threads)
+                        .with_double_sign(app_options.double_sign)
+                        .with_flush_on_batch_end(app_options.flush_on_batch_end);
+                Box::new(OrderingNodeApp::new(config, push))
+            },
+            |_| Box::new(MemoryLog::new()),
+        );
+        OrderingService {
+            runtime,
+            options,
+            n,
+            orderer_keys,
+            next_frontend: 1000,
+        }
+    }
+
+    /// Number of ordering nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The service options in effect.
+    pub fn options(&self) -> &ServiceOptions {
+        &self.options
+    }
+
+    /// Public keys whose signatures appear on blocks (for committing
+    /// peers' validation).
+    pub fn orderer_keys(&self) -> &[VerifyingKey] {
+        &self.orderer_keys
+    }
+
+    /// The underlying transport (fault injection in tests).
+    pub fn network(&self) -> &Network {
+        self.runtime.network()
+    }
+
+    /// The underlying SMR runtime (crash/restart in tests).
+    pub fn runtime_mut(&mut self) -> &mut ClusterRuntime {
+        &mut self.runtime
+    }
+
+    /// Per-node SMR statistics.
+    pub fn node_stats(&self, i: usize) -> &hlf_smr::node::NodeStats {
+        self.runtime.stats(i)
+    }
+
+    /// A sampling closure over node `i`'s executed-request counter
+    /// (used by benchmark flow control and throughput probes).
+    pub fn executed_probe(&self, i: usize) -> impl Fn() -> u64 + Send + 'static {
+        let stats = self.runtime.stats_arc(i);
+        move || stats.executed_requests()
+    }
+
+    /// Connects a new frontend.
+    pub fn frontend(&mut self) -> Frontend {
+        self.next_frontend += 1;
+        let mut config = FrontendConfig::new(ClientId(self.next_frontend), self.n, self.options.f);
+        if self.options.frontend_verification {
+            config = config.with_verification(self.orderer_keys.clone());
+        }
+        Frontend::connect(self.runtime.network(), config)
+    }
+
+    /// Convenience: submit `envelopes` through a frontend and wait for
+    /// them all to come back in blocks. Returns the delivered blocks.
+    pub fn order_all(
+        frontend: &mut Frontend,
+        envelopes: Vec<Bytes>,
+        timeout: Duration,
+    ) -> Vec<hlf_fabric::block::Block> {
+        let total = envelopes.len();
+        for envelope in envelopes {
+            frontend.submit(envelope);
+        }
+        let mut blocks = Vec::new();
+        let mut received = 0usize;
+        let deadline = std::time::Instant::now() + timeout;
+        while received < total {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break;
+            }
+            if let Some(block) = frontend.next_block(deadline - now) {
+                received += block.envelopes.len();
+                blocks.push(block);
+            }
+        }
+        blocks
+    }
+
+    /// Stops all ordering nodes.
+    pub fn shutdown(self) {
+        self.runtime.shutdown();
+    }
+}

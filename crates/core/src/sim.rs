@@ -1,0 +1,583 @@
+//! Geo-distributed ordering-service simulation (paper §6.3).
+//!
+//! The paper's WAN experiments place ordering nodes in Oregon, Ireland,
+//! Sydney and São Paulo (plus Virginia as WHEAT's spare) and frontends
+//! in Canada, Oregon, Virginia and São Paulo, then measure end-to-end
+//! envelope latency: submission at a frontend until the frontend has
+//! collected enough matching copies of the block containing it.
+//!
+//! We do not have EC2; we have the *identical protocol code* (the
+//! sans-io [`hlf_consensus::Replica`]) driven by the deterministic
+//! [`hlf_simnet`] simulator with a measured inter-region RTT matrix.
+//! Propagation dominates WAN latency, so the *shape* of Figs. 8 and 9 —
+//! WHEAT beating BFT-SMaRt by roughly half, Vmax-co-located frontends
+//! beating Vmin ones, block size 100 adding fill delay — is reproduced
+//! faithfully; absolute numbers track the RTT matrix.
+
+use bytes::Bytes;
+use hlf_consensus::messages::{Batch, ConsensusMsg, Request};
+use hlf_consensus::quorum::QuorumSystem;
+use hlf_consensus::replica::{Action, Config as ConsensusConfig, Replica};
+use hlf_crypto::ecdsa::{SigningKey, VerifyingKey};
+use hlf_crypto::sha256::Hash256;
+use hlf_fabric::block::Block;
+use hlf_simnet::regions::{Region, RegionMatrix};
+use hlf_simnet::{percentile, Actor, Ctx, LatencyModel, SimMessage, SimTime, Simulation};
+use hlf_wire::{ClientId, NodeId};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::blockcutter::BlockCutter;
+
+/// Which protocol variant to simulate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    /// Classic BFT-SMaRt: 4 replicas, cardinality quorums, final
+    /// delivery after ACCEPT.
+    BftSmart,
+    /// WHEAT: 5 replicas (Virginia spare), binary weights, tentative
+    /// delivery after WRITE.
+    Wheat,
+}
+
+/// Messages crossing the simulated WAN.
+#[derive(Clone, Debug)]
+pub enum GeoMsg {
+    /// Replica-to-replica consensus traffic.
+    Consensus(ConsensusMsg),
+    /// Frontend-to-replica envelope submission.
+    Envelope(Request),
+    /// Replica-to-frontend signed block copy.
+    Block(Block),
+}
+
+impl SimMessage for GeoMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            GeoMsg::Consensus(msg) => msg.wire_size(),
+            GeoMsg::Envelope(request) => request.wire_size() + 16,
+            GeoMsg::Block(block) => block.wire_size(),
+        }
+    }
+}
+
+const TICK_TOKEN: u64 = 0;
+const SUBMIT_TOKEN: u64 = 1;
+/// Signing-job tokens start here.
+const SIGN_TOKEN_BASE: u64 = 1000;
+
+/// An ordering node inside the simulator: consensus replica +
+/// blockcutter + modeled signing delay.
+struct ReplicaActor {
+    replica: Replica,
+    n: usize,
+    frontends: Vec<usize>,
+    cutter: BlockCutter,
+    next_number: u64,
+    prev_hash: Hash256,
+    /// Undo for tentative executions: cid -> (number, hash, pending).
+    undo: Vec<(u64, u64, Hash256, Vec<Bytes>)>,
+    tentative_mode: bool,
+    tentative_done: HashSet<u64>,
+    sign_delay: SimTime,
+    next_sign_token: u64,
+    signing: HashMap<u64, Block>,
+    tick_every: SimTime,
+}
+
+impl ReplicaActor {
+    fn apply(&mut self, actions: Vec<Action>, ctx: &mut Ctx<'_, GeoMsg>) {
+        for action in actions {
+            match action {
+                Action::Broadcast(msg) => {
+                    for node in 0..self.n {
+                        if node != ctx.self_id() {
+                            ctx.send(node, GeoMsg::Consensus(msg.clone()));
+                        }
+                    }
+                }
+                Action::Send(to, msg) => ctx.send(to.as_usize(), GeoMsg::Consensus(msg)),
+                Action::DeliverTentative { cid, batch } => {
+                    if self.tentative_mode && self.tentative_done.insert(cid) {
+                        self.undo.push((
+                            cid,
+                            self.next_number,
+                            self.prev_hash,
+                            self.cutter.snapshot_envelopes(),
+                        ));
+                        self.execute(&batch, ctx);
+                    }
+                }
+                Action::Rollback { cid } => {
+                    if let Some(pos) = self.undo.iter().position(|(c, ..)| *c == cid) {
+                        let (_, number, hash, pending) = self.undo.remove(pos);
+                        self.next_number = number;
+                        self.prev_hash = hash;
+                        self.cutter.restore_envelopes(pending);
+                        self.tentative_done.remove(&cid);
+                    }
+                }
+                Action::Commit { cid, batch, .. } => {
+                    self.undo.retain(|(c, ..)| *c != cid);
+                    if !self.tentative_mode || !self.tentative_done.remove(&cid) {
+                        self.execute(&batch, ctx);
+                    }
+                }
+                Action::Behind { .. } => {
+                    // No replica lags in these latency runs.
+                }
+            }
+        }
+    }
+
+    fn execute(&mut self, batch: &Batch, ctx: &mut Ctx<'_, GeoMsg>) {
+        for request in &batch.requests {
+            if let Some(envelopes) = self.cutter.push(request.payload.clone()) {
+                let block = Block::build(self.next_number, self.prev_hash, envelopes);
+                self.prev_hash = block.header.hash();
+                self.next_number += 1;
+                // Model the ECDSA signing delay, then transmit.
+                let token = self.next_sign_token;
+                self.next_sign_token += 1;
+                self.signing.insert(token, block);
+                ctx.set_timer(self.sign_delay, token);
+            }
+        }
+    }
+}
+
+impl Actor<GeoMsg> for ReplicaActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, GeoMsg>) {
+        ctx.set_timer(self.tick_every, TICK_TOKEN);
+    }
+
+    fn on_message(&mut self, from: usize, msg: GeoMsg, ctx: &mut Ctx<'_, GeoMsg>) {
+        let now_ms = ctx.now().as_millis();
+        match msg {
+            GeoMsg::Consensus(msg) => {
+                let actions = self.replica.on_message(now_ms, NodeId(from as u32), msg);
+                self.apply(actions, ctx);
+            }
+            GeoMsg::Envelope(request) => {
+                let actions = self.replica.on_request(now_ms, request);
+                self.apply(actions, ctx);
+            }
+            GeoMsg::Block(_) => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, GeoMsg>) {
+        if token == TICK_TOKEN {
+            let now_ms = ctx.now().as_millis();
+            let actions = self.replica.on_tick(now_ms);
+            self.apply(actions, ctx);
+            ctx.set_timer(self.tick_every, TICK_TOKEN);
+        } else if let Some(block) = self.signing.remove(&token) {
+            for &frontend in &self.frontends.clone() {
+                ctx.send(frontend, GeoMsg::Block(block.clone()));
+            }
+        }
+    }
+}
+
+/// A frontend inside the simulator: open-loop workload generator plus
+/// matching-block collector and latency probe.
+struct FrontendActor {
+    client: ClientId,
+    replicas: Vec<usize>,
+    envelope_size: usize,
+    /// Mean inter-submission gap.
+    submit_every: SimTime,
+    /// Matching copies needed to accept a block.
+    threshold: usize,
+    next_seq: u64,
+    submit_times: HashMap<u64, SimTime>,
+    /// number -> header hash -> sender set
+    collecting: BTreeMap<u64, HashMap<Hash256, (Block, HashSet<usize>)>>,
+    accepted: HashSet<u64>,
+    /// Samples only count after the warm-up boundary.
+    warmup: SimTime,
+    stop_at: SimTime,
+    delivered_envelopes: u64,
+}
+
+impl FrontendActor {
+    fn submit(&mut self, ctx: &mut Ctx<'_, GeoMsg>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        // Envelope payload: frontend client id + seq + padding to size.
+        let mut payload = Vec::with_capacity(self.envelope_size.max(12));
+        payload.extend_from_slice(&self.client.0.to_le_bytes());
+        payload.extend_from_slice(&seq.to_le_bytes());
+        payload.resize(self.envelope_size.max(12), 0xee);
+        let request = Request::new(self.client, seq, payload);
+        self.submit_times.insert(seq, ctx.now());
+        for &replica in &self.replicas {
+            ctx.send(replica, GeoMsg::Envelope(request.clone()));
+        }
+    }
+
+    fn on_block_copy(&mut self, from: usize, block: Block, ctx: &mut Ctx<'_, GeoMsg>) {
+        let number = block.header.number;
+        if self.accepted.contains(&number) {
+            return;
+        }
+        let hash = block.header.hash();
+        let entry = self.collecting.entry(number).or_default();
+        let (stored, senders) = match entry.get_mut(&hash) {
+            Some((stored, senders)) => (stored, senders),
+            None => {
+                entry.insert(hash, (block, HashSet::new()));
+                let (stored, senders) = entry.get_mut(&hash).expect("just inserted");
+                (stored, senders)
+            }
+        };
+        if !senders.insert(from) || senders.len() < self.threshold {
+            return;
+        }
+        // Block accepted: sample the latency of our own envelopes.
+        let envelopes: Vec<Bytes> = stored.envelopes.clone();
+        self.accepted.insert(number);
+        self.collecting.remove(&number);
+        let now = ctx.now();
+        for envelope in envelopes {
+            if envelope.len() < 12 {
+                continue;
+            }
+            let client = u32::from_le_bytes(envelope[0..4].try_into().expect("4 bytes"));
+            if client != self.client.0 {
+                continue;
+            }
+            let seq = u64::from_le_bytes(envelope[4..12].try_into().expect("8 bytes"));
+            if let Some(submitted) = self.submit_times.remove(&seq) {
+                self.delivered_envelopes += 1;
+                if now >= self.warmup {
+                    ctx.sample("latency_ms", (now - submitted).as_millis_f64());
+                }
+            }
+        }
+    }
+}
+
+impl Actor<GeoMsg> for FrontendActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, GeoMsg>) {
+        self.submit(ctx);
+        ctx.set_timer(self.submit_every, SUBMIT_TOKEN);
+    }
+
+    fn on_message(&mut self, from: usize, msg: GeoMsg, ctx: &mut Ctx<'_, GeoMsg>) {
+        if let GeoMsg::Block(block) = msg {
+            self.on_block_copy(from, block, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, GeoMsg>) {
+        if token == SUBMIT_TOKEN && ctx.now() < self.stop_at {
+            self.submit(ctx);
+            ctx.set_timer(self.submit_every, SUBMIT_TOKEN);
+        }
+    }
+}
+
+/// Configuration of one geo-distributed run.
+#[derive(Clone, Debug)]
+pub struct GeoConfig {
+    /// Protocol variant.
+    pub protocol: Protocol,
+    /// Envelope size in bytes (paper: 40, 200, 1024, 4096).
+    pub envelope_size: usize,
+    /// Envelopes per block (paper: 10 and 100).
+    pub block_size: usize,
+    /// Per-frontend submission rate (envelopes/second). The paper keeps
+    /// cluster throughput above 1000 tx/s with 4 frontends.
+    pub rate_per_frontend: f64,
+    /// Simulated run length.
+    pub duration: SimTime,
+    /// Samples before this instant are discarded as warm-up.
+    pub warmup: SimTime,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Ablation override: force weighted voting on/off independently of
+    /// the protocol preset (requires the WHEAT 5-node placement).
+    pub weights_override: Option<bool>,
+    /// Ablation override: force tentative execution on/off.
+    pub tentative_override: Option<bool>,
+}
+
+impl GeoConfig {
+    /// Paper-like defaults: 1 KiB envelopes, blocks of 10, 275
+    /// envelopes/s per frontend (1100 tx/s aggregate), 60 s runs.
+    pub fn new(protocol: Protocol) -> GeoConfig {
+        GeoConfig {
+            protocol,
+            envelope_size: 1024,
+            block_size: 10,
+            rate_per_frontend: 275.0,
+            duration: SimTime::from_secs(60),
+            warmup: SimTime::from_secs(5),
+            seed: 1,
+            weights_override: None,
+            tentative_override: None,
+        }
+    }
+}
+
+/// Latency summary for one frontend.
+#[derive(Clone, Debug)]
+pub struct FrontendLatency {
+    /// Frontend placement.
+    pub region: Region,
+    /// Median end-to-end latency (ms).
+    pub median_ms: f64,
+    /// 90th percentile latency (ms).
+    pub p90_ms: f64,
+    /// Samples collected after warm-up.
+    pub samples: usize,
+}
+
+/// Result of a geo-distributed run.
+#[derive(Clone, Debug)]
+pub struct GeoResult {
+    /// Per-frontend latency summaries, in [`frontend_regions`] order.
+    pub frontends: Vec<FrontendLatency>,
+    /// Aggregate delivered envelopes per simulated second.
+    pub throughput: f64,
+}
+
+/// Replica placement for a protocol (paper §6.3).
+pub fn replica_regions(protocol: Protocol) -> Vec<Region> {
+    match protocol {
+        Protocol::BftSmart => vec![
+            Region::Oregon,
+            Region::Ireland,
+            Region::Sydney,
+            Region::SaoPaulo,
+        ],
+        // Node ids 0 and 1 carry Vmax under the binary weighting, so
+        // Oregon (leader) and Virginia come first — exactly the paper's
+        // weighting.
+        Protocol::Wheat => vec![
+            Region::Oregon,
+            Region::Virginia,
+            Region::Ireland,
+            Region::Sydney,
+            Region::SaoPaulo,
+        ],
+    }
+}
+
+/// Frontend placement (paper §6.3): Canada, Oregon, Virginia, São Paulo.
+pub fn frontend_regions() -> Vec<Region> {
+    vec![
+        Region::Canada,
+        Region::Oregon,
+        Region::Virginia,
+        Region::SaoPaulo,
+    ]
+}
+
+/// Runs one geo-distributed latency experiment.
+///
+/// # Panics
+///
+/// Panics on nonsensical configurations (zero rate, zero duration).
+pub fn run_geo_experiment(config: &GeoConfig) -> GeoResult {
+    assert!(config.rate_per_frontend > 0.0, "rate must be positive");
+    assert!(config.duration > SimTime::ZERO, "duration must be positive");
+
+    let replicas = replica_regions(config.protocol);
+    let frontends = frontend_regions();
+    let n = replicas.len();
+    let f = 1usize;
+
+    let (default_weights, default_tentative) = match config.protocol {
+        Protocol::BftSmart => (false, false),
+        Protocol::Wheat => (true, true),
+    };
+    let weighted = config.weights_override.unwrap_or(default_weights);
+    let tentative = config.tentative_override.unwrap_or(default_tentative);
+    let quorums = if weighted {
+        QuorumSystem::wheat_binary(n, f).expect("valid weighted configuration")
+    } else {
+        QuorumSystem::classic(n, f).expect("valid classic configuration")
+    };
+    // Frontend copy threshold: 2f+1 for final deliveries; under
+    // tentative execution clients wait for ⌈(n+f+1)/2⌉ copies
+    // (paper §4).
+    let threshold = if tentative {
+        (n + f + 1).div_ceil(2)
+    } else {
+        2 * f + 1
+    };
+
+    let signing: Vec<SigningKey> = (0..n)
+        .map(|i| SigningKey::from_seed(format!("geo-{i}").as_bytes()))
+        .collect();
+    let verifying: Vec<VerifyingKey> = signing.iter().map(|k| *k.verifying_key()).collect();
+
+    // Latency model: one-way region delays + 1 Gbit/s per-link
+    // bandwidth + 2 ms jitter. EC2 inter-region links do not bind at
+    // this workload's few MB/s — the paper observes at most 29 ms of
+    // envelope-size impact, which only holds when transmission time of
+    // a full consensus batch stays in the low tens of milliseconds.
+    let mut placement: Vec<Region> = replicas.clone();
+    placement.extend(frontends.iter().copied());
+    let matrix = RegionMatrix::aws();
+    let model = LatencyModel::from_fn(matrix.delay_fn(placement))
+        .with_bandwidth_bps(125_000_000)
+        .with_jitter(SimTime::from_millis(2));
+
+    let mut sim: Simulation<GeoMsg> = Simulation::new(model, config.seed);
+    let frontend_indices: Vec<usize> = (n..n + frontends.len()).collect();
+    #[allow(clippy::needless_range_loop)] // i is both key index and node id
+    for i in 0..n {
+        let consensus = ConsensusConfig::new(
+            NodeId(i as u32),
+            quorums.clone(),
+            verifying.clone(),
+            signing[i].clone(),
+        )
+        .with_tentative_execution(tentative)
+        .with_request_timeout_ms(10_000);
+        sim.add_actor(Box::new(ReplicaActor {
+            replica: Replica::new(consensus),
+            n,
+            frontends: frontend_indices.clone(),
+            cutter: BlockCutter::new(config.block_size, 64 * 1024 * 1024),
+            next_number: 1,
+            prev_hash: Hash256::ZERO,
+            undo: Vec::new(),
+            tentative_mode: tentative,
+            tentative_done: HashSet::new(),
+            sign_delay: SimTime::from_micros(500),
+            next_sign_token: SIGN_TOKEN_BASE,
+            signing: HashMap::new(),
+            tick_every: SimTime::from_millis(500),
+        }));
+    }
+    let gap = SimTime::from_micros((1_000_000.0 / config.rate_per_frontend) as u64);
+    for slot in 0..frontends.len() {
+        sim.add_actor(Box::new(FrontendActor {
+            client: ClientId(100 + slot as u32),
+            replicas: (0..n).collect(),
+            envelope_size: config.envelope_size,
+            submit_every: gap,
+            threshold,
+            next_seq: 1,
+            submit_times: HashMap::new(),
+            collecting: BTreeMap::new(),
+            accepted: HashSet::new(),
+            warmup: config.warmup,
+            stop_at: config.duration,
+            delivered_envelopes: 0,
+        }));
+    }
+
+    sim.run_until(config.duration.saturating_add(SimTime::from_secs(10)));
+
+    // Summarize per frontend.
+    let samples = sim.samples();
+    let mut per_frontend = Vec::new();
+    let mut total_delivered = 0usize;
+    for (slot, &region) in frontends.iter().enumerate() {
+        let actor_index = n + slot;
+        let latencies: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.node == actor_index && s.name == "latency_ms")
+            .map(|s| s.value)
+            .collect();
+        total_delivered += latencies.len();
+        per_frontend.push(FrontendLatency {
+            region,
+            median_ms: percentile(&latencies, 50.0).unwrap_or(f64::NAN),
+            p90_ms: percentile(&latencies, 90.0).unwrap_or(f64::NAN),
+            samples: latencies.len(),
+        });
+    }
+    let measured_window = config.duration.saturating_sub(config.warmup);
+    let throughput = total_delivered as f64 / (measured_window.as_micros() as f64 / 1e6);
+
+    GeoResult {
+        frontends: per_frontend,
+        throughput,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(protocol: Protocol) -> GeoConfig {
+        let mut config = GeoConfig::new(protocol);
+        config.duration = SimTime::from_secs(12);
+        config.warmup = SimTime::from_secs(2);
+        config.rate_per_frontend = 100.0;
+        config
+    }
+
+    #[test]
+    fn bftsmart_latencies_are_plausible() {
+        let result = run_geo_experiment(&quick_config(Protocol::BftSmart));
+        for fl in &result.frontends {
+            assert!(fl.samples > 100, "{}: {} samples", fl.region, fl.samples);
+            // WAN consensus over these regions cannot be faster than
+            // ~100 ms or slower than ~2 s.
+            assert!(
+                fl.median_ms > 100.0 && fl.median_ms < 2_000.0,
+                "{}: median {}",
+                fl.region,
+                fl.median_ms
+            );
+            assert!(fl.p90_ms >= fl.median_ms);
+        }
+        assert!(result.throughput > 200.0, "throughput {}", result.throughput);
+    }
+
+    #[test]
+    fn wheat_beats_bftsmart_everywhere() {
+        let bft = run_geo_experiment(&quick_config(Protocol::BftSmart));
+        let wheat = run_geo_experiment(&quick_config(Protocol::Wheat));
+        for (b, w) in bft.frontends.iter().zip(&wheat.frontends) {
+            assert!(
+                w.median_ms < b.median_ms,
+                "{}: wheat {} vs bft {}",
+                b.region,
+                w.median_ms,
+                b.median_ms
+            );
+        }
+    }
+
+    #[test]
+    fn larger_blocks_increase_latency() {
+        let small = run_geo_experiment(&quick_config(Protocol::BftSmart));
+        let mut big_config = quick_config(Protocol::BftSmart);
+        big_config.block_size = 100;
+        let big = run_geo_experiment(&big_config);
+        // Median latency with 100-envelope blocks must exceed the
+        // 10-envelope configuration (fill delay), as in paper Fig. 9.
+        let avg = |r: &GeoResult| {
+            r.frontends.iter().map(|f| f.median_ms).sum::<f64>() / r.frontends.len() as f64
+        };
+        assert!(avg(&big) > avg(&small));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let a = run_geo_experiment(&quick_config(Protocol::BftSmart));
+        let b = run_geo_experiment(&quick_config(Protocol::BftSmart));
+        for (x, y) in a.frontends.iter().zip(&b.frontends) {
+            assert_eq!(x.median_ms, y.median_ms);
+            assert_eq!(x.samples, y.samples);
+        }
+    }
+
+    #[test]
+    fn placements_match_paper() {
+        assert_eq!(replica_regions(Protocol::BftSmart).len(), 4);
+        let wheat = replica_regions(Protocol::Wheat);
+        assert_eq!(wheat.len(), 5);
+        assert_eq!(wheat[0], Region::Oregon);
+        assert_eq!(wheat[1], Region::Virginia);
+        assert_eq!(frontend_regions().len(), 4);
+    }
+}

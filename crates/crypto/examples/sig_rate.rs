@@ -1,0 +1,23 @@
+use hlf_crypto::ecdsa::SigningKey;
+use hlf_crypto::sha256::sha256;
+use std::time::Instant;
+
+fn main() {
+    let key = SigningKey::from_seed(b"bench");
+    let digest = sha256(b"header");
+    let start = Instant::now();
+    let iters = 2000;
+    for i in 0..iters {
+        let d = sha256(&[digest.as_bytes().as_slice(), &[i as u8]].concat());
+        std::hint::black_box(key.sign_digest(&d));
+    }
+    let dt = start.elapsed();
+    println!("{:.0} signatures/sec (single thread)", iters as f64 / dt.as_secs_f64());
+    let sig = key.sign_digest(&digest);
+    let start = Instant::now();
+    for _ in 0..500 {
+        key.verifying_key().verify_digest(&digest, &sig).unwrap();
+        std::hint::black_box(());
+    }
+    println!("{:.0} verifications/sec", 500.0 / start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,436 @@
+//! RFC 6979 deterministic ECDSA over NIST P-256 with SHA-256.
+//!
+//! This mirrors what the Hyperledger Fabric SDK provides to the ordering
+//! nodes in the paper: block headers are hashed with SHA-256 and signed
+//! with ECDSA P-256. Determinism (RFC 6979) removes the need for a secure
+//! RNG and makes every experiment reproducible.
+
+use crate::bignum::U256;
+use crate::hmac::hmac_sha256_multi;
+use crate::p256::{order, scalar_field, Point};
+use crate::sha256::{sha256, Hash256};
+use std::error::Error;
+use std::fmt;
+
+/// An ECDSA signature: the pair `(r, s)` as canonical scalars.
+///
+/// # Examples
+///
+/// ```
+/// use hlf_crypto::ecdsa::{Signature, SigningKey};
+/// use hlf_crypto::sha256::sha256;
+///
+/// let key = SigningKey::from_seed(b"node");
+/// let sig = key.sign_digest(&sha256(b"payload"));
+/// let bytes = sig.to_bytes();
+/// assert_eq!(Signature::from_bytes(&bytes).unwrap(), sig);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature {
+    r: U256,
+    s: U256,
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Signature(r=0x{}.., s=0x{}..)",
+            &self.r.to_hex()[..16],
+            &self.s.to_hex()[..16]
+        )
+    }
+}
+
+impl Signature {
+    /// Builds a signature from scalar components.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if either component is zero or not below the group
+    /// order.
+    pub fn from_scalars(r: U256, s: U256) -> Option<Signature> {
+        let n = order();
+        if r.is_zero() || s.is_zero() || &r >= n || &s >= n {
+            return None;
+        }
+        Some(Signature { r, s })
+    }
+
+    /// The `r` component.
+    pub fn r(&self) -> &U256 {
+        &self.r
+    }
+
+    /// The `s` component.
+    pub fn s(&self) -> &U256 {
+        &self.s
+    }
+
+    /// Serializes as 64 bytes: `r || s`, each big-endian.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.r.to_be_bytes());
+        out[32..].copy_from_slice(&self.s.to_be_bytes());
+        out
+    }
+
+    /// Parses the 64-byte `r || s` encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if the length is wrong or a component is out of
+    /// range.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Signature> {
+        if bytes.len() != 64 {
+            return None;
+        }
+        let r = U256::from_be_bytes(bytes[..32].try_into().ok()?);
+        let s = U256::from_be_bytes(bytes[32..].try_into().ok()?);
+        Signature::from_scalars(r, s)
+    }
+}
+
+/// Signature verification failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VerifyError;
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("signature verification failed")
+    }
+}
+
+impl Error for VerifyError {}
+
+/// A P-256 public key.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct VerifyingKey {
+    point: Point,
+}
+
+impl VerifyingKey {
+    /// Builds a verifying key from a curve point.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` for the identity point.
+    pub fn from_point(point: Point) -> Option<VerifyingKey> {
+        if point.is_identity() {
+            None
+        } else {
+            Some(VerifyingKey { point })
+        }
+    }
+
+    /// The public point.
+    pub fn point(&self) -> &Point {
+        &self.point
+    }
+
+    /// SEC1 uncompressed encoding (65 bytes).
+    pub fn to_sec1_bytes(&self) -> Vec<u8> {
+        self.point.to_sec1_bytes()
+    }
+
+    /// Parses an SEC1 uncompressed encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` for malformed or identity encodings.
+    pub fn from_sec1_bytes(bytes: &[u8]) -> Option<VerifyingKey> {
+        VerifyingKey::from_point(Point::from_sec1_bytes(bytes)?)
+    }
+
+    /// Verifies `signature` over a 32-byte message digest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError`] if the signature does not match.
+    pub fn verify_digest(&self, digest: &Hash256, signature: &Signature) -> Result<(), VerifyError> {
+        let sf = scalar_field();
+        let z = digest_to_scalar(digest);
+        let s_inv = sf.inv(&sf.to_monty(&signature.s));
+        let u1 = sf.from_monty(&sf.mul(&sf.to_monty(&z), &s_inv));
+        let u2 = sf.from_monty(&sf.mul(&sf.to_monty(&signature.r), &s_inv));
+        let point = Point::mul_base(&u1).add(&self.point.mul(&u2));
+        match point.to_affine() {
+            None => Err(VerifyError),
+            Some((x, _)) => {
+                if x.reduce_once(order()) == signature.r {
+                    Ok(())
+                } else {
+                    Err(VerifyError)
+                }
+            }
+        }
+    }
+
+    /// Hashes `message` with SHA-256 and verifies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError`] if the signature does not match.
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), VerifyError> {
+        self.verify_digest(&sha256(message), signature)
+    }
+}
+
+/// A P-256 private key with its cached public key.
+#[derive(Clone)]
+pub struct SigningKey {
+    d: U256,
+    public: VerifyingKey,
+}
+
+impl fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print the private scalar.
+        f.debug_struct("SigningKey")
+            .field("public", &self.public)
+            .finish()
+    }
+}
+
+impl SigningKey {
+    /// Builds a key from a private scalar.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if the scalar is zero or not below the group order.
+    pub fn from_scalar(d: U256) -> Option<SigningKey> {
+        if d.is_zero() || &d >= order() {
+            return None;
+        }
+        let point = Point::mul_base(&d);
+        let public = VerifyingKey::from_point(point)?;
+        Some(SigningKey { d, public })
+    }
+
+    /// Derives a key deterministically from an arbitrary seed.
+    ///
+    /// The seed is expanded with SHA-256 and rejection-sampled into a
+    /// valid scalar; distinct seeds give independent keys. Handy for
+    /// reproducible experiments ("ordering node 3", etc.).
+    pub fn from_seed(seed: &[u8]) -> SigningKey {
+        let mut material = sha256(seed);
+        loop {
+            let candidate = U256::from_be_bytes(material.as_bytes());
+            if let Some(key) = SigningKey::from_scalar(candidate.reduce_once(order())) {
+                return key;
+            }
+            material = sha256(material.as_bytes());
+        }
+    }
+
+    /// The private scalar, big-endian.
+    pub fn to_be_bytes(&self) -> [u8; 32] {
+        self.d.to_be_bytes()
+    }
+
+    /// The corresponding public key.
+    pub fn verifying_key(&self) -> &VerifyingKey {
+        &self.public
+    }
+
+    /// Signs a 32-byte message digest with an RFC 6979 deterministic nonce.
+    pub fn sign_digest(&self, digest: &Hash256) -> Signature {
+        let sf = scalar_field();
+        let n = order();
+        let z = digest_to_scalar(digest);
+        let mut nonce_gen = Rfc6979::new(&self.d, digest);
+        loop {
+            let k = nonce_gen.next_nonce();
+            let point = Point::mul_base(&k);
+            let (x, _) = point.to_affine().expect("k in [1, n-1] gives finite kG");
+            let r = x.reduce_once(n);
+            if r.is_zero() {
+                continue;
+            }
+            // s = k^{-1} (z + r d) mod n
+            let k_inv = sf.inv(&sf.to_monty(&k));
+            let rd = sf.mul(&sf.to_monty(&r), &sf.to_monty(&self.d));
+            let z_plus_rd = sf.add(&sf.to_monty(&z), &rd);
+            let s = sf.from_monty(&sf.mul(&k_inv, &z_plus_rd));
+            if s.is_zero() {
+                continue;
+            }
+            return Signature { r, s };
+        }
+    }
+
+    /// Hashes `message` with SHA-256 and signs the digest.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        self.sign_digest(&sha256(message))
+    }
+}
+
+/// Converts a 32-byte digest to a scalar (`bits2int` + reduction, which
+/// for a 256-bit curve is just one conditional subtraction).
+fn digest_to_scalar(digest: &Hash256) -> U256 {
+    U256::from_be_bytes(digest.as_bytes()).reduce_once(order())
+}
+
+/// RFC 6979 HMAC-DRBG nonce generator, specialized to SHA-256 / P-256.
+struct Rfc6979 {
+    k: Hash256,
+    v: [u8; 32],
+    /// Set after the first nonce; subsequent calls reseed per RFC 6979
+    /// step h.3.
+    primed: bool,
+}
+
+impl Rfc6979 {
+    fn new(private_scalar: &U256, digest: &Hash256) -> Rfc6979 {
+        let x = private_scalar.to_be_bytes();
+        let h1 = digest_to_scalar(digest).to_be_bytes();
+        let mut k = Hash256([0u8; 32]);
+        let mut v = [0x01u8; 32];
+        // K = HMAC_K(V || 0x00 || int2octets(x) || bits2octets(h1))
+        k = hmac_sha256_multi(k.as_bytes(), &[&v, &[0x00], &x, &h1]);
+        // V = HMAC_K(V)
+        v = *hmac_sha256_multi(k.as_bytes(), &[&v]).as_bytes();
+        // K = HMAC_K(V || 0x01 || int2octets(x) || bits2octets(h1))
+        k = hmac_sha256_multi(k.as_bytes(), &[&v, &[0x01], &x, &h1]);
+        v = *hmac_sha256_multi(k.as_bytes(), &[&v]).as_bytes();
+        Rfc6979 {
+            k,
+            v,
+            primed: false,
+        }
+    }
+
+    fn next_nonce(&mut self) -> U256 {
+        let n = order();
+        loop {
+            if self.primed {
+                self.k = hmac_sha256_multi(self.k.as_bytes(), &[&self.v, &[0x00]]);
+                self.v = *hmac_sha256_multi(self.k.as_bytes(), &[&self.v]).as_bytes();
+            }
+            self.primed = true;
+            self.v = *hmac_sha256_multi(self.k.as_bytes(), &[&self.v]).as_bytes();
+            let candidate = U256::from_be_bytes(&self.v);
+            if !candidate.is_zero() && &candidate < n {
+                return candidate;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 6979 appendix A.2.5 private key and public key for P-256.
+    fn rfc6979_key() -> SigningKey {
+        let d =
+            U256::from_hex("c9afa9d845ba75166b5c215767b1d6934e50c3db36e89b127b8a622b120f6721")
+                .unwrap();
+        let key = SigningKey::from_scalar(d).unwrap();
+        let (ux, uy) = key.verifying_key().point().to_affine().unwrap();
+        assert_eq!(
+            ux.to_hex(),
+            "60fed4ba255a9d31c961eb74c6356d68c049b8923b61fa6ce669622e60f29fb6"
+        );
+        assert_eq!(
+            uy.to_hex(),
+            "7903fe1008b8bc99a41ae9e95628bc64f2f1b20c2d7e9f5177a3c294d4462299"
+        );
+        key
+    }
+
+    #[test]
+    fn rfc6979_vector_sample() {
+        let key = rfc6979_key();
+        let sig = key.sign(b"sample");
+        assert_eq!(
+            sig.r().to_hex(),
+            "efd48b2aacb6a8fd1140dd9cd45e81d69d2c877b56aaf991c34d0ea84eaf3716"
+        );
+        assert_eq!(
+            sig.s().to_hex(),
+            "f7cb1c942d657c41d436c7a1b6e29f65f3e900dbb9aff4064dc4ab2f843acda8"
+        );
+        key.verifying_key().verify(b"sample", &sig).unwrap();
+    }
+
+    #[test]
+    fn rfc6979_vector_test() {
+        let key = rfc6979_key();
+        let sig = key.sign(b"test");
+        assert_eq!(
+            sig.r().to_hex(),
+            "f1abb023518351cd71d881567b1ea663ed3efcf6c5132b354f28d3b0b7d38367"
+        );
+        assert_eq!(
+            sig.s().to_hex(),
+            "019f4113742a2b14bd25926b49c649155f267e60d3814b4c0cc84250e46f0083"
+        );
+        key.verifying_key().verify(b"test", &sig).unwrap();
+    }
+
+    #[test]
+    fn sign_verify_roundtrip_many_keys() {
+        for i in 0..8u8 {
+            let key = SigningKey::from_seed(&[i]);
+            let msg = [i; 100];
+            let sig = key.sign(&msg);
+            key.verifying_key().verify(&msg, &sig).unwrap();
+            // Wrong message fails.
+            assert_eq!(
+                key.verifying_key().verify(b"other", &sig),
+                Err(VerifyError)
+            );
+            // Wrong key fails.
+            let other = SigningKey::from_seed(&[i, 1]);
+            assert_eq!(other.verifying_key().verify(&msg, &sig), Err(VerifyError));
+        }
+    }
+
+    #[test]
+    fn tampered_signature_fails() {
+        let key = SigningKey::from_seed(b"tamper");
+        let sig = key.sign(b"message");
+        let mut bytes = sig.to_bytes();
+        bytes[10] ^= 0x01;
+        if let Some(bad) = Signature::from_bytes(&bytes) {
+            assert_eq!(key.verifying_key().verify(b"message", &bad), Err(VerifyError));
+        }
+    }
+
+    #[test]
+    fn signature_encoding_rejects_out_of_range() {
+        assert!(Signature::from_bytes(&[0u8; 64]).is_none());
+        assert!(Signature::from_bytes(&[0u8; 63]).is_none());
+        let mut all_ff = [0xffu8; 64];
+        assert!(Signature::from_bytes(&all_ff).is_none());
+        // A valid r with s = order is rejected.
+        all_ff[..32].copy_from_slice(&U256::from_u64(1).to_be_bytes());
+        all_ff[32..].copy_from_slice(&order().to_be_bytes());
+        assert!(Signature::from_bytes(&all_ff).is_none());
+    }
+
+    #[test]
+    fn from_scalar_rejects_invalid() {
+        assert!(SigningKey::from_scalar(U256::ZERO).is_none());
+        assert!(SigningKey::from_scalar(*order()).is_none());
+    }
+
+    #[test]
+    fn from_seed_is_deterministic_and_distinct() {
+        let a1 = SigningKey::from_seed(b"node-a");
+        let a2 = SigningKey::from_seed(b"node-a");
+        let b = SigningKey::from_seed(b"node-b");
+        assert_eq!(a1.to_be_bytes(), a2.to_be_bytes());
+        assert_ne!(a1.to_be_bytes(), b.to_be_bytes());
+    }
+
+    #[test]
+    fn verifying_key_sec1_roundtrip() {
+        let key = SigningKey::from_seed(b"sec1");
+        let vk = key.verifying_key();
+        let bytes = vk.to_sec1_bytes();
+        assert_eq!(VerifyingKey::from_sec1_bytes(&bytes), Some(*vk));
+        assert!(VerifyingKey::from_sec1_bytes(&[0x00]).is_none());
+    }
+}

@@ -1,0 +1,513 @@
+//! Blocks, headers and the hash-chained ledger.
+//!
+//! Matches the paper's description (§5.1): a block carries a sequence
+//! number, the hash of the previous block's header, and the hash of its
+//! own envelopes; ordering nodes sign the header, and peers require
+//! `f + 1` valid orderer signatures.
+
+use bytes::Bytes;
+use hlf_crypto::ecdsa::{Signature, SigningKey, VerifyingKey};
+use hlf_crypto::sha256::{sha256, Digest, Hash256};
+use hlf_wire::{decode_seq, encode_seq, Decode, Encode, Reader, WireError};
+
+/// The default channel used when an application does not partition its
+/// ledger.
+pub const SYSTEM_CHANNEL: &str = "system";
+
+/// A block header: the only state the ordering nodes must carry between
+/// blocks (paper §5.2: "just the sequence number of the next block and
+/// the hash of the previous block"), plus the channel the block belongs
+/// to — each channel is an independent hash chain (paper §3, step 4).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// The channel whose chain this block extends.
+    pub channel: String,
+    /// Block sequence number within the channel (genesis = 0).
+    pub number: u64,
+    /// Hash of the previous block's header ([`Hash256::ZERO`] for the
+    /// genesis block).
+    pub prev_hash: Hash256,
+    /// Hash of the block's envelope data.
+    pub data_hash: Hash256,
+}
+
+impl BlockHeader {
+    /// Canonical hash of the header — what orderers sign and what the
+    /// next block chains to.
+    pub fn hash(&self) -> Hash256 {
+        let mut bytes = Vec::with_capacity(128);
+        bytes.extend_from_slice(b"hlfbft/block-header/v1");
+        self.channel.encode(&mut bytes);
+        self.number.encode(&mut bytes);
+        self.prev_hash.encode(&mut bytes);
+        self.data_hash.encode(&mut bytes);
+        sha256(&bytes)
+    }
+}
+
+impl Encode for BlockHeader {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.channel.encode(out);
+        self.number.encode(out);
+        self.prev_hash.encode(out);
+        self.data_hash.encode(out);
+    }
+}
+
+impl Decode for BlockHeader {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(BlockHeader {
+            channel: Decode::decode(r)?,
+            number: Decode::decode(r)?,
+            prev_hash: Decode::decode(r)?,
+            data_hash: Decode::decode(r)?,
+        })
+    }
+}
+
+/// An ordering node's signature over a block header.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockSignature {
+    /// Signing ordering node.
+    pub node: u32,
+    /// ECDSA signature over the header hash.
+    pub signature: Signature,
+}
+
+impl Encode for BlockSignature {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.node.encode(out);
+        self.signature.encode(out);
+    }
+}
+
+impl Decode for BlockSignature {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(BlockSignature {
+            node: Decode::decode(r)?,
+            signature: Decode::decode(r)?,
+        })
+    }
+}
+
+/// A block: header, opaque envelopes, and orderer signatures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// The chained header.
+    pub header: BlockHeader,
+    /// Raw envelope bytes, in decided order. The ordering service never
+    /// parses these (paper step 4: "does not read the contents").
+    pub envelopes: Vec<Bytes>,
+    /// Orderer signatures over the header hash.
+    pub signatures: Vec<BlockSignature>,
+}
+
+impl Block {
+    /// Computes the data hash for a set of envelopes.
+    pub fn data_hash(envelopes: &[Bytes]) -> Hash256 {
+        let mut digest = Digest::new();
+        digest.update(b"hlfbft/block-data/v1");
+        digest.update(&(envelopes.len() as u32).to_le_bytes());
+        for envelope in envelopes {
+            digest.update(&(envelope.len() as u32).to_le_bytes());
+            digest.update(envelope);
+        }
+        digest.finalize()
+    }
+
+    /// Builds an unsigned block on the [`SYSTEM_CHANNEL`] chaining onto
+    /// `prev_hash`.
+    pub fn build(number: u64, prev_hash: Hash256, envelopes: Vec<Bytes>) -> Block {
+        Block::build_in_channel(SYSTEM_CHANNEL, number, prev_hash, envelopes)
+    }
+
+    /// Builds an unsigned block on an explicit channel.
+    pub fn build_in_channel(
+        channel: impl Into<String>,
+        number: u64,
+        prev_hash: Hash256,
+        envelopes: Vec<Bytes>,
+    ) -> Block {
+        let data_hash = Block::data_hash(&envelopes);
+        Block {
+            header: BlockHeader {
+                channel: channel.into(),
+                number,
+                prev_hash,
+                data_hash,
+            },
+            envelopes,
+            signatures: Vec::new(),
+        }
+    }
+
+    /// Signs the header with an orderer key, appending the signature.
+    pub fn sign(&mut self, node: u32, key: &SigningKey) {
+        let signature = key.sign_digest(&self.header.hash());
+        self.signatures.push(BlockSignature { node, signature });
+    }
+
+    /// Counts valid signatures from distinct known orderers.
+    pub fn valid_signatures(&self, orderer_keys: &[VerifyingKey]) -> usize {
+        let header_hash = self.header.hash();
+        let mut seen = std::collections::HashSet::new();
+        self.signatures
+            .iter()
+            .filter(|s| {
+                orderer_keys
+                    .get(s.node as usize)
+                    .is_some_and(|key| key.verify_digest(&header_hash, &s.signature).is_ok())
+                    && seen.insert(s.node)
+            })
+            .count()
+    }
+
+    /// Checks internal consistency: data hash matches envelopes.
+    pub fn data_consistent(&self) -> bool {
+        Block::data_hash(&self.envelopes) == self.header.data_hash
+    }
+
+    /// Approximate serialized size in bytes.
+    pub fn wire_size(&self) -> usize {
+        76 + self.header.channel.len()
+            + self.envelopes.iter().map(|e| e.len() + 4).sum::<usize>()
+            + self.signatures.len() * 68
+    }
+}
+
+impl Encode for Block {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.header.encode(out);
+        encode_seq(&self.envelopes, out);
+        encode_seq(&self.signatures, out);
+    }
+}
+
+impl Decode for Block {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Block {
+            header: Decode::decode(r)?,
+            envelopes: decode_seq(r)?,
+            signatures: decode_seq(r)?,
+        })
+    }
+}
+
+/// Error appending a block to a ledger.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LedgerError {
+    /// Block number is not `last + 1`.
+    WrongNumber {
+        /// Number the ledger expected.
+        expected: u64,
+        /// Number the block carried.
+        got: u64,
+    },
+    /// `prev_hash` does not match the previous header's hash.
+    BrokenChain,
+    /// `data_hash` does not cover the envelopes.
+    BadDataHash,
+    /// Fewer valid orderer signatures than required.
+    InsufficientSignatures {
+        /// Signatures required.
+        needed: usize,
+        /// Valid signatures found.
+        got: usize,
+    },
+    /// Block belongs to a different channel than this ledger.
+    WrongChannel {
+        /// Channel this ledger tracks.
+        expected: String,
+        /// Channel the block named.
+        got: String,
+    },
+}
+
+impl std::fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LedgerError::WrongNumber { expected, got } => {
+                write!(f, "expected block {expected}, got {got}")
+            }
+            LedgerError::BrokenChain => f.write_str("previous-hash chain broken"),
+            LedgerError::BadDataHash => f.write_str("data hash does not cover envelopes"),
+            LedgerError::InsufficientSignatures { needed, got } => {
+                write!(f, "need {needed} orderer signatures, got {got}")
+            }
+            LedgerError::WrongChannel { expected, got } => {
+                write!(f, "block for channel {got}, ledger tracks {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// The per-channel hash-chained block store kept by committing peers.
+#[derive(Clone, Debug)]
+pub struct Ledger {
+    channel: String,
+    blocks: Vec<Block>,
+}
+
+impl Default for Ledger {
+    fn default() -> Self {
+        Ledger::new()
+    }
+}
+
+impl Ledger {
+    /// An empty [`SYSTEM_CHANNEL`] ledger (next block is number 1;
+    /// number 0 is reserved for a genesis/config block in Fabric, which
+    /// we model implicitly).
+    pub fn new() -> Ledger {
+        Ledger::for_channel(SYSTEM_CHANNEL)
+    }
+
+    /// An empty ledger for an explicit channel.
+    pub fn for_channel(channel: impl Into<String>) -> Ledger {
+        Ledger {
+            channel: channel.into(),
+            blocks: Vec::new(),
+        }
+    }
+
+    /// The channel this ledger tracks.
+    pub fn channel(&self) -> &str {
+        &self.channel
+    }
+
+    /// Number of blocks.
+    pub fn height(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// The hash the next block must chain to.
+    pub fn tip_hash(&self) -> Hash256 {
+        self.blocks
+            .last()
+            .map(|b| b.header.hash())
+            .unwrap_or(Hash256::ZERO)
+    }
+
+    /// Next expected block number.
+    pub fn next_number(&self) -> u64 {
+        self.blocks.last().map(|b| b.header.number + 1).unwrap_or(1)
+    }
+
+    /// Reads a block by number.
+    pub fn block(&self, number: u64) -> Option<&Block> {
+        self.blocks.iter().find(|b| b.header.number == number)
+    }
+
+    /// All blocks in order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Validates chaining, data hash and signatures, then appends.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LedgerError`] describing the first violated check.
+    pub fn append(
+        &mut self,
+        block: Block,
+        orderer_keys: &[VerifyingKey],
+        needed_signatures: usize,
+    ) -> Result<(), LedgerError> {
+        if block.header.channel != self.channel {
+            return Err(LedgerError::WrongChannel {
+                expected: self.channel.clone(),
+                got: block.header.channel.clone(),
+            });
+        }
+        if block.header.number != self.next_number() {
+            return Err(LedgerError::WrongNumber {
+                expected: self.next_number(),
+                got: block.header.number,
+            });
+        }
+        if block.header.prev_hash != self.tip_hash() {
+            return Err(LedgerError::BrokenChain);
+        }
+        if !block.data_consistent() {
+            return Err(LedgerError::BadDataHash);
+        }
+        let got = block.valid_signatures(orderer_keys);
+        if got < needed_signatures {
+            return Err(LedgerError::InsufficientSignatures {
+                needed: needed_signatures,
+                got,
+            });
+        }
+        self.blocks.push(block);
+        Ok(())
+    }
+
+    /// Full-chain integrity scan (used after state transfer and in
+    /// property tests).
+    pub fn verify_chain(&self) -> bool {
+        let mut prev = Hash256::ZERO;
+        let mut number = None::<u64>;
+        for block in &self.blocks {
+            if block.header.prev_hash != prev || !block.data_consistent() {
+                return false;
+            }
+            if let Some(n) = number {
+                if block.header.number != n + 1 {
+                    return false;
+                }
+            }
+            number = Some(block.header.number);
+            prev = block.header.hash();
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> (Vec<SigningKey>, Vec<VerifyingKey>) {
+        let sk: Vec<SigningKey> = (0..n)
+            .map(|i| SigningKey::from_seed(format!("orderer-{i}").as_bytes()))
+            .collect();
+        let vk = sk.iter().map(|k| *k.verifying_key()).collect();
+        (sk, vk)
+    }
+
+    fn envelopes(tag: u8, count: usize) -> Vec<Bytes> {
+        (0..count)
+            .map(|i| Bytes::from(vec![tag, i as u8, 0, 1, 2]))
+            .collect()
+    }
+
+    #[test]
+    fn header_hash_chains_blocks() {
+        let b1 = Block::build(1, Hash256::ZERO, envelopes(1, 3));
+        let b2 = Block::build(2, b1.header.hash(), envelopes(2, 3));
+        assert_eq!(b2.header.prev_hash, b1.header.hash());
+        assert_ne!(b1.header.hash(), b2.header.hash());
+    }
+
+    #[test]
+    fn data_hash_covers_envelope_boundaries() {
+        // ["ab", "c"] and ["a", "bc"] must hash differently.
+        let a = Block::data_hash(&[Bytes::from_static(b"ab"), Bytes::from_static(b"c")]);
+        let b = Block::data_hash(&[Bytes::from_static(b"a"), Bytes::from_static(b"bc")]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn signature_counting_rejects_forgeries_and_duplicates() {
+        let (sk, vk) = keys(4);
+        let mut block = Block::build(1, Hash256::ZERO, envelopes(0, 2));
+        block.sign(0, &sk[0]);
+        block.sign(1, &sk[1]);
+        assert_eq!(block.valid_signatures(&vk), 2);
+
+        // Duplicate signer counts once.
+        block.sign(0, &sk[0]);
+        assert_eq!(block.valid_signatures(&vk), 2);
+
+        // A signature claiming the wrong node id fails verification.
+        block.sign(3, &sk[2]);
+        assert_eq!(block.valid_signatures(&vk), 2);
+
+        // Unknown node id is ignored.
+        block.sign(99, &sk[2]);
+        assert_eq!(block.valid_signatures(&vk), 2);
+    }
+
+    #[test]
+    fn ledger_append_enforces_all_checks() {
+        let (sk, vk) = keys(4);
+        let mut ledger = Ledger::new();
+        let mut b1 = Block::build(1, Hash256::ZERO, envelopes(1, 2));
+        b1.sign(0, &sk[0]);
+        b1.sign(1, &sk[1]);
+
+        // Not enough signatures.
+        assert_eq!(
+            ledger.append(b1.clone(), &vk, 3),
+            Err(LedgerError::InsufficientSignatures { needed: 3, got: 2 })
+        );
+        ledger.append(b1.clone(), &vk, 2).unwrap();
+        assert_eq!(ledger.height(), 1);
+
+        // Wrong number.
+        let mut wrong_number = Block::build(5, b1.header.hash(), envelopes(2, 1));
+        wrong_number.sign(0, &sk[0]);
+        wrong_number.sign(1, &sk[1]);
+        assert_eq!(
+            ledger.append(wrong_number, &vk, 2),
+            Err(LedgerError::WrongNumber { expected: 2, got: 5 })
+        );
+
+        // Broken chain.
+        let mut broken = Block::build(2, Hash256::ZERO, envelopes(2, 1));
+        broken.sign(0, &sk[0]);
+        broken.sign(1, &sk[1]);
+        assert_eq!(ledger.append(broken, &vk, 2), Err(LedgerError::BrokenChain));
+
+        // Tampered data.
+        let mut tampered = Block::build(2, b1.header.hash(), envelopes(2, 1));
+        tampered.sign(0, &sk[0]);
+        tampered.sign(1, &sk[1]);
+        tampered.envelopes[0] = Bytes::from_static(b"evil");
+        assert_eq!(ledger.append(tampered, &vk, 2), Err(LedgerError::BadDataHash));
+
+        // A good block appends.
+        let mut b2 = Block::build(2, b1.header.hash(), envelopes(2, 1));
+        b2.sign(2, &sk[2]);
+        b2.sign(3, &sk[3]);
+        ledger.append(b2, &vk, 2).unwrap();
+        assert!(ledger.verify_chain());
+        assert_eq!(ledger.next_number(), 3);
+        assert!(ledger.block(2).is_some());
+        assert!(ledger.block(9).is_none());
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let (sk, _) = keys(1);
+        let mut block = Block::build(7, Hash256::ZERO, envelopes(9, 4));
+        block.sign(0, &sk[0]);
+        let bytes = hlf_wire::to_bytes(&block);
+        assert_eq!(hlf_wire::from_bytes::<Block>(&bytes).unwrap(), block);
+        assert!(block.wire_size() > 0);
+    }
+
+    #[test]
+    fn forged_chain_detected_by_scan() {
+        let (sk, vk) = keys(2);
+        let mut ledger = Ledger::new();
+        let mut b1 = Block::build(1, Hash256::ZERO, envelopes(1, 1));
+        b1.sign(0, &sk[0]);
+        ledger.append(b1, &vk, 1).unwrap();
+        assert!(ledger.verify_chain());
+        // Directly tamper with the stored block (simulating storage
+        // corruption): the scan catches it.
+        ledger.blocks[0].envelopes[0] = Bytes::from_static(b"tampered");
+        assert!(!ledger.verify_chain());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn data_hash_injective_on_structure(
+                a in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 0..8),
+                b in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 0..8),
+            ) {
+                let ea: Vec<Bytes> = a.iter().map(|v| Bytes::from(v.clone())).collect();
+                let eb: Vec<Bytes> = b.iter().map(|v| Bytes::from(v.clone())).collect();
+                prop_assert_eq!(Block::data_hash(&ea) == Block::data_hash(&eb), a == b);
+            }
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Chaincode: the smart-contract programs endorsing peers simulate.
+
+use crate::kvstore::SimulationView;
+use bytes::Bytes;
+use std::error::Error;
+use std::fmt;
+
+/// Chaincode invocation failure (surfaces as a rejected endorsement).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChaincodeError {
+    /// Unknown function name.
+    UnknownFunction(String),
+    /// Wrong number or shape of arguments.
+    BadArguments(&'static str),
+    /// Application-level failure (e.g. insufficient funds).
+    Aborted(String),
+}
+
+impl fmt::Display for ChaincodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaincodeError::UnknownFunction(name) => write!(f, "unknown function {name}"),
+            ChaincodeError::BadArguments(what) => write!(f, "bad arguments: {what}"),
+            ChaincodeError::Aborted(why) => write!(f, "aborted: {why}"),
+        }
+    }
+}
+
+impl Error for ChaincodeError {}
+
+/// A deterministic smart contract.
+///
+/// `invoke` runs against a [`SimulationView`]; reads and writes are
+/// recorded for MVCC validation at commit time. Chaincode execution may
+/// be non-deterministic in Fabric (endorsers reconcile by comparing
+/// rw-sets); determinism is only required of *validation*.
+pub trait Chaincode: Send + Sync {
+    /// The chaincode's registered name.
+    fn name(&self) -> &str;
+
+    /// Simulates one invocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ChaincodeError`] if the invocation is malformed or
+    /// the contract aborts it.
+    fn invoke(
+        &self,
+        args: &[Bytes],
+        view: &mut SimulationView<'_>,
+    ) -> Result<Bytes, ChaincodeError>;
+}
+
+fn arg_str(args: &[Bytes], index: usize) -> Result<&str, ChaincodeError> {
+    let bytes = args
+        .get(index)
+        .ok_or(ChaincodeError::BadArguments("missing argument"))?;
+    std::str::from_utf8(bytes).map_err(|_| ChaincodeError::BadArguments("non-UTF-8 argument"))
+}
+
+/// General-purpose key/value chaincode: `put key value`, `get key`,
+/// `del key`.
+#[derive(Debug, Default)]
+pub struct KvChaincode;
+
+impl KvChaincode {
+    /// Creates the chaincode.
+    pub fn new() -> KvChaincode {
+        KvChaincode
+    }
+}
+
+impl Chaincode for KvChaincode {
+    fn name(&self) -> &str {
+        "kv"
+    }
+
+    fn invoke(
+        &self,
+        args: &[Bytes],
+        view: &mut SimulationView<'_>,
+    ) -> Result<Bytes, ChaincodeError> {
+        match arg_str(args, 0)? {
+            "put" => {
+                let key = arg_str(args, 1)?.to_string();
+                let value = args
+                    .get(2)
+                    .ok_or(ChaincodeError::BadArguments("put needs a value"))?
+                    .clone();
+                view.put(key, value);
+                Ok(Bytes::from_static(b"ok"))
+            }
+            "get" => {
+                let key = arg_str(args, 1)?;
+                Ok(view.get(key).unwrap_or_default())
+            }
+            "del" => {
+                let key = arg_str(args, 1)?.to_string();
+                view.delete(key);
+                Ok(Bytes::from_static(b"ok"))
+            }
+            "scan" => {
+                // Range read: returns "key=value" lines for [start, end).
+                let start = arg_str(args, 1)?;
+                let end = arg_str(args, 2)?;
+                let mut out = String::new();
+                for (key, value) in view.range(start, end) {
+                    out.push_str(&key);
+                    out.push('=');
+                    out.push_str(&String::from_utf8_lossy(&value));
+                    out.push('\n');
+                }
+                Ok(Bytes::from(out.into_bytes()))
+            }
+            other => Err(ChaincodeError::UnknownFunction(other.to_string())),
+        }
+    }
+}
+
+/// An asset-transfer chaincode modelled on Fabric's canonical sample:
+/// `create id owner value`, `read id`, `transfer id new_owner`,
+/// `delete id`.
+///
+/// Assets are stored as `owner:value` strings under key `asset/<id>`.
+#[derive(Debug, Default)]
+pub struct AssetChaincode;
+
+impl AssetChaincode {
+    /// Creates the chaincode.
+    pub fn new() -> AssetChaincode {
+        AssetChaincode
+    }
+
+    fn key(id: &str) -> String {
+        format!("asset/{id}")
+    }
+}
+
+impl Chaincode for AssetChaincode {
+    fn name(&self) -> &str {
+        "asset"
+    }
+
+    fn invoke(
+        &self,
+        args: &[Bytes],
+        view: &mut SimulationView<'_>,
+    ) -> Result<Bytes, ChaincodeError> {
+        match arg_str(args, 0)? {
+            "create" => {
+                let id = arg_str(args, 1)?;
+                let owner = arg_str(args, 2)?;
+                let value = arg_str(args, 3)?;
+                value
+                    .parse::<u64>()
+                    .map_err(|_| ChaincodeError::BadArguments("value must be an integer"))?;
+                let key = AssetChaincode::key(id);
+                if view.get(&key).is_some() {
+                    return Err(ChaincodeError::Aborted(format!("asset {id} exists")));
+                }
+                view.put(key, format!("{owner}:{value}"));
+                Ok(Bytes::from_static(b"created"))
+            }
+            "read" => {
+                let id = arg_str(args, 1)?;
+                view.get(&AssetChaincode::key(id))
+                    .ok_or_else(|| ChaincodeError::Aborted(format!("asset {id} not found")))
+            }
+            "transfer" => {
+                let id = arg_str(args, 1)?;
+                let new_owner = arg_str(args, 2)?;
+                let key = AssetChaincode::key(id);
+                let current = view
+                    .get(&key)
+                    .ok_or_else(|| ChaincodeError::Aborted(format!("asset {id} not found")))?;
+                let text = std::str::from_utf8(&current)
+                    .map_err(|_| ChaincodeError::Aborted("corrupt asset".into()))?;
+                let (_, value) = text
+                    .split_once(':')
+                    .ok_or_else(|| ChaincodeError::Aborted("corrupt asset".into()))?;
+                view.put(key, format!("{new_owner}:{value}"));
+                Ok(Bytes::from_static(b"transferred"))
+            }
+            "delete" => {
+                let id = arg_str(args, 1)?;
+                let key = AssetChaincode::key(id);
+                if view.get(&key).is_none() {
+                    return Err(ChaincodeError::Aborted(format!("asset {id} not found")));
+                }
+                view.delete(key);
+                Ok(Bytes::from_static(b"deleted"))
+            }
+            other => Err(ChaincodeError::UnknownFunction(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kvstore::VersionedKv;
+    use crate::types::Version;
+
+    fn args(parts: &[&str]) -> Vec<Bytes> {
+        parts
+            .iter()
+            .map(|p| Bytes::copy_from_slice(p.as_bytes()))
+            .collect()
+    }
+
+    #[test]
+    fn kv_put_get_del() {
+        let cc = KvChaincode::new();
+        let mut store = VersionedKv::new();
+
+        let mut sim = SimulationView::new(&store);
+        cc.invoke(&args(&["put", "color", "blue"]), &mut sim).unwrap();
+        let rw = sim.into_rw_set();
+        store.apply(&rw, Version { block: 1, tx: 0 });
+
+        let mut sim = SimulationView::new(&store);
+        let value = cc.invoke(&args(&["get", "color"]), &mut sim).unwrap();
+        assert_eq!(value, Bytes::from_static(b"blue"));
+
+        let mut sim = SimulationView::new(&store);
+        cc.invoke(&args(&["del", "color"]), &mut sim).unwrap();
+        store.apply(&sim.into_rw_set(), Version { block: 2, tx: 0 });
+        assert!(store.get("color").is_none());
+    }
+
+    #[test]
+    fn kv_rejects_malformed() {
+        let cc = KvChaincode::new();
+        let store = VersionedKv::new();
+        let mut sim = SimulationView::new(&store);
+        assert!(matches!(
+            cc.invoke(&args(&["put", "k"]), &mut sim),
+            Err(ChaincodeError::BadArguments(_))
+        ));
+        assert!(matches!(
+            cc.invoke(&args(&["frobnicate"]), &mut sim),
+            Err(ChaincodeError::UnknownFunction(_))
+        ));
+        assert!(matches!(
+            cc.invoke(&[], &mut sim),
+            Err(ChaincodeError::BadArguments(_))
+        ));
+        let bad_utf8 = vec![Bytes::from_static(&[0xff, 0xfe])];
+        assert!(matches!(
+            cc.invoke(&bad_utf8, &mut sim),
+            Err(ChaincodeError::BadArguments(_))
+        ));
+    }
+
+    #[test]
+    fn asset_lifecycle() {
+        let cc = AssetChaincode::new();
+        let mut store = VersionedKv::new();
+
+        let mut sim = SimulationView::new(&store);
+        cc.invoke(&args(&["create", "car1", "alice", "5000"]), &mut sim)
+            .unwrap();
+        store.apply(&sim.into_rw_set(), Version { block: 1, tx: 0 });
+
+        let mut sim = SimulationView::new(&store);
+        let value = cc.invoke(&args(&["read", "car1"]), &mut sim).unwrap();
+        assert_eq!(value, Bytes::from_static(b"alice:5000"));
+
+        let mut sim = SimulationView::new(&store);
+        cc.invoke(&args(&["transfer", "car1", "bob"]), &mut sim)
+            .unwrap();
+        store.apply(&sim.into_rw_set(), Version { block: 2, tx: 0 });
+        assert_eq!(
+            store.get("asset/car1").unwrap().0,
+            Bytes::from_static(b"bob:5000")
+        );
+
+        let mut sim = SimulationView::new(&store);
+        cc.invoke(&args(&["delete", "car1"]), &mut sim).unwrap();
+        store.apply(&sim.into_rw_set(), Version { block: 3, tx: 0 });
+        assert!(store.get("asset/car1").is_none());
+    }
+
+    #[test]
+    fn asset_business_rules() {
+        let cc = AssetChaincode::new();
+        let mut store = VersionedKv::new();
+        let mut sim = SimulationView::new(&store);
+        cc.invoke(&args(&["create", "x", "alice", "1"]), &mut sim)
+            .unwrap();
+        store.apply(&sim.into_rw_set(), Version { block: 1, tx: 0 });
+
+        // Double create fails.
+        let mut sim = SimulationView::new(&store);
+        assert!(matches!(
+            cc.invoke(&args(&["create", "x", "bob", "2"]), &mut sim),
+            Err(ChaincodeError::Aborted(_))
+        ));
+        // Transfer of a missing asset fails.
+        let mut sim = SimulationView::new(&store);
+        assert!(matches!(
+            cc.invoke(&args(&["transfer", "ghost", "bob"]), &mut sim),
+            Err(ChaincodeError::Aborted(_))
+        ));
+        // Non-integer value fails.
+        let mut sim = SimulationView::new(&store);
+        assert!(matches!(
+            cc.invoke(&args(&["create", "y", "carol", "NaN"]), &mut sim),
+            Err(ChaincodeError::BadArguments(_))
+        ));
+    }
+}

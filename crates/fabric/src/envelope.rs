@@ -1,0 +1,428 @@
+//! Transaction proposals, endorsements and envelopes (paper steps 1-3).
+
+use crate::types::RwSet;
+use bytes::Bytes;
+use hlf_crypto::ecdsa::{Signature, SigningKey, VerifyingKey};
+use hlf_crypto::sha256::{sha256, Hash256};
+use hlf_wire::{decode_seq, encode_seq, Decode, Encode, Reader, WireError};
+
+/// A client's signed request to invoke a chaincode function (step 1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Proposal {
+    /// Target channel.
+    pub channel: String,
+    /// Target chaincode name.
+    pub chaincode: String,
+    /// Issuing client id.
+    pub client: u32,
+    /// Client-chosen nonce making the transaction id unique.
+    pub nonce: u64,
+    /// Invocation arguments (first is conventionally the function name).
+    pub args: Vec<Bytes>,
+}
+
+impl Proposal {
+    /// The transaction id: hash of the proposal content.
+    pub fn tx_id(&self) -> Hash256 {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"hlfbft/proposal/v1");
+        self.channel.encode(&mut bytes);
+        self.chaincode.encode(&mut bytes);
+        self.client.encode(&mut bytes);
+        self.nonce.encode(&mut bytes);
+        encode_seq(&self.args, &mut bytes);
+        sha256(&bytes)
+    }
+}
+
+impl Encode for Proposal {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.channel.encode(out);
+        self.chaincode.encode(out);
+        self.client.encode(out);
+        self.nonce.encode(out);
+        encode_seq(&self.args, out);
+    }
+}
+
+impl Decode for Proposal {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Proposal {
+            channel: Decode::decode(r)?,
+            chaincode: Decode::decode(r)?,
+            client: Decode::decode(r)?,
+            nonce: Decode::decode(r)?,
+            args: decode_seq(r)?,
+        })
+    }
+}
+
+/// What an endorser signs: the tx id, the simulated rw-set digest and
+/// the response.
+fn endorsement_digest(tx_id: &Hash256, rw_set: &RwSet, response: &Bytes) -> Hash256 {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"hlfbft/endorsement/v1");
+    tx_id.encode(&mut bytes);
+    rw_set.digest().encode(&mut bytes);
+    response.encode(&mut bytes);
+    sha256(&bytes)
+}
+
+/// An endorsing peer's signature over a simulation result (step 2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Endorsement {
+    /// Endorsing peer id.
+    pub peer: u32,
+    /// Signature over the endorsement digest.
+    pub signature: Signature,
+}
+
+impl Encode for Endorsement {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.peer.encode(out);
+        self.signature.encode(out);
+    }
+}
+
+impl Decode for Endorsement {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Endorsement {
+            peer: Decode::decode(r)?,
+            signature: Decode::decode(r)?,
+        })
+    }
+}
+
+/// A peer's reply to a proposal: the simulation result plus its
+/// endorsement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProposalResponse {
+    /// Read/write sets from simulation.
+    pub rw_set: RwSet,
+    /// Chaincode response payload.
+    pub response: Bytes,
+    /// The endorsement signature.
+    pub endorsement: Endorsement,
+}
+
+impl ProposalResponse {
+    /// Signs a simulation result as `peer`.
+    pub fn sign(
+        peer: u32,
+        key: &SigningKey,
+        tx_id: &Hash256,
+        rw_set: RwSet,
+        response: Bytes,
+    ) -> ProposalResponse {
+        let digest = endorsement_digest(tx_id, &rw_set, &response);
+        ProposalResponse {
+            rw_set,
+            response,
+            endorsement: Endorsement {
+                peer,
+                signature: key.sign_digest(&digest),
+            },
+        }
+    }
+}
+
+/// A fully assembled transaction envelope (step 3): the unit the
+/// ordering service totally orders.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// The original proposal.
+    pub proposal: Proposal,
+    /// The agreed simulation rw-set.
+    pub rw_set: RwSet,
+    /// The agreed chaincode response.
+    pub response: Bytes,
+    /// Endorsements collected by the client.
+    pub endorsements: Vec<Endorsement>,
+    /// Client signature over all of the above.
+    pub client_signature: Signature,
+}
+
+/// Failure assembling an envelope from proposal responses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AssemblyError {
+    /// No responses supplied.
+    NoResponses,
+    /// Endorsers disagreed on the rw-set or response, so no consistent
+    /// envelope exists (step 3: "determine if the responses have the
+    /// matching read/write set").
+    Mismatched,
+}
+
+impl std::fmt::Display for AssemblyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AssemblyError::NoResponses => f.write_str("no proposal responses"),
+            AssemblyError::Mismatched => f.write_str("endorsers returned mismatched results"),
+        }
+    }
+}
+
+impl std::error::Error for AssemblyError {}
+
+impl Envelope {
+    /// Assembles and signs an envelope from matching proposal responses
+    /// (the client-side step 3 of the paper's protocol).
+    ///
+    /// # Errors
+    ///
+    /// [`AssemblyError::NoResponses`] on empty input and
+    /// [`AssemblyError::Mismatched`] when endorsers disagree.
+    pub fn assemble(
+        proposal: Proposal,
+        responses: Vec<ProposalResponse>,
+        client_key: &SigningKey,
+    ) -> Result<Envelope, AssemblyError> {
+        let first = responses.first().ok_or(AssemblyError::NoResponses)?;
+        let rw_set = first.rw_set.clone();
+        let response = first.response.clone();
+        if !responses
+            .iter()
+            .all(|r| r.rw_set == rw_set && r.response == response)
+        {
+            return Err(AssemblyError::Mismatched);
+        }
+        let endorsements: Vec<Endorsement> =
+            responses.into_iter().map(|r| r.endorsement).collect();
+        let digest = Envelope::signing_digest(&proposal, &rw_set, &response, &endorsements);
+        Ok(Envelope {
+            proposal,
+            rw_set,
+            response,
+            endorsements,
+            client_signature: client_key.sign_digest(&digest),
+        })
+    }
+
+    fn signing_digest(
+        proposal: &Proposal,
+        rw_set: &RwSet,
+        response: &Bytes,
+        endorsements: &[Endorsement],
+    ) -> Hash256 {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"hlfbft/envelope/v1");
+        proposal.encode(&mut bytes);
+        rw_set.encode(&mut bytes);
+        response.encode(&mut bytes);
+        encode_seq(endorsements, &mut bytes);
+        sha256(&bytes)
+    }
+
+    /// The transaction id.
+    pub fn tx_id(&self) -> Hash256 {
+        self.proposal.tx_id()
+    }
+
+    /// Verifies the client signature.
+    pub fn verify_client(&self, key: &VerifyingKey) -> bool {
+        let digest = Envelope::signing_digest(
+            &self.proposal,
+            &self.rw_set,
+            &self.response,
+            &self.endorsements,
+        );
+        key.verify_digest(&digest, &self.client_signature).is_ok()
+    }
+
+    /// Counts valid endorsements from distinct peers whose keys are in
+    /// `endorser_keys` (indexed by peer id).
+    pub fn valid_endorsements(&self, endorser_keys: &[VerifyingKey]) -> usize {
+        self.valid_endorser_set(endorser_keys).len()
+    }
+
+    /// The set of peer ids with valid endorsements on this envelope.
+    pub fn valid_endorser_set(
+        &self,
+        endorser_keys: &[VerifyingKey],
+    ) -> std::collections::HashSet<u32> {
+        let digest = endorsement_digest(&self.tx_id(), &self.rw_set, &self.response);
+        self.endorsements
+            .iter()
+            .filter(|e| {
+                endorser_keys
+                    .get(e.peer as usize)
+                    .is_some_and(|key| key.verify_digest(&digest, &e.signature).is_ok())
+            })
+            .map(|e| e.peer)
+            .collect()
+    }
+
+    /// Serializes to the opaque bytes the ordering service sees.
+    pub fn to_bytes(&self) -> Bytes {
+        Bytes::from(hlf_wire::to_bytes(self))
+    }
+
+    /// Parses envelope bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] for malformed bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Envelope, WireError> {
+        hlf_wire::from_bytes(bytes)
+    }
+}
+
+impl Encode for Envelope {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.proposal.encode(out);
+        self.rw_set.encode(out);
+        self.response.encode(out);
+        encode_seq(&self.endorsements, out);
+        self.client_signature.encode(out);
+    }
+}
+
+impl Decode for Envelope {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Envelope {
+            proposal: Decode::decode(r)?,
+            rw_set: Decode::decode(r)?,
+            response: Decode::decode(r)?,
+            endorsements: decode_seq(r)?,
+            client_signature: Decode::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ReadItem, Version, WriteItem};
+
+    fn proposal() -> Proposal {
+        Proposal {
+            channel: "ch1".into(),
+            chaincode: "kv".into(),
+            client: 4,
+            nonce: 99,
+            args: vec![Bytes::from_static(b"put"), Bytes::from_static(b"k")],
+        }
+    }
+
+    fn rw_set() -> RwSet {
+        RwSet {
+            reads: vec![ReadItem {
+                key: "k".into(),
+                version: Some(Version { block: 1, tx: 0 }),
+            }],
+            writes: vec![WriteItem {
+                key: "k".into(),
+                value: Some(Bytes::from_static(b"v")),
+            }],
+        }
+    }
+
+    fn endorser_keys(n: usize) -> (Vec<SigningKey>, Vec<VerifyingKey>) {
+        let sk: Vec<SigningKey> = (0..n)
+            .map(|i| SigningKey::from_seed(format!("peer-{i}").as_bytes()))
+            .collect();
+        let vk = sk.iter().map(|k| *k.verifying_key()).collect();
+        (sk, vk)
+    }
+
+    #[test]
+    fn tx_id_depends_on_nonce_and_args() {
+        let p1 = proposal();
+        let mut p2 = proposal();
+        p2.nonce = 100;
+        assert_ne!(p1.tx_id(), p2.tx_id());
+        let mut p3 = proposal();
+        p3.args.push(Bytes::from_static(b"extra"));
+        assert_ne!(p1.tx_id(), p3.tx_id());
+        assert_eq!(p1.tx_id(), proposal().tx_id());
+    }
+
+    #[test]
+    fn assemble_verify_roundtrip() {
+        let (sk, vk) = endorser_keys(3);
+        let client_key = SigningKey::from_seed(b"client-4");
+        let p = proposal();
+        let tx_id = p.tx_id();
+        let responses: Vec<ProposalResponse> = (0..3)
+            .map(|i| {
+                ProposalResponse::sign(
+                    i as u32,
+                    &sk[i],
+                    &tx_id,
+                    rw_set(),
+                    Bytes::from_static(b"ok"),
+                )
+            })
+            .collect();
+        let envelope = Envelope::assemble(p, responses, &client_key).unwrap();
+        assert!(envelope.verify_client(client_key.verifying_key()));
+        assert_eq!(envelope.valid_endorsements(&vk), 3);
+
+        // Wire roundtrip through the opaque bytes the orderer carries.
+        let bytes = envelope.to_bytes();
+        let parsed = Envelope::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed, envelope);
+        assert_eq!(parsed.valid_endorsements(&vk), 3);
+    }
+
+    #[test]
+    fn mismatched_responses_rejected() {
+        let (sk, _) = endorser_keys(2);
+        let client_key = SigningKey::from_seed(b"client-4");
+        let p = proposal();
+        let tx_id = p.tx_id();
+        let mut other_set = rw_set();
+        other_set.writes[0].value = Some(Bytes::from_static(b"different"));
+        let responses = vec![
+            ProposalResponse::sign(0, &sk[0], &tx_id, rw_set(), Bytes::from_static(b"ok")),
+            ProposalResponse::sign(1, &sk[1], &tx_id, other_set, Bytes::from_static(b"ok")),
+        ];
+        assert_eq!(
+            Envelope::assemble(p.clone(), responses, &client_key),
+            Err(AssemblyError::Mismatched)
+        );
+        assert_eq!(
+            Envelope::assemble(p, vec![], &client_key),
+            Err(AssemblyError::NoResponses)
+        );
+    }
+
+    #[test]
+    fn endorsement_forgery_detected() {
+        let (sk, vk) = endorser_keys(3);
+        let client_key = SigningKey::from_seed(b"client-4");
+        let p = proposal();
+        let tx_id = p.tx_id();
+        let responses: Vec<ProposalResponse> = (0..2)
+            .map(|i| {
+                ProposalResponse::sign(
+                    i as u32,
+                    &sk[i],
+                    &tx_id,
+                    rw_set(),
+                    Bytes::from_static(b"ok"),
+                )
+            })
+            .collect();
+        let mut envelope = Envelope::assemble(p, responses, &client_key).unwrap();
+
+        // Tamper with the write set after endorsement: endorsements die.
+        envelope.rw_set.writes[0].value = Some(Bytes::from_static(b"evil"));
+        assert_eq!(envelope.valid_endorsements(&vk), 0);
+        // And the client signature no longer covers the content either.
+        assert!(!envelope.verify_client(client_key.verifying_key()));
+    }
+
+    #[test]
+    fn duplicate_endorser_counts_once() {
+        let (sk, vk) = endorser_keys(1);
+        let client_key = SigningKey::from_seed(b"client-4");
+        let p = proposal();
+        let tx_id = p.tx_id();
+        let r =
+            ProposalResponse::sign(0, &sk[0], &tx_id, rw_set(), Bytes::from_static(b"ok"));
+        let envelope =
+            Envelope::assemble(p, vec![r.clone(), r], &client_key).unwrap();
+        assert_eq!(envelope.valid_endorsements(&vk), 1);
+    }
+}

@@ -1,0 +1,390 @@
+//! Client-side service proxies, mirroring BFT-SMaRt's `ServiceProxy`
+//! and `AsynchServiceProxy`.
+//!
+//! A client sends each request to **all** replicas and (for synchronous
+//! invocations) waits for matching replies from enough distinct
+//! replicas: `f + 1` under classic BFT-SMaRt, a full quorum under
+//! WHEAT's tentative execution (paper §4). The ordering service's
+//! frontends use the asynchronous path plus the push stream.
+
+use crate::wire::SmrMsg;
+use bytes::Bytes;
+use hlf_consensus::messages::Request;
+use hlf_transport::{Endpoint, Network, PeerId, TransportError};
+use hlf_wire::{from_bytes, to_bytes, ClientId, NodeId};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Proxy configuration.
+#[derive(Clone, Debug)]
+pub struct ProxyConfig {
+    /// This client's identity.
+    pub id: ClientId,
+    /// Number of replicas.
+    pub n: usize,
+    /// Matching replies required to accept a result.
+    pub reply_threshold: usize,
+    /// How long a synchronous invocation waits in total.
+    pub invoke_timeout: Duration,
+    /// Retransmissions of the same request within the timeout (lost
+    /// requests or replies are re-answered from the replicas' reply
+    /// caches, as in BFT-SMaRt).
+    pub retransmissions: u32,
+}
+
+impl ProxyConfig {
+    /// Classic configuration: wait for `f + 1` matching replies.
+    pub fn classic(id: ClientId, n: usize, f: usize) -> ProxyConfig {
+        ProxyConfig {
+            id,
+            n,
+            reply_threshold: f + 1,
+            invoke_timeout: Duration::from_secs(20),
+            retransmissions: 2,
+        }
+    }
+
+    /// WHEAT/tentative configuration: wait for `⌈(n+f+1)/2⌉` matching
+    /// replies, compensating for the tentative delivery (paper §4).
+    pub fn tentative(id: ClientId, n: usize, f: usize) -> ProxyConfig {
+        ProxyConfig {
+            id,
+            n,
+            reply_threshold: (n + f + 1).div_ceil(2),
+            invoke_timeout: Duration::from_secs(20),
+            retransmissions: 2,
+        }
+    }
+}
+
+/// Invocation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InvokeError {
+    /// Not enough matching replies before the timeout.
+    Timeout,
+    /// The transport hub is gone.
+    Disconnected,
+}
+
+impl fmt::Display for InvokeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvokeError::Timeout => f.write_str("invocation timed out"),
+            InvokeError::Disconnected => f.write_str("transport disconnected"),
+        }
+    }
+}
+
+impl Error for InvokeError {}
+
+/// A pushed (unsolicited) message from a replica.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Push {
+    /// Sending replica.
+    pub from: NodeId,
+    /// Payload.
+    pub payload: Bytes,
+}
+
+/// Client proxy over the in-process transport.
+pub struct ServiceProxy {
+    endpoint: Endpoint,
+    config: ProxyConfig,
+    next_seq: u64,
+    /// Push messages received while waiting for replies.
+    pushes: VecDeque<Push>,
+}
+
+impl fmt::Debug for ServiceProxy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServiceProxy")
+            .field("id", &self.config.id)
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+impl ServiceProxy {
+    /// Joins `network` as this client and returns the proxy.
+    pub fn new(network: &Network, config: ProxyConfig) -> ServiceProxy {
+        let endpoint = network.join(PeerId::Client(config.id.0));
+        ServiceProxy {
+            endpoint,
+            config,
+            next_seq: 1,
+            pushes: VecDeque::new(),
+        }
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.config.id
+    }
+
+    /// Registers with every replica for pushes without submitting a
+    /// request (receiver-only frontends).
+    pub fn subscribe(&self) {
+        let bytes = Bytes::from(to_bytes(&SmrMsg::Subscribe));
+        for replica in 0..self.config.n {
+            let _ = self.endpoint.send(PeerId::replica(replica as u32), bytes.clone());
+        }
+    }
+
+    fn send_request(&mut self, payload: Bytes) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.transmit(seq, payload);
+        seq
+    }
+
+    /// (Re)transmits request `seq` to every replica.
+    fn transmit(&self, seq: u64, payload: Bytes) {
+        let request = Request::new(self.config.id, seq, payload);
+        let bytes = Bytes::from(to_bytes(&SmrMsg::Request(request)));
+        for replica in 0..self.config.n {
+            let _ = self
+                .endpoint
+                .send(PeerId::replica(replica as u32), bytes.clone());
+        }
+    }
+
+    /// Sends a request without waiting for any reply (the ordering
+    /// service's frontends use this: blocks come back via the push
+    /// stream, not as replies).
+    pub fn invoke_async(&mut self, payload: impl Into<Bytes>) -> u64 {
+        self.send_request(payload.into())
+    }
+
+    /// Sends a request and waits for `reply_threshold` matching replies,
+    /// retransmitting within the timeout (replicas answer duplicates
+    /// from their reply caches).
+    ///
+    /// # Errors
+    ///
+    /// [`InvokeError::Timeout`] if agreement on a reply is not reached
+    /// in time; [`InvokeError::Disconnected`] if the hub is gone.
+    pub fn invoke(&mut self, payload: impl Into<Bytes>) -> Result<Bytes, InvokeError> {
+        let payload = payload.into();
+        let seq = self.send_request(payload.clone());
+        let deadline = Instant::now() + self.config.invoke_timeout;
+        let slice = self.config.invoke_timeout / (self.config.retransmissions + 1);
+        let mut next_retransmit = Instant::now() + slice;
+        // payload -> distinct replicas that sent it
+        let mut votes: HashMap<Bytes, Vec<NodeId>> = HashMap::new();
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(InvokeError::Timeout);
+            }
+            if now >= next_retransmit {
+                self.transmit(seq, payload.clone());
+                next_retransmit = now + slice;
+            }
+            let wait = (deadline - now).min(next_retransmit - now);
+            match self.endpoint.recv_timeout(wait) {
+                Ok((PeerId::Replica(id), raw)) => {
+                    let Ok(msg) = from_bytes::<SmrMsg>(&raw) else {
+                        continue;
+                    };
+                    let SmrMsg::Reply {
+                        seq: reply_seq,
+                        payload,
+                    } = msg
+                    else {
+                        continue;
+                    };
+                    if reply_seq == 0 {
+                        self.pushes.push_back(Push {
+                            from: NodeId(id),
+                            payload,
+                        });
+                        continue;
+                    }
+                    if reply_seq != seq {
+                        continue; // stale reply to an older invocation
+                    }
+                    let entry = votes.entry(payload.clone()).or_default();
+                    if !entry.contains(&NodeId(id)) {
+                        entry.push(NodeId(id));
+                    }
+                    if entry.len() >= self.config.reply_threshold {
+                        return Ok(payload);
+                    }
+                }
+                Ok(_) => continue,
+                // A slice timeout just loops back to retransmit; the
+                // overall deadline is enforced at the loop head.
+                Err(TransportError::Timeout) => continue,
+                Err(_) => return Err(InvokeError::Disconnected),
+            }
+        }
+    }
+
+    /// Returns the next pushed message, waiting up to `timeout`.
+    pub fn next_push(&mut self, timeout: Duration) -> Option<Push> {
+        if let Some(push) = self.pushes.pop_front() {
+            return Some(push);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            match self.endpoint.recv_timeout(deadline - now) {
+                Ok((PeerId::Replica(id), raw)) => {
+                    let Ok(SmrMsg::Reply { seq, payload }) = from_bytes::<SmrMsg>(&raw) else {
+                        continue;
+                    };
+                    if seq == 0 {
+                        return Some(Push {
+                            from: NodeId(id),
+                            payload,
+                        });
+                    }
+                    // A reply to a request we no longer wait on: drop.
+                }
+                Ok(_) => continue,
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Non-blocking variant of [`ServiceProxy::next_push`].
+    pub fn try_push(&mut self) -> Option<Push> {
+        if let Some(push) = self.pushes.pop_front() {
+            return Some(push);
+        }
+        while let Some((from, raw)) = self.endpoint.try_recv() {
+            if let (PeerId::Replica(id), Ok(SmrMsg::Reply { seq: 0, payload })) =
+                (from, from_bytes::<SmrMsg>(&raw))
+            {
+                return Some(Push {
+                    from: NodeId(id),
+                    payload,
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_match_paper() {
+        let classic = ProxyConfig::classic(ClientId(1), 4, 1);
+        assert_eq!(classic.reply_threshold, 2);
+        // WHEAT with 5 replicas: ⌈(5+1+1)/2⌉ = 4 replies.
+        let wheat = ProxyConfig::tentative(ClientId(1), 5, 1);
+        assert_eq!(wheat.reply_threshold, 4);
+    }
+
+    #[test]
+    fn invoke_collects_matching_replies() {
+        let network = Network::new();
+        let mut proxy = ServiceProxy::new(&network, ProxyConfig::classic(ClientId(5), 2, 0));
+        // Fake replicas answer by hand.
+        let r0 = network.join(PeerId::replica(0));
+        let r1 = network.join(PeerId::replica(1));
+        let answer = std::thread::spawn(move || {
+            for replica in [&r0, &r1] {
+                let (from, raw) = replica.recv_timeout(Duration::from_secs(5)).unwrap();
+                let SmrMsg::Request(req) = from_bytes::<SmrMsg>(&raw).unwrap() else {
+                    panic!("expected request")
+                };
+                assert_eq!(from, PeerId::client(5));
+                let reply = SmrMsg::Reply {
+                    seq: req.seq,
+                    payload: Bytes::from_static(b"result"),
+                };
+                replica
+                    .send(from, Bytes::from(to_bytes(&reply)))
+                    .unwrap();
+            }
+        });
+        // threshold = f+1 = 1: first matching reply wins.
+        let result = proxy.invoke(&b"query"[..]).unwrap();
+        assert_eq!(result, Bytes::from_static(b"result"));
+        answer.join().unwrap();
+    }
+
+    #[test]
+    fn invoke_times_out_without_replies() {
+        let network = Network::new();
+        let _r0 = network.join(PeerId::replica(0));
+        let mut cfg = ProxyConfig::classic(ClientId(5), 1, 0);
+        cfg.invoke_timeout = Duration::from_millis(50);
+        let mut proxy = ServiceProxy::new(&network, cfg);
+        assert_eq!(proxy.invoke(&b"query"[..]), Err(InvokeError::Timeout));
+    }
+
+    #[test]
+    fn retransmission_recovers_lost_reply() {
+        let network = Network::new();
+        let mut cfg = ProxyConfig::classic(ClientId(5), 1, 0);
+        cfg.invoke_timeout = Duration::from_millis(600);
+        cfg.retransmissions = 2;
+        let mut proxy = ServiceProxy::new(&network, cfg);
+        let r0 = network.join(PeerId::replica(0));
+        let answer = std::thread::spawn(move || {
+            // Swallow the first transmission (the "lost" request)...
+            let (_, raw) = r0.recv_timeout(Duration::from_secs(5)).unwrap();
+            let SmrMsg::Request(first) = from_bytes::<SmrMsg>(&raw).unwrap() else {
+                panic!("expected request")
+            };
+            // ...and answer only the retransmission, as a replica's
+            // reply cache would.
+            let (from, raw) = r0.recv_timeout(Duration::from_secs(5)).unwrap();
+            let SmrMsg::Request(second) = from_bytes::<SmrMsg>(&raw).unwrap() else {
+                panic!("expected retransmission")
+            };
+            assert_eq!(first.seq, second.seq, "retransmission reuses the seq");
+            let reply = SmrMsg::Reply {
+                seq: second.seq,
+                payload: Bytes::from_static(b"cached"),
+            };
+            r0.send(from, Bytes::from(to_bytes(&reply))).unwrap();
+        });
+        let result = proxy.invoke(&b"query"[..]).unwrap();
+        assert_eq!(result, Bytes::from_static(b"cached"));
+        answer.join().unwrap();
+    }
+
+    #[test]
+    fn pushes_are_buffered_during_invoke() {
+        let network = Network::new();
+        let mut cfg = ProxyConfig::classic(ClientId(5), 1, 0);
+        cfg.invoke_timeout = Duration::from_millis(200);
+        let mut proxy = ServiceProxy::new(&network, cfg);
+        let r0 = network.join(PeerId::replica(0));
+        let answer = std::thread::spawn(move || {
+            let (from, raw) = r0.recv_timeout(Duration::from_secs(5)).unwrap();
+            let SmrMsg::Request(req) = from_bytes::<SmrMsg>(&raw).unwrap() else {
+                panic!("expected request")
+            };
+            // Push first, then the real reply.
+            let push = SmrMsg::Reply {
+                seq: 0,
+                payload: Bytes::from_static(b"block-1"),
+            };
+            r0.send(from, Bytes::from(to_bytes(&push))).unwrap();
+            let reply = SmrMsg::Reply {
+                seq: req.seq,
+                payload: Bytes::from_static(b"ok"),
+            };
+            r0.send(from, Bytes::from(to_bytes(&reply))).unwrap();
+        });
+        let result = proxy.invoke(&b"query"[..]).unwrap();
+        assert_eq!(result, Bytes::from_static(b"ok"));
+        let push = proxy.next_push(Duration::from_millis(100)).unwrap();
+        assert_eq!(push.payload, Bytes::from_static(b"block-1"));
+        assert_eq!(push.from, NodeId(0));
+        answer.join().unwrap();
+    }
+}

@@ -1,0 +1,620 @@
+//! The threaded replica node: consensus + application + durability +
+//! state transfer, wired to the in-process transport.
+
+use crate::app::{Application, Dest};
+use crate::storage::LogStore;
+use crate::wire::{LogEntry, SmrMsg};
+use bytes::Bytes;
+use hlf_consensus::messages::ConsensusMsg;
+use hlf_consensus::replica::{Action, Config as ConsensusConfig, Replica};
+use hlf_transport::{Endpoint, Network, PeerId, SenderHandle};
+use hlf_wire::{from_bytes, to_bytes, ClientId, NodeId};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A thread-safe handle for pushing application outputs to clients from
+/// outside the node thread.
+///
+/// The ordering service's signing pool uses this: worker threads sign
+/// blocks and transmit them to every connected frontend without passing
+/// back through the node thread (paper §5.1's signing & sending pool).
+#[derive(Clone, Debug)]
+pub struct PushHandle {
+    sender: SenderHandle,
+    clients: Arc<RwLock<HashSet<ClientId>>>,
+}
+
+impl PushHandle {
+    /// Builds a handle with a fixed client set, bypassing a running
+    /// node. Intended for unit tests and custom drivers; inside a
+    /// replica node, use the handle provided by
+    /// [`spawn_replica_with`].
+    pub fn for_tests(sender: SenderHandle, clients: Vec<ClientId>) -> PushHandle {
+        PushHandle {
+            sender,
+            clients: Arc::new(RwLock::new(clients.into_iter().collect())),
+        }
+    }
+
+    /// Sends an unsolicited push (`seq == 0`) to every connected client.
+    ///
+    /// Each recipient gets a *fresh copy* of the payload rather than a
+    /// reference-counted clone. On a real deployment every frontend
+    /// connection serializes the full block onto the wire; paying that
+    /// per-receiver cost here is what lets the in-process LAN benchmarks
+    /// reproduce the paper's receiver-count scaling (Fig. 7).
+    pub fn push_all(&self, payload: Bytes) {
+        let msg = SmrMsg::Reply { seq: 0, payload };
+        let bytes = to_bytes(&msg);
+        for client in self.clients.read().iter() {
+            let copy = Bytes::copy_from_slice(&bytes);
+            let _ = self.sender.send(PeerId::Client(client.0), copy);
+        }
+    }
+
+    /// Sends a reply to one client.
+    pub fn send(&self, client: ClientId, seq: u64, payload: Bytes) {
+        let msg = SmrMsg::Reply { seq, payload };
+        let _ = self
+            .sender
+            .send(PeerId::Client(client.0), Bytes::from(to_bytes(&msg)));
+    }
+
+    /// Number of currently connected clients.
+    pub fn client_count(&self) -> usize {
+        self.clients.read().len()
+    }
+}
+
+/// Node-level configuration on top of the consensus [`ConsensusConfig`].
+pub struct NodeConfig {
+    /// Consensus parameters (quorums, keys, timeouts...).
+    pub consensus: ConsensusConfig,
+    /// Checkpoint the application every this many decisions.
+    pub checkpoint_interval: u64,
+    /// Granularity of the internal clock.
+    pub tick_interval: Duration,
+}
+
+impl NodeConfig {
+    /// Paper-flavoured defaults: checkpoint every 256 decisions, 20 ms
+    /// ticks.
+    pub fn new(consensus: ConsensusConfig) -> NodeConfig {
+        NodeConfig {
+            consensus,
+            checkpoint_interval: 256,
+            tick_interval: Duration::from_millis(20),
+        }
+    }
+}
+
+impl std::fmt::Debug for NodeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeConfig")
+            .field("consensus", &self.consensus)
+            .field("checkpoint_interval", &self.checkpoint_interval)
+            .finish()
+    }
+}
+
+/// Shared counters a [`NodeHandle`] exposes while its thread runs.
+#[derive(Debug, Default)]
+pub struct NodeStats {
+    decided: AtomicU64,
+    executed_requests: AtomicU64,
+    last_cid: AtomicU64,
+    state_transfers: AtomicU64,
+}
+
+impl NodeStats {
+    /// Instances decided (committed) so far.
+    pub fn decided(&self) -> u64 {
+        self.decided.load(Ordering::Relaxed)
+    }
+    /// Requests executed so far.
+    pub fn executed_requests(&self) -> u64 {
+        self.executed_requests.load(Ordering::Relaxed)
+    }
+    /// Highest committed instance.
+    pub fn last_cid(&self) -> u64 {
+        self.last_cid.load(Ordering::Relaxed)
+    }
+    /// Completed state transfers.
+    pub fn state_transfers(&self) -> u64 {
+        self.state_transfers.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to a running replica node thread.
+#[derive(Debug)]
+pub struct NodeHandle {
+    node: NodeId,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<NodeStats>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl NodeHandle {
+    /// This node's identity.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Live statistics.
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
+    }
+
+    /// Shared statistics handle that outlives `self` (for monitor
+    /// threads in benchmarks).
+    pub fn stats_arc(&self) -> Arc<NodeStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Signals the node to stop and joins its thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for NodeHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// In-progress state transfer bookkeeping.
+struct Transfer {
+    target_cid: u64,
+    /// Checkpoint candidates keyed by (cid, snapshot bytes), counting
+    /// distinct senders; `f + 1` matching senders make one trustworthy.
+    checkpoints: HashMap<(u64, Bytes), HashSet<NodeId>>,
+    /// Best proof-carrying entries seen so far.
+    entries: BTreeMap<u64, LogEntry>,
+    last_request_at: Instant,
+}
+
+/// Spawns a replica node thread.
+///
+/// The node joins `network` as `PeerId::Replica(id)`, runs consensus,
+/// executes `app` on decided batches, persists decisions to `log`, and
+/// serves/performs state transfer.
+pub fn spawn_replica(
+    config: NodeConfig,
+    network: &Network,
+    app: Box<dyn Application>,
+    log: Box<dyn LogStore>,
+) -> NodeHandle {
+    spawn_replica_with(config, network, log, move |_| app)
+}
+
+/// Like [`spawn_replica`], but the application is built with access to
+/// a [`PushHandle`] so its worker threads can transmit to clients
+/// directly (the ordering service's signing pool).
+pub fn spawn_replica_with(
+    config: NodeConfig,
+    network: &Network,
+    log: Box<dyn LogStore>,
+    build_app: impl FnOnce(PushHandle) -> Box<dyn Application> + Send + 'static,
+) -> NodeHandle {
+    let node = config.consensus.node;
+    let endpoint = network.join(PeerId::Replica(node.0));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(NodeStats::default());
+    let clients: Arc<RwLock<HashSet<ClientId>>> = Arc::new(RwLock::new(HashSet::new()));
+    let push_handle = PushHandle {
+        sender: endpoint.sender(),
+        clients: Arc::clone(&clients),
+    };
+
+    let thread_shutdown = Arc::clone(&shutdown);
+    let thread_stats = Arc::clone(&stats);
+    let thread = std::thread::Builder::new()
+        .name(format!("replica-{}", node.0))
+        .spawn(move || {
+            let app = build_app(push_handle);
+            let mut worker = NodeWorker::new(config, endpoint, app, log, thread_stats, clients);
+            worker.run(&thread_shutdown);
+        })
+        .expect("spawn replica thread");
+
+    NodeHandle {
+        node,
+        shutdown,
+        stats,
+        thread: Some(thread),
+    }
+}
+
+struct NodeWorker {
+    config: NodeConfig,
+    endpoint: Endpoint,
+    replica: Replica,
+    app: Box<dyn Application>,
+    log: Box<dyn LogStore>,
+    stats: Arc<NodeStats>,
+    clients: Arc<RwLock<HashSet<ClientId>>>,
+    /// Last reply sent to each client, re-sent when a client
+    /// retransmits an already-executed request (BFT-SMaRt's reply
+    /// cache).
+    reply_cache: HashMap<ClientId, (u64, Bytes)>,
+    started: Instant,
+    last_tick: Instant,
+    tentative_executed: Option<u64>,
+    transfer: Option<Transfer>,
+    /// Suppress client-visible outputs while replaying transferred
+    /// state.
+    replaying: bool,
+}
+
+impl NodeWorker {
+    fn new(
+        config: NodeConfig,
+        endpoint: Endpoint,
+        app: Box<dyn Application>,
+        log: Box<dyn LogStore>,
+        stats: Arc<NodeStats>,
+        clients: Arc<RwLock<HashSet<ClientId>>>,
+    ) -> NodeWorker {
+        let replica = Replica::new(config.consensus.clone());
+        NodeWorker {
+            config,
+            endpoint,
+            replica,
+            app,
+            log,
+            stats,
+            clients,
+            reply_cache: HashMap::new(),
+            started: Instant::now(),
+            last_tick: Instant::now(),
+            tentative_executed: None,
+            transfer: None,
+            replaying: false,
+        }
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    fn run(&mut self, shutdown: &AtomicBool) {
+        // Recover from the durable log, if it has history.
+        self.recover();
+        while !shutdown.load(Ordering::Relaxed) {
+            if let Ok((from, payload)) = self.endpoint.recv_timeout(self.config.tick_interval) { self.on_transport(from, &payload) }
+            if self.last_tick.elapsed() >= self.config.tick_interval {
+                self.last_tick = Instant::now();
+                let now = self.now_ms();
+                let actions = self.replica.on_tick(now);
+                self.apply(actions);
+                let outs = self.app.on_tick();
+                self.route(outs);
+                self.transfer_retry();
+            }
+        }
+    }
+
+    /// Replays the durable log into the application on startup.
+    fn recover(&mut self) {
+        let mut recovered = 0u64;
+        if let Some((cid, snapshot)) = self.log.last_checkpoint() {
+            self.app.restore(&snapshot);
+            recovered = cid;
+        }
+        self.replaying = true;
+        for entry in self.log.entries_from(recovered + 1) {
+            self.app.execute_batch(entry.cid, &entry.batch, false);
+            recovered = entry.cid;
+        }
+        self.replaying = false;
+        if recovered > 0 {
+            let now = self.now_ms();
+            let actions = self.replica.install_state(now, recovered);
+            self.stats.last_cid.store(recovered, Ordering::Relaxed);
+            self.apply(actions);
+        }
+    }
+
+    fn on_transport(&mut self, from: PeerId, payload: &[u8]) {
+        let Ok(msg) = from_bytes::<SmrMsg>(payload) else {
+            return;
+        };
+        let now = self.now_ms();
+        match (from, msg) {
+            (PeerId::Client(cid), SmrMsg::Request(request)) => {
+                // Clients may only submit under their own identity.
+                if request.client != ClientId(cid) {
+                    return;
+                }
+                self.clients.write().insert(request.client);
+                // Retransmission of an already-answered request: replay
+                // the cached reply instead of re-ordering.
+                if let Some((seq, payload)) = self.reply_cache.get(&request.client) {
+                    if *seq == request.seq {
+                        let msg = SmrMsg::Reply {
+                            seq: *seq,
+                            payload: payload.clone(),
+                        };
+                        let _ = self
+                            .endpoint
+                            .send(PeerId::Client(cid), Bytes::from(to_bytes(&msg)));
+                        return;
+                    }
+                }
+                let actions = self.replica.on_request(now, request);
+                self.apply(actions);
+            }
+            (PeerId::Client(cid), SmrMsg::Subscribe) => {
+                self.clients.write().insert(ClientId(cid));
+            }
+            (PeerId::Replica(id), SmrMsg::Consensus(msg)) => {
+                let actions = self.replica.on_message(now, NodeId(id), msg);
+                self.apply(actions);
+            }
+            (PeerId::Replica(id), SmrMsg::StateRequest { from_cid }) => {
+                self.serve_state(NodeId(id), from_cid);
+            }
+            (PeerId::Replica(id), SmrMsg::StateReply {
+                checkpoint,
+                entries,
+            }) => {
+                self.on_state_reply(NodeId(id), checkpoint, entries);
+            }
+            _ => {}
+        }
+    }
+
+    fn apply(&mut self, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Broadcast(msg) => self.broadcast_consensus(&msg),
+                Action::Send(to, msg) => {
+                    let bytes = Bytes::from(to_bytes(&SmrMsg::Consensus(msg)));
+                    let _ = self.endpoint.send(PeerId::Replica(to.0), bytes);
+                }
+                Action::DeliverTentative { cid, batch } => {
+                    let outs = self.app.execute_batch(cid, &batch, true);
+                    self.tentative_executed = Some(cid);
+                    self.route(outs);
+                }
+                Action::Rollback { cid } => {
+                    let outs = self.app.rollback(cid);
+                    self.tentative_executed = None;
+                    self.route(outs);
+                }
+                Action::Commit { cid, batch, proof } => {
+                    self.log.append(cid, &batch, &proof);
+                    if self.tentative_executed == Some(cid) {
+                        self.app.confirm(cid);
+                        self.tentative_executed = None;
+                    } else {
+                        let outs = self.app.execute_batch(cid, &batch, false);
+                        self.route(outs);
+                    }
+                    self.stats.decided.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .executed_requests
+                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    self.stats.last_cid.store(cid, Ordering::Relaxed);
+                    if cid % self.config.checkpoint_interval == 0 {
+                        let snapshot = self.app.snapshot();
+                        self.log.checkpoint(cid, &snapshot);
+                    }
+                }
+                Action::Behind { target_cid } => self.start_transfer(target_cid),
+            }
+        }
+    }
+
+    fn broadcast_consensus(&self, msg: &ConsensusMsg) {
+        let bytes = Bytes::from(to_bytes(&SmrMsg::Consensus(msg.clone())));
+        let self_id = self.replica.node();
+        for node in 0..self.consensus_n() {
+            if node as u32 != self_id.0 {
+                let _ = self
+                    .endpoint
+                    .send(PeerId::Replica(node as u32), bytes.clone());
+            }
+        }
+    }
+
+    fn consensus_n(&self) -> usize {
+        self.config.consensus.quorums.n()
+    }
+
+    fn route(&mut self, outs: Vec<crate::app::Outbound>) {
+        if self.replaying {
+            return;
+        }
+        for out in outs {
+            if out.seq > 0 {
+                if let Dest::Client(client) = out.dest {
+                    self.reply_cache.insert(client, (out.seq, out.payload.clone()));
+                }
+            }
+            let msg = SmrMsg::Reply {
+                seq: out.seq,
+                payload: out.payload,
+            };
+            let bytes = Bytes::from(to_bytes(&msg));
+            match out.dest {
+                Dest::Client(client) => {
+                    let _ = self.endpoint.send(PeerId::Client(client.0), bytes);
+                }
+                Dest::AllClients => {
+                    for client in self.clients.read().iter() {
+                        let _ = self.endpoint.send(PeerId::Client(client.0), bytes.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // State transfer
+    // ------------------------------------------------------------------
+
+    fn serve_state(&mut self, to: NodeId, from_cid: u64) {
+        let checkpoint = self.log.last_checkpoint().filter(|(cid, _)| *cid >= from_cid);
+        let entries_from = checkpoint
+            .as_ref()
+            .map(|(cid, _)| cid + 1)
+            .unwrap_or(from_cid);
+        let entries = self.log.entries_from(entries_from);
+        if checkpoint.is_none() && entries.is_empty() {
+            return;
+        }
+        let msg = SmrMsg::StateReply {
+            checkpoint,
+            entries,
+        };
+        let _ = self
+            .endpoint
+            .send(PeerId::Replica(to.0), Bytes::from(to_bytes(&msg)));
+    }
+
+    fn start_transfer(&mut self, target_cid: u64) {
+        if self
+            .transfer
+            .as_ref()
+            .is_some_and(|t| t.target_cid >= target_cid)
+        {
+            return;
+        }
+        self.transfer = Some(Transfer {
+            target_cid,
+            checkpoints: HashMap::new(),
+            entries: BTreeMap::new(),
+            last_request_at: Instant::now(),
+        });
+        self.request_state();
+    }
+
+    fn request_state(&self) {
+        let from_cid = self.stats.last_cid() + 1;
+        let msg = SmrMsg::StateRequest { from_cid };
+        let bytes = Bytes::from(to_bytes(&msg));
+        let self_id = self.replica.node();
+        for node in 0..self.consensus_n() {
+            if node as u32 != self_id.0 {
+                let _ = self
+                    .endpoint
+                    .send(PeerId::Replica(node as u32), bytes.clone());
+            }
+        }
+    }
+
+    fn transfer_retry(&mut self) {
+        let Some(transfer) = &mut self.transfer else {
+            return;
+        };
+        if transfer.last_request_at.elapsed() > Duration::from_millis(500) {
+            transfer.last_request_at = Instant::now();
+            self.request_state();
+        }
+    }
+
+    fn on_state_reply(
+        &mut self,
+        from: NodeId,
+        checkpoint: Option<(u64, Bytes)>,
+        entries: Vec<LogEntry>,
+    ) {
+        let quorums = self.config.consensus.quorums.clone();
+        let keys = self.config.consensus.keys.clone();
+        let Some(transfer) = &mut self.transfer else {
+            return;
+        };
+        if let Some((cid, snapshot)) = checkpoint {
+            transfer
+                .checkpoints
+                .entry((cid, snapshot))
+                .or_default()
+                .insert(from);
+        }
+        for entry in entries {
+            let valid = entry.proof.cid == entry.cid
+                && entry.proof.hash == entry.batch.digest()
+                && entry.proof.verify(&quorums, &keys).is_ok();
+            if valid {
+                transfer.entries.entry(entry.cid).or_insert(entry);
+            }
+        }
+        self.try_complete_transfer();
+    }
+
+    fn try_complete_transfer(&mut self) {
+        let Some(transfer) = &self.transfer else {
+            return;
+        };
+        let need_up_to = transfer.target_cid.saturating_sub(1);
+        let have_from = self.stats.last_cid() + 1;
+
+        // Option A: contiguous proven entries cover the whole gap.
+        let contiguous = (have_from..=need_up_to).all(|cid| transfer.entries.contains_key(&cid));
+
+        // Option B: an f+1-attested checkpoint plus entries after it.
+        let f = self.config.consensus.quorums.f();
+        let attested: Option<(u64, Bytes)> = transfer
+            .checkpoints
+            .iter()
+            .filter(|(_, senders)| senders.len() > f)
+            .map(|((cid, snap), _)| (*cid, snap.clone()))
+            .max_by_key(|(cid, _)| *cid);
+
+        if contiguous {
+            let entries: Vec<LogEntry> = (have_from..=need_up_to)
+                .map(|cid| transfer.entries[&cid].clone())
+                .collect();
+            self.finish_transfer(None, entries, need_up_to);
+        } else if let Some((ckpt_cid, snapshot)) = attested {
+            if ckpt_cid >= have_from.saturating_sub(1) && ckpt_cid <= need_up_to {
+                let rest_ok =
+                    (ckpt_cid + 1..=need_up_to).all(|cid| transfer.entries.contains_key(&cid));
+                if rest_ok {
+                    let entries: Vec<LogEntry> = (ckpt_cid + 1..=need_up_to)
+                        .map(|cid| transfer.entries[&cid].clone())
+                        .collect();
+                    self.finish_transfer(Some((ckpt_cid, snapshot)), entries, need_up_to);
+                }
+            }
+        }
+    }
+
+    fn finish_transfer(
+        &mut self,
+        checkpoint: Option<(u64, Bytes)>,
+        entries: Vec<LogEntry>,
+        reached: u64,
+    ) {
+        self.replaying = true;
+        if let Some((cid, snapshot)) = checkpoint {
+            self.app.restore(&snapshot);
+            self.log.checkpoint(cid, &snapshot);
+        }
+        for entry in entries {
+            self.app.execute_batch(entry.cid, &entry.batch, false);
+            self.log.append(entry.cid, &entry.batch, &entry.proof);
+        }
+        self.replaying = false;
+        self.transfer = None;
+        self.tentative_executed = None;
+        self.stats.last_cid.store(reached, Ordering::Relaxed);
+        self.stats.state_transfers.fetch_add(1, Ordering::Relaxed);
+        let now = self.now_ms();
+        let actions = self.replica.install_state(now, reached);
+        self.apply(actions);
+    }
+}

@@ -1,0 +1,300 @@
+//! One-call cluster bootstrap for tests, benchmarks and examples.
+
+use crate::app::Application;
+use crate::client::{ProxyConfig, ServiceProxy};
+use crate::node::{spawn_replica, NodeConfig, NodeHandle};
+use crate::storage::{LogStore, MemoryLog};
+use hlf_consensus::quorum::QuorumSystem;
+use hlf_consensus::replica::Config as ConsensusConfig;
+use hlf_crypto::ecdsa::{SigningKey, VerifyingKey};
+use hlf_transport::{Network, PeerId};
+use hlf_wire::{ClientId, NodeId};
+use std::time::Duration;
+
+/// Deterministic cluster key material.
+#[derive(Clone)]
+pub struct ClusterKeys {
+    /// Per-replica signing keys.
+    pub signing: Vec<SigningKey>,
+    /// Per-replica public keys, indexed by node id.
+    pub verifying: Vec<VerifyingKey>,
+}
+
+impl ClusterKeys {
+    /// Derives keys for `n` replicas from a cluster seed.
+    pub fn derive(seed: &str, n: usize) -> ClusterKeys {
+        let signing: Vec<SigningKey> = (0..n)
+            .map(|i| SigningKey::from_seed(format!("{seed}/replica-{i}").as_bytes()))
+            .collect();
+        let verifying = signing.iter().map(|k| *k.verifying_key()).collect();
+        ClusterKeys { signing, verifying }
+    }
+}
+
+/// Tunables for a bootstrapped cluster.
+#[derive(Clone, Debug)]
+pub struct RuntimeOptions {
+    /// Fault threshold.
+    pub f: usize,
+    /// Use WHEAT weighted quorums (requires spare replicas).
+    pub wheat_weights: bool,
+    /// Enable WHEAT tentative execution.
+    pub tentative_execution: bool,
+    /// Consensus batch size limit.
+    pub batch_max: usize,
+    /// Request timeout before escalation.
+    pub request_timeout_ms: u64,
+    /// Checkpoint period in decisions.
+    pub checkpoint_interval: u64,
+}
+
+impl RuntimeOptions {
+    /// Classic BFT-SMaRt defaults for a given `f`.
+    pub fn classic(f: usize) -> RuntimeOptions {
+        RuntimeOptions {
+            f,
+            wheat_weights: false,
+            tentative_execution: false,
+            batch_max: 400,
+            request_timeout_ms: 2_000,
+            checkpoint_interval: 256,
+        }
+    }
+
+    /// Shorter timeouts for fault-injection tests.
+    pub fn with_request_timeout_ms(mut self, ms: u64) -> RuntimeOptions {
+        self.request_timeout_ms = ms;
+        self
+    }
+
+    /// Overrides the batch cap.
+    pub fn with_batch_max(mut self, batch_max: usize) -> RuntimeOptions {
+        self.batch_max = batch_max;
+        self
+    }
+
+    /// Overrides the checkpoint period.
+    pub fn with_checkpoint_interval(mut self, interval: u64) -> RuntimeOptions {
+        self.checkpoint_interval = interval;
+        self
+    }
+}
+
+/// A running in-process cluster of replica nodes.
+pub struct ClusterRuntime {
+    network: Network,
+    handles: Vec<Option<NodeHandle>>,
+    keys: ClusterKeys,
+    quorums: QuorumSystem,
+    options: RuntimeOptions,
+    next_client: u32,
+}
+
+impl std::fmt::Debug for ClusterRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterRuntime")
+            .field("n", &self.handles.len())
+            .field("f", &self.options.f)
+            .finish()
+    }
+}
+
+impl ClusterRuntime {
+    /// Boots `n` replica nodes with applications from `app_factory` and
+    /// in-memory logs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid `(n, f)` combinations.
+    pub fn start(
+        n: usize,
+        options: RuntimeOptions,
+        app_factory: impl Fn(usize) -> Box<dyn Application>,
+    ) -> ClusterRuntime {
+        Self::start_with_logs(n, options, app_factory, |_| Box::new(MemoryLog::new()))
+    }
+
+    /// Boots a cluster whose applications are built with access to a
+    /// [`crate::node::PushHandle`] (the ordering service's signing pool
+    /// needs one per node).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid `(n, f)` combinations.
+    pub fn start_custom(
+        n: usize,
+        options: RuntimeOptions,
+        app_builder: impl Fn(usize, crate::node::PushHandle) -> Box<dyn Application>
+            + Send
+            + Sync
+            + 'static,
+        log_factory: impl Fn(usize) -> Box<dyn LogStore>,
+    ) -> ClusterRuntime {
+        let app_builder = std::sync::Arc::new(app_builder);
+        let mut runtime = Self::prepare(n, options);
+        for i in 0..n {
+            let consensus = runtime.consensus_config(i);
+            let mut node_config = NodeConfig::new(consensus);
+            node_config.checkpoint_interval = runtime.options.checkpoint_interval;
+            let builder = std::sync::Arc::clone(&app_builder);
+            let handle = crate::node::spawn_replica_with(
+                node_config,
+                &runtime.network,
+                log_factory(i),
+                move |push| builder(i, push),
+            );
+            runtime.handles.push(Some(handle));
+        }
+        runtime
+    }
+
+    /// Boots a cluster with caller-provided log stores (e.g.
+    /// [`crate::storage::FileLog`] for durability tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid `(n, f)` combinations.
+    pub fn start_with_logs(
+        n: usize,
+        options: RuntimeOptions,
+        app_factory: impl Fn(usize) -> Box<dyn Application>,
+        log_factory: impl Fn(usize) -> Box<dyn LogStore>,
+    ) -> ClusterRuntime {
+        let mut runtime = Self::prepare(n, options);
+        for i in 0..n {
+            let handle = runtime.spawn_node(i, app_factory(i), log_factory(i));
+            runtime.handles.push(Some(handle));
+        }
+        runtime
+    }
+
+    fn prepare(n: usize, options: RuntimeOptions) -> ClusterRuntime {
+        let quorums = if options.wheat_weights {
+            QuorumSystem::wheat_binary(n, options.f).expect("valid WHEAT configuration")
+        } else {
+            QuorumSystem::classic(n, options.f).expect("valid classic configuration")
+        };
+        let keys = ClusterKeys::derive("runtime", n);
+        ClusterRuntime {
+            network: Network::new(),
+            handles: Vec::new(),
+            keys,
+            quorums,
+            options,
+            next_client: 0,
+        }
+    }
+
+    fn consensus_config(&self, i: usize) -> ConsensusConfig {
+        ConsensusConfig::new(
+            NodeId(i as u32),
+            self.quorums.clone(),
+            self.keys.verifying.clone(),
+            self.keys.signing[i].clone(),
+        )
+        .with_tentative_execution(self.options.tentative_execution)
+        .with_batch_max(self.options.batch_max)
+        .with_request_timeout_ms(self.options.request_timeout_ms)
+    }
+
+    fn spawn_node(
+        &self,
+        i: usize,
+        app: Box<dyn Application>,
+        log: Box<dyn LogStore>,
+    ) -> NodeHandle {
+        let mut node_config = NodeConfig::new(self.consensus_config(i));
+        node_config.checkpoint_interval = self.options.checkpoint_interval;
+        spawn_replica(node_config, &self.network, app, log)
+    }
+
+    /// The shared transport hub (for fault injection).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Number of replicas.
+    pub fn n(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Node statistics handle (panics if the node was crashed).
+    pub fn stats(&self, i: usize) -> &crate::node::NodeStats {
+        self.handles[i].as_ref().expect("node running").stats()
+    }
+
+    /// Shared statistics handle for node `i` (panics if crashed).
+    pub fn stats_arc(&self, i: usize) -> std::sync::Arc<crate::node::NodeStats> {
+        self.handles[i].as_ref().expect("node running").stats_arc()
+    }
+
+    /// Creates a synchronous client proxy with the classic `f + 1`
+    /// reply threshold (or the tentative quorum when the cluster runs
+    /// WHEAT tentative execution).
+    pub fn proxy(&mut self) -> ServiceProxy {
+        self.next_client += 1;
+        let id = ClientId(self.next_client);
+        let config = if self.options.tentative_execution {
+            ProxyConfig::tentative(id, self.n(), self.options.f)
+        } else {
+            ProxyConfig::classic(id, self.n(), self.options.f)
+        };
+        ServiceProxy::new(&self.network, config)
+    }
+
+    /// Creates a proxy with an explicit configuration.
+    pub fn proxy_with(&self, config: ProxyConfig) -> ServiceProxy {
+        ServiceProxy::new(&self.network, config)
+    }
+
+    /// Crashes node `i`: its thread stops and its mailbox disappears.
+    pub fn crash(&mut self, i: usize) {
+        if let Some(handle) = self.handles[i].take() {
+            self.network.part(PeerId::replica(i as u32));
+            self.network.isolate(PeerId::replica(i as u32));
+            handle.shutdown();
+            self.network.heal(PeerId::replica(i as u32));
+        }
+    }
+
+    /// Restarts a crashed node with a fresh application instance; it
+    /// recovers via its log and state transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is still running.
+    pub fn restart(&mut self, i: usize, app: Box<dyn Application>, log: Box<dyn LogStore>) {
+        assert!(self.handles[i].is_none(), "node {i} still running");
+        let handle = self.spawn_node(i, app, log);
+        self.handles[i] = Some(handle);
+    }
+
+    /// Waits until every live node has decided at least `cid`, up to
+    /// `timeout`. Returns `true` on success.
+    pub fn wait_for_cid(&self, cid: u64, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let all = self
+                .handles
+                .iter()
+                .flatten()
+                .all(|h| h.stats().last_cid() >= cid);
+            if all {
+                return true;
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Stops every node.
+    pub fn shutdown(mut self) {
+        for handle in self.handles.iter_mut() {
+            if let Some(handle) = handle.take() {
+                handle.shutdown();
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Framing for everything that crosses the transport: client requests,
+//! replies/pushes, consensus traffic, and state transfer.
+
+use bytes::Bytes;
+use hlf_consensus::messages::{Batch, ConsensusMsg, DecisionProof, Request};
+use hlf_wire::{decode_seq, encode_seq, Decode, Encode, Reader, WireError};
+
+/// One recoverable log entry served during state transfer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogEntry {
+    /// Decided instance.
+    pub cid: u64,
+    /// Decided batch.
+    pub batch: Batch,
+    /// Quorum proof of the decision.
+    pub proof: DecisionProof,
+}
+
+impl Encode for LogEntry {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.cid.encode(out);
+        self.batch.encode(out);
+        self.proof.encode(out);
+    }
+}
+
+impl Decode for LogEntry {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(LogEntry {
+            cid: Decode::decode(r)?,
+            batch: Decode::decode(r)?,
+            proof: Decode::decode(r)?,
+        })
+    }
+}
+
+/// Top-level message envelope on the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SmrMsg {
+    /// Client -> replica: please order this request.
+    Request(Request),
+    /// Replica -> client: reply to request `seq`, or an unsolicited
+    /// push when `seq == 0` (the ordering service's blocks).
+    Reply {
+        /// Request sequence this answers (0 = push).
+        seq: u64,
+        /// Reply payload.
+        payload: Bytes,
+    },
+    /// Replica <-> replica consensus traffic.
+    Consensus(ConsensusMsg),
+    /// Replica -> replica: send me everything from `from_cid` on.
+    StateRequest {
+        /// First instance the requester is missing.
+        from_cid: u64,
+    },
+    /// Replica -> replica: state transfer payload.
+    StateReply {
+        /// Latest checkpoint at or below the requested point, if any:
+        /// `(checkpointed cid, application snapshot)`.
+        checkpoint: Option<(u64, Bytes)>,
+        /// Proven log entries after the checkpoint.
+        entries: Vec<LogEntry>,
+    },
+    /// Client -> replica: register for pushes without submitting a
+    /// request (receiver-only frontends).
+    Subscribe,
+}
+
+impl Encode for SmrMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            SmrMsg::Request(request) => {
+                out.push(0);
+                request.encode(out);
+            }
+            SmrMsg::Reply { seq, payload } => {
+                out.push(1);
+                seq.encode(out);
+                payload.encode(out);
+            }
+            SmrMsg::Consensus(msg) => {
+                out.push(2);
+                msg.encode(out);
+            }
+            SmrMsg::StateRequest { from_cid } => {
+                out.push(3);
+                from_cid.encode(out);
+            }
+            SmrMsg::StateReply {
+                checkpoint,
+                entries,
+            } => {
+                out.push(4);
+                checkpoint.encode(out);
+                encode_seq(entries, out);
+            }
+            SmrMsg::Subscribe => out.push(5),
+        }
+    }
+}
+
+impl Decode for SmrMsg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::decode(r)? {
+            0 => SmrMsg::Request(Decode::decode(r)?),
+            1 => SmrMsg::Reply {
+                seq: Decode::decode(r)?,
+                payload: Decode::decode(r)?,
+            },
+            2 => SmrMsg::Consensus(Decode::decode(r)?),
+            3 => SmrMsg::StateRequest {
+                from_cid: Decode::decode(r)?,
+            },
+            4 => SmrMsg::StateReply {
+                checkpoint: Decode::decode(r)?,
+                entries: decode_seq(r)?,
+            },
+            5 => SmrMsg::Subscribe,
+            d => return Err(WireError::InvalidDiscriminant(d)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlf_crypto::ecdsa::SigningKey;
+    use hlf_consensus::messages::{Vote, VotePhase};
+    use hlf_wire::{from_bytes, to_bytes, ClientId, NodeId};
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let request = Request::new(ClientId(1), 2, Bytes::from_static(b"payload"));
+        let batch = Batch::new(vec![request.clone()]);
+        let key = SigningKey::from_seed(b"smr-wire");
+        let vote = Vote::sign(&key, VotePhase::Accept, NodeId(0), 1, 0, batch.digest());
+        let proof = DecisionProof {
+            cid: 1,
+            hash: batch.digest(),
+            votes: vec![vote],
+        };
+        let messages = vec![
+            SmrMsg::Request(request),
+            SmrMsg::Reply {
+                seq: 7,
+                payload: Bytes::from_static(b"ok"),
+            },
+            SmrMsg::Consensus(ConsensusMsg::Stop { regency: 2 }),
+            SmrMsg::StateRequest { from_cid: 10 },
+            SmrMsg::StateReply {
+                checkpoint: Some((5, Bytes::from_static(b"snap"))),
+                entries: vec![LogEntry {
+                    cid: 6,
+                    batch,
+                    proof,
+                }],
+            },
+            SmrMsg::Subscribe,
+        ];
+        for msg in messages {
+            assert_eq!(from_bytes::<SmrMsg>(&to_bytes(&msg)).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(from_bytes::<SmrMsg>(&[42, 0, 0]).is_err());
+        assert!(from_bytes::<SmrMsg>(&[]).is_err());
+    }
+}

@@ -1,0 +1,693 @@
+//! In-process point-to-point transport for threaded deployments.
+//!
+//! The LAN experiments of the paper (§6.2) run the ordering cluster on a
+//! Gigabit-Ethernet testbed. Our threaded reproduction replaces sockets
+//! with crossbeam channels: each process (replica, frontend, client)
+//! owns an [`Endpoint`] and exchanges length-delimited byte messages
+//! with any other endpoint registered on the same [`Network`] hub.
+//!
+//! The hub supports the fault injection the integration tests need —
+//! blocked links, probabilistic drops, isolated nodes — and optional
+//! HMAC authentication mirroring BFT-SMaRt's authenticated channels.
+//!
+//! # Examples
+//!
+//! ```
+//! use hlf_transport::{Network, PeerId};
+//! use std::time::Duration;
+//!
+//! let network = Network::new();
+//! let a = network.join(PeerId::replica(0));
+//! let b = network.join(PeerId::replica(1));
+//! a.send(PeerId::replica(1), bytes::Bytes::from_static(b"hello")).unwrap();
+//! let (from, msg) = b.recv_timeout(Duration::from_secs(1)).unwrap();
+//! assert_eq!(from, PeerId::replica(0));
+//! assert_eq!(&msg[..], b"hello");
+//! ```
+
+use bytes::Bytes;
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use hlf_crypto::hmac::hmac_sha256_multi;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Identity of a transport participant.
+///
+/// The ordering service has two kinds of participants: cluster replicas
+/// and frontends (SMR clients). Keeping them in one address space lets
+/// the custom replier push blocks directly to frontends.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum PeerId {
+    /// An ordering node (BFT-SMaRt replica).
+    Replica(u32),
+    /// A frontend / client.
+    Client(u32),
+}
+
+impl PeerId {
+    /// Shorthand constructor for a replica id.
+    pub fn replica(id: u32) -> PeerId {
+        PeerId::Replica(id)
+    }
+
+    /// Shorthand constructor for a client id.
+    pub fn client(id: u32) -> PeerId {
+        PeerId::Client(id)
+    }
+
+    /// Returns `true` for replica ids.
+    pub fn is_replica(&self) -> bool {
+        matches!(self, PeerId::Replica(_))
+    }
+}
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeerId::Replica(id) => write!(f, "replica-{id}"),
+            PeerId::Client(id) => write!(f, "client-{id}"),
+        }
+    }
+}
+
+/// Transport failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// Destination is not registered on the hub.
+    UnknownPeer(PeerId),
+    /// Destination endpoint was dropped.
+    Disconnected(PeerId),
+    /// No message arrived before the timeout.
+    Timeout,
+    /// The hub dropped the message due to an injected fault. Callers
+    /// usually treat this as success (the network "lost" the packet).
+    Dropped,
+    /// Message failed authentication.
+    BadAuthenticator(PeerId),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::UnknownPeer(p) => write!(f, "unknown peer {p}"),
+            TransportError::Disconnected(p) => write!(f, "peer {p} disconnected"),
+            TransportError::Timeout => f.write_str("receive timed out"),
+            TransportError::Dropped => f.write_str("message dropped by fault injection"),
+            TransportError::BadAuthenticator(p) => {
+                write!(f, "bad message authenticator from {p}")
+            }
+        }
+    }
+}
+
+impl Error for TransportError {}
+
+/// Per-endpoint traffic counters.
+#[derive(Debug, Default)]
+pub struct TrafficStats {
+    messages_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    messages_received: AtomicU64,
+    bytes_received: AtomicU64,
+}
+
+impl TrafficStats {
+    /// Messages sent by this endpoint.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent.load(Ordering::Relaxed)
+    }
+    /// Payload bytes sent by this endpoint.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+    /// Messages received by this endpoint.
+    pub fn messages_received(&self) -> u64 {
+        self.messages_received.load(Ordering::Relaxed)
+    }
+    /// Payload bytes received by this endpoint.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Default)]
+struct FaultState {
+    blocked_links: Vec<(PeerId, PeerId)>,
+    isolated: Vec<PeerId>,
+    drop_probability: f64,
+    rng_state: u64,
+}
+
+impl FaultState {
+    fn next_f64(&mut self) -> f64 {
+        // SplitMix64 step; determinism is per-hub, guarded by the mutex.
+        self.rng_state = self.rng_state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn should_drop(&mut self, from: PeerId, to: PeerId) -> bool {
+        if self.blocked_links.contains(&(from, to)) {
+            return true;
+        }
+        if self.isolated.contains(&from) || self.isolated.contains(&to) {
+            return true;
+        }
+        self.drop_probability > 0.0 && self.next_f64() < self.drop_probability
+    }
+}
+
+struct Hub {
+    peers: RwLock<HashMap<PeerId, Sender<(PeerId, Bytes)>>>,
+    faults: Mutex<FaultState>,
+}
+
+/// The in-process network hub endpoints attach to.
+///
+/// Cloning shares the hub.
+#[derive(Clone)]
+pub struct Network {
+    hub: Arc<Hub>,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Network({} peers)", self.hub.peers.read().len())
+    }
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Network {
+    /// Creates an empty hub.
+    pub fn new() -> Network {
+        Network {
+            hub: Arc::new(Hub {
+                peers: RwLock::new(HashMap::new()),
+                faults: Mutex::new(FaultState::default()),
+            }),
+        }
+    }
+
+    /// Registers `id` and returns its endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already registered; ids must be unique.
+    pub fn join(&self, id: PeerId) -> Endpoint {
+        let (tx, rx) = channel::unbounded();
+        let mut peers = self.hub.peers.write();
+        let previous = peers.insert(id, tx);
+        assert!(previous.is_none(), "peer {id} joined twice");
+        Endpoint {
+            id,
+            hub: Arc::clone(&self.hub),
+            incoming: rx,
+            stats: Arc::new(TrafficStats::default()),
+        }
+    }
+
+    /// Blocks the directed link `from -> to`.
+    pub fn block_link(&self, from: PeerId, to: PeerId) {
+        self.hub.faults.lock().blocked_links.push((from, to));
+    }
+
+    /// Removes all link blocks.
+    pub fn unblock_all(&self) {
+        self.hub.faults.lock().blocked_links.clear();
+    }
+
+    /// Drops all traffic to and from `peer`.
+    pub fn isolate(&self, peer: PeerId) {
+        self.hub.faults.lock().isolated.push(peer);
+    }
+
+    /// Restores traffic for `peer`.
+    pub fn heal(&self, peer: PeerId) {
+        self.hub.faults.lock().isolated.retain(|p| *p != peer);
+    }
+
+    /// Sets a uniform message-drop probability (deterministic stream
+    /// seeded by `seed`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn set_drop_probability(&self, p: f64, seed: u64) {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        let mut faults = self.hub.faults.lock();
+        faults.drop_probability = p;
+        faults.rng_state = seed;
+    }
+
+    /// Removes a peer's mailbox (simulates a process exit).
+    pub fn part(&self, id: PeerId) {
+        self.hub.peers.write().remove(&id);
+    }
+
+    /// Currently registered peers, in unspecified order.
+    pub fn peers(&self) -> Vec<PeerId> {
+        self.hub.peers.read().keys().copied().collect()
+    }
+}
+
+/// One participant's handle on the network.
+pub struct Endpoint {
+    id: PeerId,
+    hub: Arc<Hub>,
+    incoming: Receiver<(PeerId, Bytes)>,
+    stats: Arc<TrafficStats>,
+}
+
+impl fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Endpoint({})", self.id)
+    }
+}
+
+/// A cloneable, send-only handle derived from an [`Endpoint`].
+///
+/// Receiving stays single-consumer on the endpoint; senders can be
+/// handed to worker threads (the ordering service's signing pool sends
+/// finished blocks straight to frontends from its workers).
+#[derive(Clone)]
+pub struct SenderHandle {
+    id: PeerId,
+    hub: Arc<Hub>,
+    stats: Arc<TrafficStats>,
+}
+
+impl fmt::Debug for SenderHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SenderHandle({})", self.id)
+    }
+}
+
+impl SenderHandle {
+    /// The originating endpoint's identity.
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+
+    /// Sends `payload` to `to` (same semantics as [`Endpoint::send`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Endpoint::send`].
+    pub fn send(&self, to: PeerId, payload: Bytes) -> Result<(), TransportError> {
+        if self.hub.faults.lock().should_drop(self.id, to) {
+            return Err(TransportError::Dropped);
+        }
+        let peers = self.hub.peers.read();
+        let sender = peers.get(&to).ok_or(TransportError::UnknownPeer(to))?;
+        self.stats.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_sent
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        sender
+            .send((self.id, payload))
+            .map_err(|_| TransportError::Disconnected(to))
+    }
+}
+
+impl Endpoint {
+    /// This endpoint's identity.
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+
+    /// A cloneable send-only handle for worker threads.
+    pub fn sender(&self) -> SenderHandle {
+        SenderHandle {
+            id: self.id,
+            hub: Arc::clone(&self.hub),
+            stats: Arc::clone(&self.stats),
+        }
+    }
+
+    /// Shared traffic counters (clone the `Arc` to watch from outside).
+    pub fn stats(&self) -> Arc<TrafficStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Sends `payload` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::UnknownPeer`] if the destination never joined,
+    /// [`TransportError::Disconnected`] if its endpoint was dropped, and
+    /// [`TransportError::Dropped`] if fault injection consumed the
+    /// message.
+    pub fn send(&self, to: PeerId, payload: Bytes) -> Result<(), TransportError> {
+        if self.hub.faults.lock().should_drop(self.id, to) {
+            return Err(TransportError::Dropped);
+        }
+        let peers = self.hub.peers.read();
+        let sender = peers.get(&to).ok_or(TransportError::UnknownPeer(to))?;
+        self.stats.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_sent
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        sender
+            .send((self.id, payload))
+            .map_err(|_| TransportError::Disconnected(to))
+    }
+
+    /// Sends `payload` to every peer in `recipients`, ignoring
+    /// individual delivery failures (the BFT layers tolerate loss).
+    pub fn multicast(&self, recipients: &[PeerId], payload: &Bytes) {
+        for &to in recipients {
+            let _ = self.send(to, payload.clone());
+        }
+    }
+
+    /// Receives the next message, blocking indefinitely.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Disconnected`] if the hub is gone.
+    pub fn recv(&self) -> Result<(PeerId, Bytes), TransportError> {
+        let (from, payload) = self
+            .incoming
+            .recv()
+            .map_err(|_| TransportError::Disconnected(self.id))?;
+        self.note_received(&payload);
+        Ok((from, payload))
+    }
+
+    /// Receives with a timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Timeout`] if nothing arrives in time.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<(PeerId, Bytes), TransportError> {
+        match self.incoming.recv_timeout(timeout) {
+            Ok((from, payload)) => {
+                self.note_received(&payload);
+                Ok((from, payload))
+            }
+            Err(RecvTimeoutError::Timeout) => Err(TransportError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Disconnected(self.id)),
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<(PeerId, Bytes)> {
+        match self.incoming.try_recv() {
+            Ok((from, payload)) => {
+                self.note_received(&payload);
+                Some((from, payload))
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Number of queued messages.
+    pub fn pending(&self) -> usize {
+        self.incoming.len()
+    }
+
+    fn note_received(&self, payload: &Bytes) {
+        self.stats.messages_received.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_received
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Pairwise HMAC session authentication, mirroring the authenticated
+/// channels BFT-SMaRt establishes between replicas.
+///
+/// Both sides derive the same link key from their shared secret seeds;
+/// [`seal`](Authenticator::seal) prepends a 32-byte tag that
+/// [`open`](Authenticator::open) verifies.
+#[derive(Clone, Debug)]
+pub struct Authenticator {
+    key: [u8; 32],
+}
+
+impl Authenticator {
+    /// Derives the symmetric link key for the unordered pair `{a, b}`
+    /// from a cluster-wide secret.
+    pub fn for_link(cluster_secret: &[u8], a: PeerId, b: PeerId) -> Authenticator {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let label = format!("link:{lo}:{hi}");
+        let key = hmac_sha256_multi(cluster_secret, &[label.as_bytes()]);
+        Authenticator {
+            key: *key.as_bytes(),
+        }
+    }
+
+    /// Prepends the authentication tag to `payload`.
+    pub fn seal(&self, payload: &[u8]) -> Bytes {
+        let tag = hmac_sha256_multi(&self.key, &[payload]);
+        let mut out = Vec::with_capacity(32 + payload.len());
+        out.extend_from_slice(tag.as_bytes());
+        out.extend_from_slice(payload);
+        Bytes::from(out)
+    }
+
+    /// Verifies and strips the tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if the message is too short or the tag does not
+    /// verify.
+    pub fn open(&self, sealed: &[u8]) -> Option<Bytes> {
+        if sealed.len() < 32 {
+            return None;
+        }
+        let (tag, payload) = sealed.split_at(32);
+        let expected = hmac_sha256_multi(&self.key, &[payload]);
+        // Constant-time-ish comparison: accumulate differences.
+        let mut diff = 0u8;
+        for (a, b) in tag.iter().zip(expected.as_bytes()) {
+            diff |= a ^ b;
+        }
+        if diff == 0 {
+            Some(Bytes::copy_from_slice(payload))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn pair() -> (Network, Endpoint, Endpoint) {
+        let network = Network::new();
+        let a = network.join(PeerId::replica(0));
+        let b = network.join(PeerId::replica(1));
+        (network, a, b)
+    }
+
+    #[test]
+    fn send_and_receive() {
+        let (_n, a, b) = pair();
+        a.send(b.id(), Bytes::from_static(b"one")).unwrap();
+        a.send(b.id(), Bytes::from_static(b"two")).unwrap();
+        assert_eq!(b.recv().unwrap().1, Bytes::from_static(b"one"));
+        assert_eq!(b.recv().unwrap().1, Bytes::from_static(b"two"));
+        assert_eq!(a.stats().messages_sent(), 2);
+        assert_eq!(b.stats().messages_received(), 2);
+        assert_eq!(a.stats().bytes_sent(), 6);
+    }
+
+    #[test]
+    fn unknown_peer_is_reported() {
+        let (_n, a, _b) = pair();
+        assert_eq!(
+            a.send(PeerId::client(99), Bytes::new()),
+            Err(TransportError::UnknownPeer(PeerId::client(99)))
+        );
+    }
+
+    #[test]
+    fn duplicate_join_panics() {
+        let network = Network::new();
+        let _a = network.join(PeerId::replica(0));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            network.join(PeerId::replica(0))
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn timeout_and_try_recv() {
+        let (_n, _a, b) = pair();
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(10)),
+            Err(TransportError::Timeout)
+        );
+        assert!(b.try_recv().is_none());
+    }
+
+    #[test]
+    fn blocked_link_is_one_directional() {
+        let (network, a, b) = pair();
+        network.block_link(a.id(), b.id());
+        assert_eq!(
+            a.send(b.id(), Bytes::from_static(b"x")),
+            Err(TransportError::Dropped)
+        );
+        // Reverse direction still works.
+        b.send(a.id(), Bytes::from_static(b"y")).unwrap();
+        assert_eq!(a.recv().unwrap().1, Bytes::from_static(b"y"));
+        network.unblock_all();
+        a.send(b.id(), Bytes::from_static(b"z")).unwrap();
+        assert_eq!(b.recv().unwrap().1, Bytes::from_static(b"z"));
+    }
+
+    #[test]
+    fn isolation_and_heal() {
+        let (network, a, b) = pair();
+        network.isolate(b.id());
+        assert_eq!(
+            a.send(b.id(), Bytes::from_static(b"x")),
+            Err(TransportError::Dropped)
+        );
+        assert_eq!(
+            b.send(a.id(), Bytes::from_static(b"x")),
+            Err(TransportError::Dropped)
+        );
+        network.heal(b.id());
+        a.send(b.id(), Bytes::from_static(b"x")).unwrap();
+        assert_eq!(b.pending(), 1);
+    }
+
+    #[test]
+    fn probabilistic_drops_are_deterministic() {
+        let run = |seed: u64| {
+            let (network, a, b) = pair();
+            network.set_drop_probability(0.5, seed);
+            let mut outcomes = Vec::new();
+            for _ in 0..64 {
+                outcomes.push(a.send(b.id(), Bytes::from_static(b"p")).is_ok());
+            }
+            outcomes
+        };
+        assert_eq!(run(11), run(11));
+        let outcomes = run(11);
+        let delivered = outcomes.iter().filter(|&&ok| ok).count();
+        assert!(delivered > 10 && delivered < 54, "drop rate wildly off");
+    }
+
+    #[test]
+    fn multicast_reaches_all_live_peers() {
+        let network = Network::new();
+        let sender = network.join(PeerId::replica(0));
+        let receivers: Vec<Endpoint> =
+            (1..4).map(|i| network.join(PeerId::replica(i))).collect();
+        let targets: Vec<PeerId> = receivers.iter().map(|r| r.id()).collect();
+        sender.multicast(&targets, &Bytes::from_static(b"block"));
+        for r in &receivers {
+            assert_eq!(r.recv().unwrap().1, Bytes::from_static(b"block"));
+        }
+    }
+
+    #[test]
+    fn part_simulates_process_exit() {
+        let (network, a, b) = pair();
+        network.part(b.id());
+        assert_eq!(
+            a.send(b.id(), Bytes::from_static(b"x")),
+            Err(TransportError::UnknownPeer(b.id()))
+        );
+        drop(b);
+    }
+
+    #[test]
+    fn cross_thread_usage() {
+        let (_n, a, b) = pair();
+        let handle = thread::spawn(move || {
+            for i in 0..100u32 {
+                a.send(PeerId::replica(1), Bytes::from(i.to_le_bytes().to_vec()))
+                    .unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            let (_, payload) = b.recv_timeout(Duration::from_secs(5)).unwrap();
+            got.push(u32::from_le_bytes(payload[..4].try_into().unwrap()));
+        }
+        handle.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn authenticator_roundtrip_and_tamper() {
+        let auth_a = Authenticator::for_link(b"secret", PeerId::replica(0), PeerId::replica(1));
+        let auth_b = Authenticator::for_link(b"secret", PeerId::replica(1), PeerId::replica(0));
+        let sealed = auth_a.seal(b"propose");
+        assert_eq!(auth_b.open(&sealed).unwrap(), Bytes::from_static(b"propose"));
+
+        let mut tampered = sealed.to_vec();
+        *tampered.last_mut().unwrap() ^= 1;
+        assert!(auth_b.open(&tampered).is_none());
+        assert!(auth_b.open(&sealed[..10]).is_none());
+
+        // Different cluster secret cannot open.
+        let rogue = Authenticator::for_link(b"other", PeerId::replica(0), PeerId::replica(1));
+        assert!(rogue.open(&sealed).is_none());
+    }
+
+    #[test]
+    fn sender_handle_sends_from_other_threads() {
+        let (_n, a, b) = pair();
+        let sender = a.sender();
+        assert_eq!(sender.id(), a.id());
+        let workers: Vec<_> = (0..4)
+            .map(|i| {
+                let s = sender.clone();
+                thread::spawn(move || {
+                    s.send(PeerId::replica(1), Bytes::from(vec![i])).unwrap();
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let mut got = Vec::new();
+        for _ in 0..4 {
+            got.push(b.recv_timeout(Duration::from_secs(5)).unwrap().1[0]);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        // Stats are shared with the originating endpoint.
+        assert_eq!(a.stats().messages_sent(), 4);
+    }
+
+    #[test]
+    fn sender_handle_respects_faults() {
+        let (network, a, b) = pair();
+        let sender = a.sender();
+        network.block_link(a.id(), b.id());
+        assert_eq!(
+            sender.send(b.id(), Bytes::from_static(b"x")),
+            Err(TransportError::Dropped)
+        );
+    }
+
+    #[test]
+    fn peer_id_display_and_kind() {
+        assert_eq!(PeerId::replica(2).to_string(), "replica-2");
+        assert_eq!(PeerId::client(3).to_string(), "client-3");
+        assert!(PeerId::replica(0).is_replica());
+        assert!(!PeerId::client(0).is_replica());
+    }
+}

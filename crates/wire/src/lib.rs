@@ -1,0 +1,517 @@
+//! Canonical, deterministic binary wire format for hlf-bft.
+//!
+//! Every protocol message in the workspace — consensus messages, SMR
+//! client requests, Fabric envelopes and blocks — is serialized through
+//! the [`Encode`]/[`Decode`] traits defined here. The format is
+//! deliberately boring:
+//!
+//! * fixed-width little-endian integers,
+//! * `u32` length prefixes for variable-length data,
+//! * no padding, no versioned self-description.
+//!
+//! Determinism matters twice over in a BFT system: replicas must compute
+//! identical hashes over identical logical values, and signatures must
+//! cover a canonical byte string.
+//!
+//! # Examples
+//!
+//! ```
+//! use hlf_wire::{from_bytes, to_bytes, Decode, Encode, Reader, WireError};
+//!
+//! #[derive(Debug, PartialEq)]
+//! struct Ping { seq: u64, payload: Vec<u8> }
+//!
+//! impl Encode for Ping {
+//!     fn encode(&self, out: &mut Vec<u8>) {
+//!         self.seq.encode(out);
+//!         self.payload.encode(out);
+//!     }
+//! }
+//!
+//! impl Decode for Ping {
+//!     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+//!         Ok(Ping { seq: Decode::decode(r)?, payload: Decode::decode(r)? })
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), WireError> {
+//! let ping = Ping { seq: 7, payload: vec![1, 2, 3] };
+//! let bytes = to_bytes(&ping);
+//! assert_eq!(from_bytes::<Ping>(&bytes)?, ping);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ids;
+
+pub use ids::{ClientId, NodeId};
+
+use hlf_crypto::ecdsa::Signature;
+use hlf_crypto::sha256::Hash256;
+use std::error::Error;
+use std::fmt;
+
+/// Maximum length prefix the decoder will accept, as a defence against
+/// allocation bombs from Byzantine peers (16 MiB).
+pub const MAX_LEN: u32 = 16 * 1024 * 1024;
+
+/// Decoding failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value was complete.
+    UnexpectedEof,
+    /// A length prefix exceeded [`MAX_LEN`].
+    LengthOverflow(u32),
+    /// An enum discriminant or flag byte had no defined meaning.
+    InvalidDiscriminant(u8),
+    /// Bytes remained after the top-level value was decoded.
+    TrailingBytes(usize),
+    /// A structurally valid encoding carried a semantically invalid value
+    /// (for example an out-of-range signature scalar).
+    InvalidValue(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof => f.write_str("unexpected end of input"),
+            WireError::LengthOverflow(n) => write!(f, "length prefix {n} exceeds limit"),
+            WireError::InvalidDiscriminant(d) => write!(f, "invalid discriminant {d}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            WireError::InvalidValue(what) => write!(f, "invalid value: {what}"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// A cursor over an input buffer being decoded.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `input`.
+    pub fn new(input: &'a [u8]) -> Reader<'a> {
+        Reader { input, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.input.len() - self.pos
+    }
+
+    /// Takes `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEof`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEof);
+        }
+        let out = &self.input[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        Ok(self.take(N)?.try_into().expect("take returned N bytes"))
+    }
+}
+
+/// Serializes a value into a canonical byte string.
+pub trait Encode {
+    /// Appends the encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+}
+
+/// Deserializes a value from its canonical byte string.
+pub trait Decode: Sized {
+    /// Decodes one value from the reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] describing the first malformation found.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError>;
+}
+
+/// Encodes a value to a fresh buffer.
+pub fn to_bytes<T: Encode + ?Sized>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.encode(&mut out);
+    out
+}
+
+/// Decodes exactly one value, rejecting trailing bytes.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on malformed or over-long input.
+pub fn from_bytes<T: Decode>(bytes: &[u8]) -> Result<T, WireError> {
+    let mut r = Reader::new(bytes);
+    let value = T::decode(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(WireError::TrailingBytes(r.remaining()));
+    }
+    Ok(value)
+}
+
+macro_rules! impl_int {
+    ($($ty:ty),*) => {
+        $(
+            impl Encode for $ty {
+                fn encode(&self, out: &mut Vec<u8>) {
+                    out.extend_from_slice(&self.to_le_bytes());
+                }
+            }
+            impl Decode for $ty {
+                fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+                    Ok(<$ty>::from_le_bytes(r.take_array()?))
+                }
+            }
+        )*
+    };
+}
+
+impl_int!(u8, u16, u32, u64, i64);
+
+impl Encode for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            d => Err(WireError::InvalidDiscriminant(d)),
+        }
+    }
+}
+
+impl Encode for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+}
+
+impl Decode for usize {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let v = u64::decode(r)?;
+        usize::try_from(v).map_err(|_| WireError::InvalidValue("usize overflow"))
+    }
+}
+
+fn encode_len(len: usize, out: &mut Vec<u8>) {
+    let len = u32::try_from(len).expect("value length fits in u32");
+    len.encode(out);
+}
+
+fn decode_len(r: &mut Reader<'_>) -> Result<usize, WireError> {
+    let len = u32::decode(r)?;
+    if len > MAX_LEN {
+        return Err(WireError::LengthOverflow(len));
+    }
+    Ok(len as usize)
+}
+
+impl Encode for [u8] {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_len(self.len(), out);
+        out.extend_from_slice(self);
+    }
+}
+
+impl Encode for Vec<u8> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_slice().encode(out);
+    }
+}
+
+impl Decode for Vec<u8> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = decode_len(r)?;
+        Ok(r.take(len)?.to_vec())
+    }
+}
+
+impl Encode for bytes::Bytes {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_ref().encode(out);
+    }
+}
+
+impl Decode for bytes::Bytes {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = decode_len(r)?;
+        Ok(bytes::Bytes::copy_from_slice(r.take(len)?))
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_bytes().encode(out);
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let bytes = Vec::<u8>::decode(r)?;
+        String::from_utf8(bytes).map_err(|_| WireError::InvalidValue("non-UTF-8 string"))
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            d => Err(WireError::InvalidDiscriminant(d)),
+        }
+    }
+}
+
+/// Encodes a slice of encodable values with a length prefix.
+///
+/// `Vec<u8>` has a specialized byte-string encoding; use this for all
+/// other element types.
+pub fn encode_seq<T: Encode>(items: &[T], out: &mut Vec<u8>) {
+    encode_len(items.len(), out);
+    for item in items {
+        item.encode(out);
+    }
+}
+
+/// Decodes a length-prefixed sequence written by [`encode_seq`].
+///
+/// # Errors
+///
+/// Propagates element decode errors; rejects element counts that exceed
+/// the remaining input (each element encodes to at least one byte).
+pub fn decode_seq<T: Decode>(r: &mut Reader<'_>) -> Result<Vec<T>, WireError> {
+    let len = decode_len(r)?;
+    if len > r.remaining() {
+        return Err(WireError::UnexpectedEof);
+    }
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(T::decode(r)?);
+    }
+    Ok(out)
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl Encode for Hash256 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl Decode for Hash256 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Hash256(r.take_array()?))
+    }
+}
+
+impl Encode for Signature {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bytes());
+    }
+}
+
+impl Decode for Signature {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let bytes: [u8; 64] = r.take_array()?;
+        Signature::from_bytes(&bytes).ok_or(WireError::InvalidValue("signature out of range"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlf_crypto::ecdsa::SigningKey;
+    use hlf_crypto::sha256::sha256;
+
+    #[test]
+    fn int_roundtrips() {
+        assert_eq!(from_bytes::<u8>(&to_bytes(&0xabu8)).unwrap(), 0xab);
+        assert_eq!(from_bytes::<u16>(&to_bytes(&0xbeefu16)).unwrap(), 0xbeef);
+        assert_eq!(from_bytes::<u32>(&to_bytes(&7u32)).unwrap(), 7);
+        assert_eq!(from_bytes::<u64>(&to_bytes(&u64::MAX)).unwrap(), u64::MAX);
+        assert_eq!(from_bytes::<i64>(&to_bytes(&-42i64)).unwrap(), -42);
+        assert_eq!(from_bytes::<usize>(&to_bytes(&99usize)).unwrap(), 99);
+    }
+
+    #[test]
+    fn bool_rejects_junk() {
+        assert!(from_bytes::<bool>(&[1]).unwrap());
+        assert!(!from_bytes::<bool>(&[0]).unwrap());
+        assert_eq!(
+            from_bytes::<bool>(&[2]),
+            Err(WireError::InvalidDiscriminant(2))
+        );
+    }
+
+    #[test]
+    fn byte_vec_roundtrip_and_limits() {
+        let v = vec![1u8, 2, 3];
+        assert_eq!(from_bytes::<Vec<u8>>(&to_bytes(&v)).unwrap(), v);
+        // A length prefix beyond MAX_LEN is rejected before allocating.
+        let mut evil = Vec::new();
+        (MAX_LEN + 1).encode(&mut evil);
+        assert_eq!(
+            from_bytes::<Vec<u8>>(&evil),
+            Err(WireError::LengthOverflow(MAX_LEN + 1))
+        );
+        // A truthful-looking prefix with missing payload is EOF.
+        let mut truncated = Vec::new();
+        8u32.encode(&mut truncated);
+        truncated.extend_from_slice(&[1, 2, 3]);
+        assert_eq!(from_bytes::<Vec<u8>>(&truncated), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn string_utf8_enforced() {
+        let s = "consensus".to_string();
+        assert_eq!(from_bytes::<String>(&to_bytes(&s)).unwrap(), s);
+        let mut bad = Vec::new();
+        vec![0xffu8, 0xfe].encode(&mut bad);
+        assert_eq!(
+            from_bytes::<String>(&bad),
+            Err(WireError::InvalidValue("non-UTF-8 string"))
+        );
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        assert_eq!(
+            from_bytes::<Option<u64>>(&to_bytes(&Some(9u64))).unwrap(),
+            Some(9)
+        );
+        assert_eq!(from_bytes::<Option<u64>>(&to_bytes(&None::<u64>)).unwrap(), None);
+        assert_eq!(
+            from_bytes::<Option<u64>>(&[7]),
+            Err(WireError::InvalidDiscriminant(7))
+        );
+    }
+
+    #[test]
+    fn seq_roundtrip_and_count_bomb() {
+        let items = vec![10u64, 20, 30];
+        let mut out = Vec::new();
+        encode_seq(&items, &mut out);
+        let mut r = Reader::new(&out);
+        assert_eq!(decode_seq::<u64>(&mut r).unwrap(), items);
+        assert_eq!(r.remaining(), 0);
+
+        // A count prefix that promises more elements than bytes remain
+        // must fail fast rather than attempt a huge reservation.
+        let mut bomb = Vec::new();
+        1_000_000u32.encode(&mut bomb);
+        let mut r = Reader::new(&bomb);
+        assert_eq!(decode_seq::<u64>(&mut r), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = to_bytes(&5u32);
+        bytes.push(0);
+        assert_eq!(from_bytes::<u32>(&bytes), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn hash_and_signature_roundtrip() {
+        let h = sha256(b"wire");
+        assert_eq!(from_bytes::<Hash256>(&to_bytes(&h)).unwrap(), h);
+
+        let key = SigningKey::from_seed(b"wire");
+        let sig = key.sign(b"msg");
+        assert_eq!(from_bytes::<Signature>(&to_bytes(&sig)).unwrap(), sig);
+        assert_eq!(
+            from_bytes::<Signature>(&[0u8; 64]),
+            Err(WireError::InvalidValue("signature out of range"))
+        );
+    }
+
+    #[test]
+    fn tuple_and_bytes_type() {
+        let pair = (7u64, bytes::Bytes::from_static(b"abc"));
+        let encoded = to_bytes(&pair);
+        let decoded: (u64, bytes::Bytes) = from_bytes(&encoded).unwrap();
+        assert_eq!(decoded, pair);
+    }
+
+    #[test]
+    fn error_display_is_meaningful() {
+        assert_eq!(WireError::UnexpectedEof.to_string(), "unexpected end of input");
+        assert!(WireError::LengthOverflow(9).to_string().contains('9'));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn arbitrary_bytes_roundtrip(v in proptest::collection::vec(any::<u8>(), 0..2048)) {
+                prop_assert_eq!(from_bytes::<Vec<u8>>(&to_bytes(&v)).unwrap(), v);
+            }
+
+            #[test]
+            fn arbitrary_u64_seq_roundtrip(v in proptest::collection::vec(any::<u64>(), 0..256)) {
+                let mut out = Vec::new();
+                encode_seq(&v, &mut out);
+                let mut r = Reader::new(&out);
+                prop_assert_eq!(decode_seq::<u64>(&mut r).unwrap(), v);
+                prop_assert_eq!(r.remaining(), 0);
+            }
+
+            #[test]
+            fn decoder_never_panics_on_garbage(v in proptest::collection::vec(any::<u8>(), 0..512)) {
+                // Whatever the bytes, decoding returns Ok or Err, never panics.
+                let _ = from_bytes::<Vec<u8>>(&v);
+                let _ = from_bytes::<String>(&v);
+                let _ = from_bytes::<Option<u64>>(&v);
+                let _ = from_bytes::<Hash256>(&v);
+                let _ = from_bytes::<Signature>(&v);
+            }
+
+            #[test]
+            fn encoding_is_injective_for_pairs(a in any::<u64>(), b in any::<u64>(),
+                                               c in any::<u64>(), d in any::<u64>()) {
+                let ab = to_bytes(&(a, b));
+                let cd = to_bytes(&(c, d));
+                prop_assert_eq!(ab == cd, (a, b) == (c, d));
+            }
+        }
+    }
+}

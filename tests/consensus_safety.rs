@@ -1,0 +1,212 @@
+//! Randomized consensus safety sweeps and Byzantine-behaviour tests,
+//! driven through the deterministic cluster harness.
+
+use bytes::Bytes;
+use hlf_bft::consensus::messages::{Batch, ConsensusMsg, Request, Vote, VotePhase};
+use hlf_bft::consensus::testing::{test_keys, Cluster};
+use hlf_bft::wire::{ClientId, NodeId};
+
+fn req(client: u32, seq: u64) -> Request {
+    Request::new(ClientId(client), seq, Bytes::from(vec![seq as u8; 24]))
+}
+
+#[test]
+fn safety_under_random_schedules_and_drops() {
+    for seed in 0..8u64 {
+        let mut cluster = Cluster::classic(4, 1);
+        cluster.randomize_order(seed);
+        cluster.set_drop_probability(0.02, seed.wrapping_mul(31));
+        for seq in 1..=8 {
+            cluster.submit_to_all(req(1, seq));
+            cluster.run_to_quiescence();
+        }
+        // Drive timeouts so dropped traffic is recovered.
+        for _ in 0..12 {
+            cluster.advance_time(2_600);
+            cluster.run_to_quiescence();
+        }
+        cluster.assert_prefix_consistent();
+    }
+}
+
+#[test]
+fn safety_with_crashed_leader_under_random_order() {
+    for seed in 0..5u64 {
+        let mut cluster = Cluster::classic(4, 1);
+        cluster.randomize_order(seed);
+        cluster.crash(NodeId(0));
+        for seq in 1..=3 {
+            cluster.submit_to_all(req(2, seq));
+        }
+        for _ in 0..8 {
+            cluster.advance_time(2_600);
+            cluster.run_to_quiescence();
+        }
+        // All live replicas decided the requests identically.
+        cluster.assert_prefix_consistent();
+        for i in 1..4 {
+            let delivered: usize = cluster.decisions(i).iter().map(|(_, b)| b.len()).sum();
+            assert_eq!(delivered, 3, "replica {i} (seed {seed})");
+        }
+    }
+}
+
+#[test]
+fn wheat_safety_under_random_schedules() {
+    for seed in 0..5u64 {
+        let mut cluster = Cluster::wheat(5, 1);
+        cluster.randomize_order(seed);
+        for seq in 1..=6 {
+            cluster.submit_to_all(req(3, seq));
+            cluster.run_to_quiescence();
+        }
+        cluster.assert_prefix_consistent();
+        // Tentative deliveries never contradict final commits.
+        for i in 0..5 {
+            use hlf_bft::consensus::testing::Observed;
+            let events = cluster.observed(i);
+            for event in events {
+                if let Observed::Tentative(cid, batch) = event {
+                    // If this cid later committed, it committed the same
+                    // batch (no rollback happened in a fault-free run).
+                    let committed = events.iter().find_map(|e| match e {
+                        Observed::Commit(c, b) if c == cid => Some(b),
+                        _ => None,
+                    });
+                    if let Some(committed) = committed {
+                        assert_eq!(committed.digest(), batch.digest());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn byzantine_double_vote_cannot_fork() {
+    // Node 3 sends conflicting WRITE votes for the same instance to
+    // different replicas. Quorum intersection must prevent divergence.
+    let mut cluster = Cluster::classic(4, 1);
+    let (signing, _) = test_keys(4);
+
+    let batch_a = Batch::new(vec![req(1, 1)]);
+    let batch_b = Batch::new(vec![req(1, 2)]);
+
+    // The honest leader proposes batch A everywhere.
+    cluster.submit_to_all(req(1, 1));
+
+    // Byzantine node 3 votes for A at replica 1 and for B at replica 2.
+    let vote_a = Vote::sign(&signing[3], VotePhase::Write, NodeId(3), 1, 0, batch_a.digest());
+    let vote_b = Vote::sign(&signing[3], VotePhase::Write, NodeId(3), 1, 0, batch_b.digest());
+    cluster.inject(1, NodeId(3), ConsensusMsg::Write(vote_a));
+    cluster.inject(2, NodeId(3), ConsensusMsg::Write(vote_b));
+
+    cluster.run_to_quiescence();
+    cluster.assert_consistent();
+    // The honest batch decides despite the equivocation.
+    let decided: usize = cluster.decisions(1).len();
+    assert_eq!(decided, 1);
+    assert_eq!(cluster.decisions(1)[0].1.digest(), batch_a.digest());
+}
+
+#[test]
+fn byzantine_fake_stop_storm_cannot_install_regency() {
+    // A single Byzantine node spams STOP for higher regencies; with
+    // only one vote the change must not install (needs 2f+1 = 3).
+    let mut cluster = Cluster::classic(4, 1);
+    for target in [1u32, 2, 3] {
+        for victim in 0..4usize {
+            if victim != 3 {
+                cluster.inject(victim, NodeId(3), ConsensusMsg::Stop { regency: target });
+            }
+        }
+    }
+    cluster.run_to_quiescence();
+    for i in 0..3 {
+        assert_eq!(cluster.replica(i).regency(), 0, "replica {i}");
+    }
+    // And the cluster still orders normally afterwards.
+    cluster.submit_to_all(req(1, 1));
+    cluster.run_to_quiescence();
+    assert_eq!(cluster.decisions(0).len(), 1);
+    cluster.assert_consistent();
+}
+
+#[test]
+fn byzantine_forged_sync_is_rejected() {
+    // A fake leader (node 1 is not the leader of regency 0) sends a
+    // SYNC with an empty collect set; replicas must ignore it.
+    let mut cluster = Cluster::classic(4, 1);
+    cluster.inject(
+        2,
+        NodeId(1),
+        ConsensusMsg::Sync {
+            regency: 0,
+            collect: vec![],
+            cid: 1,
+            batch: Batch::new(vec![req(9, 9)]),
+        },
+    );
+    cluster.run_to_quiescence();
+    assert!(cluster.decisions(2).is_empty());
+    // Normal operation unaffected.
+    cluster.submit_to_all(req(1, 1));
+    cluster.run_to_quiescence();
+    cluster.assert_consistent();
+    assert_eq!(cluster.decisions(2).len(), 1);
+}
+
+#[test]
+fn larger_cluster_with_two_crashes() {
+    let mut cluster = Cluster::classic(7, 2);
+    cluster.crash(NodeId(5));
+    cluster.crash(NodeId(6));
+    for seq in 1..=4 {
+        cluster.submit_to_all(req(4, seq));
+        cluster.run_to_quiescence();
+    }
+    for i in 0..5 {
+        assert_eq!(cluster.decisions(i).len(), 4, "replica {i}");
+    }
+    cluster.assert_prefix_consistent();
+}
+
+#[test]
+fn cascading_leader_crashes_eventually_progress() {
+    // n = 7 tolerates f = 2: crash the leaders of regencies 0 and 1.
+    // The group must walk to regency 2 and decide there.
+    let mut cluster = Cluster::classic(7, 2);
+    cluster.crash(NodeId(0));
+    cluster.crash(NodeId(1));
+    cluster.submit_to_all(req(5, 1));
+    for _ in 0..30 {
+        cluster.advance_time(4_000);
+        cluster.run_to_quiescence();
+        let done = (2..7).all(|i| cluster.decisions(i).len() == 1);
+        if done {
+            break;
+        }
+    }
+    for i in 2..7 {
+        assert_eq!(cluster.decisions(i).len(), 1, "replica {i}");
+        assert!(cluster.replica(i).regency() >= 2, "replica {i}");
+    }
+    cluster.assert_consistent();
+}
+
+#[test]
+fn beyond_f_crashes_halt_but_stay_safe() {
+    // Two crashes with f = 1 exceed the fault threshold: the protocol
+    // must NOT decide (liveness is forfeit), and must not fork.
+    let mut cluster = Cluster::classic(4, 1);
+    cluster.crash(NodeId(0));
+    cluster.crash(NodeId(1));
+    cluster.submit_to_all(req(5, 1));
+    for _ in 0..10 {
+        cluster.advance_time(3_000);
+        cluster.run_to_quiescence();
+    }
+    for i in 2..4 {
+        assert!(cluster.decisions(i).is_empty(), "replica {i} decided unsafely");
+    }
+}

@@ -1,0 +1,233 @@
+//! Fault-injection integration tests for the ordering service: crashed
+//! orderers, leader failover mid-stream, message loss, and the WHEAT
+//! configuration end to end.
+
+use bytes::Bytes;
+use hlf_bft::ordering::service::{OrderingService, ServiceOptions};
+use hlf_bft::transport::PeerId;
+use std::time::Duration;
+
+fn envelopes(count: usize, size: usize) -> Vec<Bytes> {
+    (0..count)
+        .map(|i| {
+            let mut payload = vec![0u8; size];
+            payload[..8].copy_from_slice(&(i as u64).to_le_bytes());
+            Bytes::from(payload)
+        })
+        .collect()
+}
+
+fn collect_envelopes(
+    frontend: &mut hlf_bft::ordering::Frontend,
+    expected: usize,
+    timeout: Duration,
+) -> Vec<Bytes> {
+    let deadline = std::time::Instant::now() + timeout;
+    let mut received = Vec::new();
+    while received.len() < expected {
+        let now = std::time::Instant::now();
+        if now >= deadline {
+            break;
+        }
+        if let Some(block) = frontend.next_block(deadline - now) {
+            received.extend(block.envelopes);
+        }
+    }
+    received
+}
+
+#[test]
+fn ordering_survives_crashed_follower() {
+    let mut service = OrderingService::start(
+        4,
+        ServiceOptions::new(1)
+            .with_block_size(5)
+            .with_signing_threads(2),
+    );
+    // Crash a non-leader ordering node before any traffic.
+    service.runtime_mut().crash(2);
+
+    let mut frontend = service.frontend();
+    for envelope in envelopes(20, 256) {
+        frontend.submit(envelope);
+    }
+    let received = collect_envelopes(&mut frontend, 20, Duration::from_secs(30));
+    assert_eq!(received.len(), 20);
+    service.shutdown();
+}
+
+#[test]
+fn ordering_survives_leader_crash_mid_stream() {
+    let mut service = OrderingService::start(
+        4,
+        ServiceOptions::new(1)
+            .with_block_size(5)
+            .with_signing_threads(2)
+            .with_request_timeout_ms(250),
+    );
+    let mut frontend = service.frontend();
+
+    // First wave through the original leader.
+    for envelope in envelopes(10, 256) {
+        frontend.submit(envelope);
+    }
+    let first = collect_envelopes(&mut frontend, 10, Duration::from_secs(30));
+    assert_eq!(first.len(), 10);
+
+    // Kill the leader. The cluster must elect node 1 and keep going.
+    service.runtime_mut().crash(0);
+    for (i, envelope) in envelopes(10, 256).into_iter().enumerate() {
+        // Distinct content from wave one.
+        let mut payload = envelope.to_vec();
+        payload[8] = 0xbb;
+        payload[9] = i as u8;
+        frontend.submit(Bytes::from(payload));
+    }
+    let second = collect_envelopes(&mut frontend, 10, Duration::from_secs(60));
+    assert_eq!(second.len(), 10, "envelopes lost across leader failover");
+    service.shutdown();
+}
+
+#[test]
+fn ordering_tolerates_message_loss() {
+    let mut service = OrderingService::start(
+        4,
+        ServiceOptions::new(1)
+            .with_block_size(4)
+            .with_signing_threads(2)
+            .with_request_timeout_ms(300),
+    );
+    service.network().set_drop_probability(0.03, 7);
+    let mut frontend = service.frontend();
+    for envelope in envelopes(16, 128) {
+        frontend.submit(envelope);
+    }
+    let received = collect_envelopes(&mut frontend, 16, Duration::from_secs(60));
+    assert_eq!(received.len(), 16);
+    service.shutdown();
+}
+
+#[test]
+fn wheat_configuration_orders_end_to_end() {
+    // 5 nodes, f = 1, weighted quorums + tentative execution.
+    let mut service = OrderingService::start(
+        5,
+        ServiceOptions::new(1)
+            .with_wheat(true)
+            .with_block_size(5)
+            .with_signing_threads(2),
+    );
+    let mut frontend = service.frontend();
+    for envelope in envelopes(25, 512) {
+        frontend.submit(envelope);
+    }
+    let received = collect_envelopes(&mut frontend, 25, Duration::from_secs(30));
+    assert_eq!(received.len(), 25);
+    // Under tentative execution blocks still arrive with >= 2f+1
+    // signatures merged by the frontend.
+    service.shutdown();
+}
+
+#[test]
+fn frontend_verification_mode_end_to_end() {
+    let mut service = OrderingService::start(
+        4,
+        ServiceOptions::new(1)
+            .with_block_size(5)
+            .with_signing_threads(2)
+            .with_frontend_verification(true),
+    );
+    let mut frontend = service.frontend();
+    for envelope in envelopes(10, 256) {
+        frontend.submit(envelope);
+    }
+    let received = collect_envelopes(&mut frontend, 10, Duration::from_secs(30));
+    assert_eq!(received.len(), 10);
+    service.shutdown();
+}
+
+#[test]
+fn multiple_frontends_see_identical_chains() {
+    let mut service = OrderingService::start(
+        4,
+        ServiceOptions::new(1)
+            .with_block_size(5)
+            .with_signing_threads(2),
+    );
+    let mut submitter = service.frontend();
+    let mut observer = service.frontend();
+
+    for envelope in envelopes(15, 128) {
+        submitter.submit(envelope);
+    }
+    let a = collect_envelopes(&mut submitter, 15, Duration::from_secs(30));
+    let b = collect_envelopes(&mut observer, 15, Duration::from_secs(30));
+    assert_eq!(a.len(), 15);
+    assert_eq!(a, b, "frontends disagree on envelope order");
+    service.shutdown();
+}
+
+#[test]
+fn isolated_frontend_link_does_not_stall_others() {
+    let mut service = OrderingService::start(
+        4,
+        ServiceOptions::new(1)
+            .with_block_size(5)
+            .with_signing_threads(2),
+    );
+    let mut healthy = service.frontend();
+    let mut starved = service.frontend();
+    // Cut the starved frontend's links from two orderers: it can still
+    // assemble 2f+1 copies from the remaining two... no — it needs 3,
+    // so it stalls, but the healthy frontend must be unaffected.
+    let starved_id = PeerId::Client(starved.id().0);
+    service.network().block_link(PeerId::replica(0), starved_id);
+    service.network().block_link(PeerId::replica(1), starved_id);
+
+    for envelope in envelopes(10, 128) {
+        healthy.submit(envelope);
+    }
+    let received = collect_envelopes(&mut healthy, 10, Duration::from_secs(30));
+    assert_eq!(received.len(), 10);
+    let starved_received = collect_envelopes(&mut starved, 10, Duration::from_secs(1));
+    assert!(starved_received.len() < 10);
+    service.shutdown();
+}
+
+#[test]
+fn batch_end_flush_bounds_latency_for_stragglers() {
+    // 7 envelopes with blocks of 10: without the flush they would sit
+    // in the blockcutter forever; with it they ship at the batch end.
+    let mut service = OrderingService::start(
+        4,
+        ServiceOptions::new(1)
+            .with_block_size(10)
+            .with_signing_threads(2)
+            .with_flush_on_batch_end(true),
+    );
+    let mut frontend = service.frontend();
+    for envelope in envelopes(7, 128) {
+        frontend.submit(envelope);
+    }
+    let received = collect_envelopes(&mut frontend, 7, Duration::from_secs(20));
+    assert_eq!(received.len(), 7);
+    service.shutdown();
+}
+
+#[test]
+fn double_sign_mode_orders_end_to_end() {
+    let mut service = OrderingService::start(
+        4,
+        ServiceOptions::new(1)
+            .with_block_size(5)
+            .with_signing_threads(2)
+            .with_double_sign(true),
+    );
+    let mut frontend = service.frontend();
+    for envelope in envelopes(10, 128) {
+        frontend.submit(envelope);
+    }
+    let received = collect_envelopes(&mut frontend, 10, Duration::from_secs(30));
+    assert_eq!(received.len(), 10);
+    service.shutdown();
+}
