@@ -1,6 +1,6 @@
 # Convenience targets for the hlf-bft reproduction.
 
-.PHONY: build test figures bench clean-results
+.PHONY: build test figures bench bench-crypto clean-results
 
 build:
 	cargo build --workspace --release
@@ -20,5 +20,13 @@ figures:
 bench:
 	cargo bench --workspace 2>&1 | tee bench_output.txt
 
+# Crypto fast-path numbers: criterion micro-benches, the single-thread
+# sig_rate example, and a refresh of BENCH_crypto.json (fast paths vs
+# the in-tree double-and-add reference, measured on this machine).
+bench-crypto:
+	cargo bench -p bench --bench crypto 2>&1 | tee bench_crypto_output.txt
+	cargo run --release -p bench --example sig_rate
+	cargo run --release -p bench --bin bench_crypto_json
+
 clean-results:
-	rm -f results_*.txt test_output.txt bench_output.txt
+	rm -f results_*.txt test_output.txt bench_output.txt bench_crypto_output.txt

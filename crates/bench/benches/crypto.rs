@@ -1,9 +1,16 @@
 //! Criterion micro-benchmarks for the crypto substrate: the primitives
 //! whose cost drives the paper's Figure 6 and Equation (1).
+//!
+//! The `*_reference` variants time the verified double-and-add baseline
+//! paths kept in-tree, so the speedup of the comb / windowed-affine /
+//! Strauss–Shamir fast paths can be measured on any machine (see
+//! `BENCH_crypto.json` at the repository root and `make bench-crypto`).
 
 use bytes::Bytes;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use hlf_crypto::bignum::U256;
 use hlf_crypto::ecdsa::SigningKey;
+use hlf_crypto::p256::Point;
 use hlf_crypto::sha256::{sha256, Hash256};
 use hlf_fabric::block::Block;
 use std::hint::black_box;
@@ -18,6 +25,26 @@ fn bench_sha256(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_p256(c: &mut Criterion) {
+    let k = U256::from_hex("7a1b3c5d9e8f70615243342516070899aabbccddeeff00112233445566778899")
+        .unwrap();
+    let u1 = U256::from_hex("3344556677889900aabbccddeeff00117a1b3c5d9e8f7061524334251607a899")
+        .unwrap();
+    let q = Point::generator().mul_reference(&U256::from_u64(0xfab));
+    Point::mul_base(&k); // build the comb table outside the timing loop
+
+    c.bench_function("p256/mul_base", |b| {
+        b.iter(|| Point::mul_base(black_box(&k)))
+    });
+    c.bench_function("p256/mul", |b| b.iter(|| q.mul(black_box(&k))));
+    c.bench_function("p256/lincomb", |b| {
+        b.iter(|| Point::lincomb(black_box(&u1), &q, black_box(&k)))
+    });
+    c.bench_function("p256/mul_reference", |b| {
+        b.iter(|| q.mul_reference(black_box(&k)))
+    });
+}
+
 fn bench_ecdsa(c: &mut Criterion) {
     let key = SigningKey::from_seed(b"bench-ecdsa");
     let digest = sha256(b"block header");
@@ -30,22 +57,38 @@ fn bench_ecdsa(c: &mut Criterion) {
                 .unwrap()
         })
     });
+    c.bench_function("ecdsa/sign_reference", |b| {
+        b.iter(|| key.sign_digest_reference(black_box(&digest)))
+    });
+    c.bench_function("ecdsa/verify_reference", |b| {
+        b.iter(|| {
+            key.verifying_key()
+                .verify_digest_reference(black_box(&digest), black_box(&signature))
+                .unwrap()
+        })
+    });
 }
 
 fn bench_block_signing(c: &mut Criterion) {
     // The full ordering-node signing step: header hash + ECDSA, for the
-    // paper's two block sizes.
+    // paper's two block sizes. The envelope clone is setup, not
+    // workload — `iter_batched` keeps its allocation traffic out of the
+    // measurement.
     let key = SigningKey::from_seed(b"bench-block");
     for block_size in [10usize, 100] {
         let envelopes: Vec<Bytes> = (0..block_size)
             .map(|i| Bytes::from(vec![i as u8; 1024]))
             .collect();
         c.bench_function(&format!("block/sign-{block_size}env"), |b| {
-            b.iter(|| {
-                let mut block = Block::build(black_box(1), Hash256::ZERO, envelopes.clone());
-                block.sign(0, &key);
-                block
-            })
+            b.iter_batched(
+                || envelopes.clone(),
+                |envelopes| {
+                    let mut block = Block::build(black_box(1), Hash256::ZERO, envelopes);
+                    block.sign(0, &key);
+                    block
+                },
+                BatchSize::SmallInput,
+            )
         });
     }
 }
@@ -53,6 +96,6 @@ fn bench_block_signing(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_sha256, bench_ecdsa, bench_block_signing
+    targets = bench_sha256, bench_p256, bench_ecdsa, bench_block_signing
 }
 criterion_main!(benches);

@@ -70,6 +70,10 @@ impl FrontendConfig {
 struct Collecting {
     /// header hash -> (block content, signatures gathered, nodes seen)
     candidates: HashMap<Hash256, (Block, Vec<BlockSignature>, HashSet<NodeId>)>,
+    /// `(node, header hash, signature)` triples that already passed
+    /// ECDSA verification in this collection round, so re-pushed copies
+    /// skip the expensive check (verification mode only).
+    verified: HashSet<(u32, Hash256, hlf_crypto::ecdsa::Signature)>,
 }
 
 /// Frontend counters.
@@ -81,6 +85,9 @@ pub struct FrontendStats {
     pub delivered_blocks: u64,
     /// Block copies discarded (bad signature, stale number...).
     pub discarded_copies: u64,
+    /// Signature checks skipped because the same `(node, header,
+    /// signature)` triple was already verified in the same round.
+    pub verify_cache_hits: u64,
 }
 
 /// The ordering-service frontend.
@@ -168,23 +175,46 @@ impl Frontend {
             self.stats.discarded_copies += 1;
             return;
         }
+        let slot = (block.header.channel.clone(), block.header.number);
+        let mut newly_verified = None;
         if let DeliveryPolicy::Verify { orderer_keys } = &self.config.policy {
             // The copy must carry a valid signature from its sender.
+            // Copies a node re-pushes (retransmits, view changes) repeat
+            // the same triple, so consult the round's cache before
+            // paying for an ECDSA verification. The cache is read
+            // through `get` — an invalid copy must not allocate
+            // collection state for its slot.
             let header_hash = block.header.hash();
+            let cache = self.collecting.get(&slot).map(|c| &c.verified);
+            let mut cache_hits = 0;
             let valid = block.signatures.iter().any(|s| {
-                s.node == from.0
-                    && orderer_keys
-                        .get(s.node as usize)
-                        .is_some_and(|key| key.verify_digest(&header_hash, &s.signature).is_ok())
+                if s.node != from.0 {
+                    return false;
+                }
+                let triple = (s.node, header_hash, s.signature);
+                if cache.is_some_and(|v| v.contains(&triple)) {
+                    cache_hits += 1;
+                    return true;
+                }
+                let fresh = orderer_keys
+                    .get(s.node as usize)
+                    .is_some_and(|key| key.verify_digest(&header_hash, &s.signature).is_ok());
+                if fresh {
+                    newly_verified = Some(triple);
+                }
+                fresh
             });
+            self.stats.verify_cache_hits += cache_hits;
             if !valid {
                 self.stats.discarded_copies += 1;
                 return;
             }
         }
-        let slot = (block.header.channel.clone(), block.header.number);
         let threshold = self.threshold();
         let entry = self.collecting.entry(slot.clone()).or_default();
+        if let Some(triple) = newly_verified {
+            entry.verified.insert(triple);
+        }
         let key = block.header.hash();
         let (stored, signatures, nodes) = entry
             .candidates
@@ -430,6 +460,29 @@ mod tests {
         let delivered = frontend.next_block(Duration::from_secs(2)).unwrap();
         assert_eq!(delivered.header.number, 1);
         assert_eq!(delivered.signatures.len(), 2);
+    }
+
+    #[test]
+    fn verification_mode_caches_repeated_signature_checks() {
+        let (sk, vk) = orderer_keys(4);
+        let (mut frontend, replicas, _n) =
+            fixture(DeliveryPolicy::Verify { orderer_keys: vk }, 4, 1);
+        let mut copy = block(1, Hash256::ZERO, 1);
+        copy.sign(0, &sk[0]);
+        // The same signed copy re-pushed by the same node: the first
+        // push verifies, the rest are answered from the round's cache.
+        for _ in 0..3 {
+            push_block(&replicas[0], &copy);
+        }
+        assert!(frontend.next_block(Duration::from_millis(150)).is_none());
+        assert_eq!(frontend.stats().verify_cache_hits, 2);
+        assert_eq!(frontend.stats().discarded_copies, 0);
+        // A second distinct node still completes the round (f + 1 = 2).
+        let mut second = block(1, Hash256::ZERO, 1);
+        second.sign(1, &sk[1]);
+        push_block(&replicas[1], &second);
+        let delivered = frontend.next_block(Duration::from_secs(2)).unwrap();
+        assert_eq!(delivered.header.number, 1);
     }
 
     #[test]

@@ -16,13 +16,26 @@ use std::thread::JoinHandle;
 /// Pool counters.
 #[derive(Debug, Default)]
 pub struct SigningStats {
+    submitted: AtomicU64,
     signed: AtomicU64,
 }
 
 impl SigningStats {
+    /// Blocks handed to the pool so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
     /// Blocks signed so far.
     pub fn signed(&self) -> u64 {
         self.signed.load(Ordering::Relaxed)
+    }
+
+    /// Blocks submitted but not yet signed — the queue depth as the
+    /// counters see it. Saturating: `signed` can transiently read ahead
+    /// of `submitted` between the two relaxed loads.
+    pub fn pending(&self) -> u64 {
+        self.submitted().saturating_sub(self.signed())
     }
 }
 
@@ -96,6 +109,7 @@ impl SigningPool {
     /// Queues a block for signing and delivery, blocking while the
     /// queue is full (backpressure onto the node thread).
     pub fn submit(&self, block: Block) {
+        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
         // The pool only shuts down on drop, after the node thread; a
         // send failure means teardown is racing us and the block is
         // moot.
@@ -155,6 +169,8 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
         }
         assert_eq!(pool.stats().signed(), 50);
+        assert_eq!(pool.stats().submitted(), 50);
+        assert_eq!(pool.stats().pending(), 0);
         let blocks = delivered.lock();
         let mut numbers: Vec<u64> = blocks.iter().map(|b| b.header.number).collect();
         numbers.sort_unstable();

@@ -144,6 +144,11 @@ impl VerifyingKey {
 
     /// Verifies `signature` over a 32-byte message digest.
     ///
+    /// Computes `u1·G + u2·Q` with one Strauss–Shamir interleaved
+    /// ladder ([`Point::lincomb`]) rather than two independent scalar
+    /// multiplications, and compares the resulting x-coordinate against
+    /// `r` in Jacobian form, skipping the final field inversion.
+    ///
     /// # Errors
     ///
     /// Returns [`VerifyError`] if the signature does not match.
@@ -153,7 +158,34 @@ impl VerifyingKey {
         let s_inv = sf.inv(&sf.to_monty(&signature.s));
         let u1 = sf.from_monty(&sf.mul(&sf.to_monty(&z), &s_inv));
         let u2 = sf.from_monty(&sf.mul(&sf.to_monty(&signature.r), &s_inv));
-        let point = Point::mul_base(&u1).add(&self.point.mul(&u2));
+        let point = Point::lincomb(&u1, &self.point, &u2);
+        if !point.is_identity() && point.affine_x_reduced_eq(&signature.r) {
+            Ok(())
+        } else {
+            Err(VerifyError)
+        }
+    }
+
+    /// Reference verification path: two independent reference scalar
+    /// multiplications plus an affine round-trip, exactly the shape of
+    /// the pre-optimization implementation.
+    ///
+    /// Kept (hidden) so benchmarks can measure the fast path against the
+    /// baseline on the same machine and tests can cross-check them.
+    #[doc(hidden)]
+    pub fn verify_digest_reference(
+        &self,
+        digest: &Hash256,
+        signature: &Signature,
+    ) -> Result<(), VerifyError> {
+        let sf = scalar_field();
+        let z = digest_to_scalar(digest);
+        let s_inv = sf.inv(&sf.to_monty(&signature.s));
+        let u1 = sf.from_monty(&sf.mul(&sf.to_monty(&z), &s_inv));
+        let u2 = sf.from_monty(&sf.mul(&sf.to_monty(&signature.r), &s_inv));
+        let point = Point::generator()
+            .mul_reference(&u1)
+            .add(&self.point.mul_reference(&u2));
         match point.to_affine() {
             None => Err(VerifyError),
             Some((x, _)) => {
@@ -234,14 +266,31 @@ impl SigningKey {
     }
 
     /// Signs a 32-byte message digest with an RFC 6979 deterministic nonce.
+    ///
+    /// `k·G` runs through the precomputed fixed-base comb
+    /// ([`Point::mul_base`]): 64 mixed additions, no runtime doublings.
     pub fn sign_digest(&self, digest: &Hash256) -> Signature {
+        self.sign_digest_with(digest, Point::mul_base)
+    }
+
+    /// Reference signing path using the naive ladder for `k·G`; same
+    /// RFC 6979 nonces, so it produces bit-identical signatures.
+    ///
+    /// Kept (hidden) so benchmarks can measure the fast path against the
+    /// baseline on the same machine and tests can cross-check them.
+    #[doc(hidden)]
+    pub fn sign_digest_reference(&self, digest: &Hash256) -> Signature {
+        self.sign_digest_with(digest, |k| Point::generator().mul_reference(k))
+    }
+
+    fn sign_digest_with(&self, digest: &Hash256, mul_base: impl Fn(&U256) -> Point) -> Signature {
         let sf = scalar_field();
         let n = order();
         let z = digest_to_scalar(digest);
         let mut nonce_gen = Rfc6979::new(&self.d, digest);
         loop {
             let k = nonce_gen.next_nonce();
-            let point = Point::mul_base(&k);
+            let point = mul_base(&k);
             let (x, _) = point.to_affine().expect("k in [1, n-1] gives finite kG");
             let r = x.reduce_once(n);
             if r.is_zero() {
@@ -423,6 +472,36 @@ mod tests {
         let b = SigningKey::from_seed(b"node-b");
         assert_eq!(a1.to_be_bytes(), a2.to_be_bytes());
         assert_ne!(a1.to_be_bytes(), b.to_be_bytes());
+    }
+
+    #[test]
+    fn fast_and_reference_paths_agree() {
+        for i in 0..4u8 {
+            let key = SigningKey::from_seed(&[0xf0, i]);
+            let digest = sha256(&[i; 33]);
+            // Identical RFC 6979 nonces => bit-identical signatures.
+            let fast = key.sign_digest(&digest);
+            let slow = key.sign_digest_reference(&digest);
+            assert_eq!(fast, slow, "i={i}");
+            // Both verification paths accept the signature...
+            key.verifying_key().verify_digest(&digest, &fast).unwrap();
+            key.verifying_key()
+                .verify_digest_reference(&digest, &fast)
+                .unwrap();
+            // ...and both reject a tampered one.
+            let mut bytes = fast.to_bytes();
+            bytes[5] ^= 0x40;
+            if let Some(bad) = Signature::from_bytes(&bytes) {
+                assert_eq!(
+                    key.verifying_key().verify_digest(&digest, &bad),
+                    Err(VerifyError)
+                );
+                assert_eq!(
+                    key.verifying_key().verify_digest_reference(&digest, &bad),
+                    Err(VerifyError)
+                );
+            }
+        }
     }
 
     #[test]

@@ -64,6 +64,120 @@ fn consts() -> &'static CurveConsts {
     })
 }
 
+/// A non-identity point in affine coordinates (Montgomery-form
+/// components, `z = 1` implied).
+///
+/// Only used for precomputed tables: mixed Jacobian+affine addition
+/// ([`Point::add_affine`]) saves the `z2`-dependent work of the general
+/// formula (~4 field multiplications per addition).
+#[derive(Clone, Copy, Debug)]
+struct AffinePoint {
+    x: U256,
+    y: U256,
+}
+
+/// Inverts a non-zero field element with a fixed addition chain for
+/// `p − 2` (255 squarings + 12 multiplications, versus ~384 operations
+/// for generic square-and-multiply).
+///
+/// The chain exploits the Solinas structure of
+/// `p = 2^256 − 2^224 + 2^192 + 2^96 − 1`; its correctness is checked
+/// against [`Monty::inv`] by the property tests below.
+fn invert_field(f: &Monty, a: &U256) -> U256 {
+    fn sqn(f: &Monty, mut x: U256, n: usize) -> U256 {
+        for _ in 0..n {
+            x = f.square(&x);
+        }
+        x
+    }
+    let x1 = *a; //                                   a^(2^1 - 1)
+    let x2 = f.mul(&sqn(f, x1, 1), &x1); //           a^(2^2 - 1)
+    let x3 = f.mul(&sqn(f, x2, 1), &x1); //           a^(2^3 - 1)
+    let x6 = f.mul(&sqn(f, x3, 3), &x3); //           a^(2^6 - 1)
+    let x12 = f.mul(&sqn(f, x6, 6), &x6); //          a^(2^12 - 1)
+    let x15 = f.mul(&sqn(f, x12, 3), &x3); //         a^(2^15 - 1)
+    let x16 = f.mul(&sqn(f, x15, 1), &x1); //         a^(2^16 - 1)
+    let x32 = f.mul(&sqn(f, x16, 16), &x16); //       a^(2^32 - 1)
+    let i53 = sqn(f, x32, 15); //                     a^((2^32 - 1)·2^15)
+    let x47 = f.mul(&x15, &i53); //                   a^(2^47 - 1)
+    // (((i53·2^17 + 1)·2^143 + x47)·2^47 + x47)·2^2 + 1  =  p - 2
+    let t = f.mul(&sqn(f, i53, 17), &x1);
+    let t = f.mul(&sqn(f, t, 143), &x47);
+    let t = f.mul(&x47, &sqn(f, t, 47));
+    f.mul(&sqn(f, t, 2), &x1)
+}
+
+/// Normalizes a batch of non-identity Jacobian points to affine with a
+/// single field inversion (Montgomery's trick): invert the running
+/// product of the `z` coordinates, then peel per-point inverses off
+/// with two multiplications each.
+fn batch_normalize(points: &[Point]) -> Vec<AffinePoint> {
+    let f = field();
+    let mut prefix = Vec::with_capacity(points.len());
+    let mut acc = f.one();
+    for p in points {
+        debug_assert!(!p.is_identity(), "cannot normalize the identity");
+        acc = f.mul(&acc, &p.z);
+        prefix.push(acc);
+    }
+    let mut inv = invert_field(f, &acc);
+    let mut out = vec![
+        AffinePoint {
+            x: U256::ZERO,
+            y: U256::ZERO
+        };
+        points.len()
+    ];
+    for i in (0..points.len()).rev() {
+        let z_inv = if i == 0 {
+            inv
+        } else {
+            f.mul(&inv, &prefix[i - 1])
+        };
+        inv = f.mul(&inv, &points[i].z);
+        let z_inv2 = f.square(&z_inv);
+        let z_inv3 = f.mul(&z_inv2, &z_inv);
+        out[i] = AffinePoint {
+            x: f.mul(&points[i].x, &z_inv2),
+            y: f.mul(&points[i].y, &z_inv3),
+        };
+    }
+    out
+}
+
+/// Precomputed fixed-base table for the generator: radix-16 comb.
+///
+/// `windows[i][j - 1] = j · 16^i · G` for `i ∈ 0..64`, `j ∈ 1..=15`,
+/// stored affine (960 points, ~60 KiB). A fixed-base multiplication
+/// then decomposes the scalar into 64 nibbles and performs **only
+/// mixed additions — zero runtime doublings**, since every needed
+/// doubling is baked into the table.
+struct BaseTable {
+    windows: Vec<[AffinePoint; 15]>,
+}
+
+fn base_table() -> &'static BaseTable {
+    static T: OnceLock<BaseTable> = OnceLock::new();
+    T.get_or_init(|| {
+        let mut jacobian = Vec::with_capacity(64 * 15);
+        let mut base = Point::generator(); // 16^i · G
+        for _ in 0..64 {
+            let mut multiple = base; // j · base
+            for _ in 1..=15 {
+                jacobian.push(multiple);
+                multiple = multiple.add(&base);
+            }
+            base = multiple; // 16 · old base
+        }
+        let affine = batch_normalize(&jacobian);
+        let windows = affine
+            .chunks_exact(15)
+            .map(|chunk| <[AffinePoint; 15]>::try_from(chunk).expect("15-entry window"))
+            .collect();
+        BaseTable { windows }
+    })
+}
+
 /// A point on P-256 in Jacobian coordinates (Montgomery-form components).
 ///
 /// The identity (point at infinity) is represented by `z = 0`.
@@ -169,7 +283,7 @@ impl Point {
             return None;
         }
         let f = field();
-        let z_inv = f.inv(&self.z);
+        let z_inv = invert_field(f, &self.z);
         let z_inv2 = f.square(&z_inv);
         let z_inv3 = f.mul(&z_inv2, &z_inv);
         let x = f.from_monty(&f.mul(&self.x, &z_inv2));
@@ -284,10 +398,107 @@ impl Point {
         }
     }
 
-    /// Scalar multiplication using a fixed 4-bit window.
+    /// Mixed Jacobian + affine addition (`madd-2007-bl`, `z2 = 1`).
+    ///
+    /// Saves ~4 field multiplications over [`Point::add`] because the
+    /// affine operand needs no `z2` work; this is why the window tables
+    /// below are normalized to affine before the main loop.
+    fn add_affine(&self, other: &AffinePoint) -> Point {
+        let f = field();
+        if self.is_identity() {
+            return Point {
+                x: other.x,
+                y: other.y,
+                z: f.one(),
+            };
+        }
+        let z1z1 = f.square(&self.z);
+        let u2 = f.mul(&other.x, &z1z1);
+        let s2 = f.mul(&f.mul(&other.y, &self.z), &z1z1);
+        let h = f.sub(&u2, &self.x);
+        let r0 = f.sub(&s2, &self.y);
+        if h.is_zero() {
+            return if r0.is_zero() {
+                self.double()
+            } else {
+                Point::identity()
+            };
+        }
+        let hh = f.square(&h);
+        let i = {
+            let t = f.add(&hh, &hh);
+            f.add(&t, &t)
+        };
+        let j = f.mul(&h, &i);
+        let r = f.add(&r0, &r0);
+        let v = f.mul(&self.x, &i);
+        let v2 = f.add(&v, &v);
+        let x3 = f.sub(&f.sub(&f.square(&r), &j), &v2);
+        let yj = f.mul(&self.y, &j);
+        let yj2 = f.add(&yj, &yj);
+        let y3 = f.sub(&f.mul(&r, &f.sub(&v, &x3)), &yj2);
+        let z3 = {
+            let t = f.add(&self.z, &h);
+            f.sub(&f.sub(&f.square(&t), &z1z1), &hh)
+        };
+        Point {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Builds the affine window table `[P, 2P, .., 15P]` for this
+    /// (non-identity) point, normalized with one batched inversion.
+    fn window_table(&self) -> Vec<AffinePoint> {
+        let mut jacobian = [Point::identity(); 15];
+        jacobian[0] = *self;
+        for j in 2..=15usize {
+            jacobian[j - 1] = if j % 2 == 0 {
+                jacobian[j / 2 - 1].double()
+            } else {
+                jacobian[j - 2].add(self)
+            };
+        }
+        batch_normalize(&jacobian)
+    }
+
+    /// Scalar multiplication: fixed 4-bit windows over a batch-normalized
+    /// affine table, so the inner loop pays 4 doublings plus one *mixed*
+    /// addition per non-zero nibble.
     ///
     /// The scalar is interpreted as a plain (non-Montgomery) integer.
+    /// Agreement with the naive [`Point::mul_reference`] path is enforced
+    /// by property tests.
     pub fn mul(&self, scalar: &U256) -> Point {
+        if scalar.is_zero() || self.is_identity() {
+            return Point::identity();
+        }
+        let table = self.window_table();
+        let bytes = scalar.to_be_bytes();
+        let mut acc = Point::identity();
+        let mut started = false;
+        for byte in bytes {
+            for nibble in [byte >> 4, byte & 0x0f] {
+                if started {
+                    acc = acc.double().double().double().double();
+                }
+                if nibble != 0 {
+                    acc = acc.add_affine(&table[nibble as usize - 1]);
+                    started = true;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Reference scalar multiplication: the original fixed-window ladder
+    /// over a per-call Jacobian table.
+    ///
+    /// Kept as the verified baseline the fast paths ([`Point::mul`],
+    /// [`Point::mul_base`], [`Point::lincomb`]) are cross-checked and
+    /// benchmarked against; not used on any hot path.
+    pub fn mul_reference(&self, scalar: &U256) -> Point {
         if scalar.is_zero() || self.is_identity() {
             return Point::identity();
         }
@@ -322,9 +533,91 @@ impl Point {
         acc
     }
 
-    /// `scalar * G` for the standard generator.
+    /// `scalar * G` via the precomputed radix-16 comb table: 64 nibble
+    /// lookups, each one mixed addition, and **no doublings at all**
+    /// (every `16^i` shift is baked into the table).
     pub fn mul_base(scalar: &U256) -> Point {
-        Point::generator().mul(scalar)
+        if scalar.is_zero() {
+            return Point::identity();
+        }
+        let table = base_table();
+        let bytes = scalar.to_be_bytes();
+        let mut acc = Point::identity();
+        for (i, byte) in bytes.iter().enumerate() {
+            // bytes[i] contributes nibbles at windows 63-2i (high) and
+            // 62-2i (low) of the radix-16 decomposition.
+            let hi = (byte >> 4) as usize;
+            let lo = (byte & 0x0f) as usize;
+            if hi != 0 {
+                acc = acc.add_affine(&table.windows[63 - 2 * i][hi - 1]);
+            }
+            if lo != 0 {
+                acc = acc.add_affine(&table.windows[62 - 2 * i][lo - 1]);
+            }
+        }
+        acc
+    }
+
+    /// Strauss–Shamir interleaved double-scalar multiplication:
+    /// `u1·G + u2·Q` with a *shared* doubling chain, so the two
+    /// multiplications cost one ladder of 252 doublings instead of two.
+    ///
+    /// The `G` additions come straight from the precomputed comb table's
+    /// first window; the `Q` additions use a batch-normalized affine
+    /// window table. This is the ECDSA verification hot path.
+    pub fn lincomb(u1: &U256, q: &Point, u2: &U256) -> Point {
+        if q.is_identity() || u2.is_zero() {
+            return Point::mul_base(u1);
+        }
+        if u1.is_zero() {
+            return q.mul(u2);
+        }
+        let g_table = &base_table().windows[0]; // [G, 2G, .., 15G]
+        let q_table = q.window_table();
+        let b1 = u1.to_be_bytes();
+        let b2 = u2.to_be_bytes();
+        let mut acc = Point::identity();
+        let mut started = false;
+        for i in 0..32 {
+            for shift in [4u8, 0] {
+                if started {
+                    acc = acc.double().double().double().double();
+                }
+                let n1 = ((b1[i] >> shift) & 0x0f) as usize;
+                let n2 = ((b2[i] >> shift) & 0x0f) as usize;
+                if n1 != 0 {
+                    acc = acc.add_affine(&g_table[n1 - 1]);
+                    started = true;
+                }
+                if n2 != 0 {
+                    acc = acc.add_affine(&q_table[n2 - 1]);
+                    started = true;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Checks whether this (non-identity) point's affine x-coordinate,
+    /// reduced modulo the group order, equals `r` — without leaving
+    /// Jacobian coordinates.
+    ///
+    /// `x = X/Z² (mod p)` and `x ≡ r (mod n)` with `0 ≤ x < p < 2n`
+    /// leaves exactly two candidates, `r` and `r + n`; each is checked
+    /// with one multiplication against `X`, avoiding the field inversion
+    /// a `to_affine` round-trip would pay. Used by ECDSA verification.
+    pub(crate) fn affine_x_reduced_eq(&self, r: &U256) -> bool {
+        debug_assert!(!self.is_identity());
+        let f = field();
+        let zz = f.square(&self.z);
+        if f.mul(&f.to_monty(r), &zz) == self.x {
+            return true;
+        }
+        let (r_plus_n, carry) = r.adc(order());
+        if !carry && &r_plus_n < f.modulus() {
+            return f.mul(&f.to_monty(&r_plus_n), &zz) == self.x;
+        }
+        false
     }
 
     /// Negates the point.
@@ -594,5 +887,154 @@ mod tests {
         // Coordinates >= p are rejected even if congruent to a curve point.
         let p_plus = field().modulus().adc(&U256::ONE).0;
         assert!(Point::from_affine(&p_plus, &U256::from_u64(1)).is_none());
+    }
+
+    /// Scalars that stress the window decompositions: identities,
+    /// boundaries of the group order, and values with long zero runs
+    /// (which exercise the `started`/skip logic of every ladder).
+    fn edge_scalars() -> Vec<U256> {
+        let n = *order();
+        let mut scalars = vec![
+            U256::ZERO,
+            U256::ONE,
+            U256::from_u64(2),
+            U256::from_u64(15),
+            U256::from_u64(16),
+            n.sbb(&U256::ONE).0,
+            n,
+            n.adc(&U256::ONE).0,
+            U256::from_limbs([u64::MAX; 4]),
+            // Long zero runs.
+            U256::from_hex("8000000000000000000000000000000000000000000000000000000000000001")
+                .unwrap(),
+            U256::from_hex("f000000000000000000000000000000000000000000000000000000000000000")
+                .unwrap(),
+            U256::from_hex("0000000000000000000000000000000100000000000000000000000000000000")
+                .unwrap(),
+        ];
+        scalars.push(U256::from_limbs([1, 0, 0, 1 << 63]));
+        scalars
+    }
+
+    #[test]
+    fn fast_paths_agree_with_reference_on_edge_scalars() {
+        let q = Point::generator().mul_reference(&U256::from_u64(0xfab));
+        for k in edge_scalars() {
+            let reference = Point::generator().mul_reference(&k);
+            assert_eq!(Point::mul_base(&k), reference, "mul_base, k={k}");
+            assert_eq!(
+                q.mul(&k),
+                q.mul_reference(&k),
+                "windowed mul, k={k}"
+            );
+            for u2 in [U256::ZERO, U256::ONE, k] {
+                assert_eq!(
+                    Point::lincomb(&k, &q, &u2),
+                    reference.add(&q.mul_reference(&u2)),
+                    "lincomb, u1={k} u2={u2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn affine_x_reduced_eq_matches_to_affine() {
+        for k in [1u64, 2, 77, 0xdeadbeef] {
+            let p = Point::mul_base(&U256::from_u64(k));
+            let (x, _) = p.to_affine().unwrap();
+            let r = x.reduce_once(order());
+            assert!(p.affine_x_reduced_eq(&r), "k={k}");
+            let wrong = r.add_mod(&U256::ONE, order());
+            assert!(!p.affine_x_reduced_eq(&wrong), "k={k}");
+        }
+        // A non-trivial z: build via additions so z != 1.
+        let p = Point::generator().double().add(&Point::generator());
+        let (x, _) = p.to_affine().unwrap();
+        assert!(p.affine_x_reduced_eq(&x.reduce_once(order())));
+    }
+
+    #[test]
+    fn invert_field_matches_generic_inversion() {
+        let f = field();
+        for v in [1u64, 2, 3, 65537, 0xdeadbeef] {
+            let a = f.to_monty(&U256::from_u64(v));
+            assert_eq!(invert_field(f, &a), f.inv(&a), "v={v}");
+        }
+        let (gx, _) = Point::generator().to_affine().unwrap();
+        let a = f.to_monty(&gx);
+        assert_eq!(f.mul(&a, &invert_field(f, &a)), f.one());
+    }
+
+    #[test]
+    fn batch_normalize_matches_to_affine() {
+        let points: Vec<Point> = (1..=20u64)
+            .map(|k| Point::mul_base(&U256::from_u64(k)).double().add(&Point::generator()))
+            .collect();
+        let affine = batch_normalize(&points);
+        let f = field();
+        for (p, a) in points.iter().zip(&affine) {
+            let (x, y) = p.to_affine().unwrap();
+            assert_eq!(f.from_monty(&a.x), x);
+            assert_eq!(f.from_monty(&a.y), y);
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_scalar() -> impl Strategy<Value = U256> {
+            any::<[u64; 4]>().prop_map(U256::from_limbs)
+        }
+
+        /// Scalars whose limbs are sparsified, giving long zero runs.
+        fn sparse_scalar() -> impl Strategy<Value = U256> {
+            (any::<[u64; 4]>(), any::<[u64; 4]>())
+                .prop_map(|(a, m)| U256::from_limbs([a[0] & m[0], a[1] & m[1], a[2] & m[2], a[3] & m[3]]))
+        }
+
+        proptest! {
+            // Point operations are slow; keep the case counts modest.
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            #[test]
+            fn comb_mul_base_matches_reference(k in arb_scalar()) {
+                prop_assert_eq!(
+                    Point::mul_base(&k),
+                    Point::generator().mul_reference(&k)
+                );
+            }
+
+            #[test]
+            fn windowed_mul_matches_reference(k in arb_scalar(), seed in any::<u64>()) {
+                let q = Point::generator().mul_reference(&U256::from_u64(seed | 1));
+                prop_assert_eq!(q.mul(&k), q.mul_reference(&k));
+            }
+
+            #[test]
+            fn lincomb_matches_two_reference_muls(u1 in arb_scalar(), u2 in arb_scalar(), seed in any::<u64>()) {
+                let q = Point::generator().mul_reference(&U256::from_u64(seed | 1));
+                let expect = Point::generator()
+                    .mul_reference(&u1)
+                    .add(&q.mul_reference(&u2));
+                prop_assert_eq!(Point::lincomb(&u1, &q, &u2), expect);
+            }
+
+            #[test]
+            fn sparse_scalars_agree(k in sparse_scalar()) {
+                let q = Point::generator().double();
+                prop_assert_eq!(Point::mul_base(&k), Point::generator().mul_reference(&k));
+                prop_assert_eq!(q.mul(&k), q.mul_reference(&k));
+            }
+
+            #[test]
+            fn field_inversion_chain_is_correct(v in any::<[u64; 4]>()) {
+                let f = field();
+                let a = U256::from_limbs(v).reduce_once(f.modulus());
+                prop_assume!(!a.is_zero());
+                let am = f.to_monty(&a);
+                prop_assert_eq!(invert_field(f, &am), f.inv(&am));
+            }
+        }
     }
 }
