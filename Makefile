@@ -1,12 +1,15 @@
 # Convenience targets for the hlf-bft reproduction.
 
-.PHONY: build test figures bench bench-crypto clean-results
+.PHONY: build test lint figures bench bench-crypto obs-report clean-results
 
 build:
 	cargo build --workspace --release
 
 test:
 	cargo test --workspace 2>&1 | tee test_output.txt
+
+lint:
+	cargo clippy --workspace --all-targets -- -D warnings
 
 # Regenerate every figure/table of the paper's evaluation.
 figures:
@@ -27,6 +30,11 @@ bench-crypto:
 	cargo bench -p bench --bench crypto 2>&1 | tee bench_crypto_output.txt
 	cargo run --release -p bench --example sig_rate
 	cargo run --release -p bench --bin bench_crypto_json
+
+# Boot a 4-node cluster with tentative execution, drive ~2 s of
+# traffic, print every obs registry and write BENCH_obs.json.
+obs-report:
+	cargo run --release -p bench --bin obs_report
 
 clean-results:
 	rm -f results_*.txt test_output.txt bench_output.txt bench_crypto_output.txt

@@ -17,13 +17,18 @@
 //! ```sh
 //! cargo run --release -p bench --bin fig7_lan_throughput            # quick grid
 //! cargo run --release -p bench --bin fig7_lan_throughput -- --full  # paper grid
+//! cargo run --release -p bench --bin fig7_lan_throughput -- --obs   # + phase table
 //! ```
 
-use bench::{ktps, run_lan_throughput, LanConfig, PAPER_CLUSTERS, PAPER_ENVELOPE_SIZES, PAPER_RECEIVERS};
+use bench::{
+    ktps, print_phase_breakdown, run_lan_throughput, LanConfig, PAPER_CLUSTERS,
+    PAPER_ENVELOPE_SIZES, PAPER_RECEIVERS,
+};
 use std::time::Duration;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
+    let collect_obs = std::env::args().any(|a| a == "--obs");
     let (clusters, block_sizes, envelope_sizes, receivers, measure) = if full {
         (
             PAPER_CLUSTERS.to_vec(),
@@ -89,4 +94,24 @@ fn main() {
          Absolute numbers scale with hardware; the orderings above are\n\
          the reproduced result."
     );
+
+    if collect_obs {
+        // One dedicated instrumented point: n=4, 1 KiB envelopes,
+        // blocks of 10, single receiver.
+        let mut config = LanConfig::new(4, 1);
+        config.envelope_size = 1024;
+        config.measure = Duration::from_secs(2);
+        config.collect_obs = true;
+        let result = run_lan_throughput(&config);
+        println!(
+            "\n# obs run: 4 orderers, blocks of {}, 1 KiB envelopes, 1 receiver \
+             ({} at {:.0} blocks/sec)",
+            config.block_size,
+            ktps(result.tx_per_sec),
+            result.blocks_per_sec
+        );
+        if let Some(snapshots) = &result.obs {
+            print_phase_breakdown(snapshots);
+        }
+    }
 }

@@ -8,13 +8,18 @@
 //!
 //! ```sh
 //! cargo run --release -p bench --bin fig8_geo_latency
+//! cargo run --release -p bench --bin fig8_geo_latency -- --obs  # + phase table
 //! ```
 
+use bench::print_phase_breakdown;
+use hlf_obs::Snapshot;
 use hlf_simnet::SimTime;
 use ordering_core::sim::{run_geo_experiment, GeoConfig, Protocol};
 
-/// Shared by fig8 (block size 10) and fig9 (block size 100).
-pub fn run_geo_figure(block_size: usize, figure: &str) {
+/// Shared by fig8 (block size 10) and fig9 (block size 100). With
+/// `collect_obs`, the 1 KiB runs also capture per-replica obs
+/// registries and a per-phase latency breakdown is printed at the end.
+pub fn run_geo_figure(block_size: usize, figure: &str, collect_obs: bool) {
     println!("# Figure {figure}: EC2-style latency, 4 receivers, blocks of {block_size} envelopes");
     println!("# per frontend: median / p90 milliseconds\n");
 
@@ -25,17 +30,23 @@ pub fn run_geo_figure(block_size: usize, figure: &str) {
     let mut region_names: Vec<String> = Vec::new();
     // results[env][proto] = Vec<(median, p90)>
     let mut results: Vec<Vec<Vec<(f64, f64)>>> = Vec::new();
+    // (protocol name, per-replica snapshots) from the 1 KiB runs
+    let mut obs_tables: Vec<(&str, Vec<Snapshot>)> = Vec::new();
 
     for &envelope_size in &envelope_sizes {
         let mut per_proto = Vec::new();
-        for &(protocol, _) in &protocols {
+        for &(protocol, protocol_name) in &protocols {
             let mut config = GeoConfig::new(protocol);
             config.envelope_size = envelope_size;
             config.block_size = block_size;
             config.duration = SimTime::from_secs(45);
             config.warmup = SimTime::from_secs(5);
             config.rate_per_frontend = 275.0; // >1000 tx/s aggregate
+            config.collect_obs = collect_obs && envelope_size == 1024;
             let result = run_geo_experiment(&config);
+            if let Some(obs) = result.obs {
+                obs_tables.push((protocol_name, obs));
+            }
             if region_names.is_empty() {
                 region_names = result
                     .frontends
@@ -104,9 +115,15 @@ pub fn run_geo_figure(block_size: usize, figure: &str) {
         "largest 40 B -> 4 KiB median spread at any frontend: {max_spread:.0} ms \
          (paper: never above 29 ms)"
     );
+
+    for (protocol_name, snapshots) in &obs_tables {
+        println!("\n# {protocol_name}, 1 KiB envelopes, blocks of {block_size}");
+        print_phase_breakdown(snapshots);
+    }
 }
 
 #[allow(dead_code)]
 fn main() {
-    run_geo_figure(10, "8");
+    let obs = std::env::args().any(|a| a == "--obs");
+    run_geo_figure(10, "8", obs);
 }

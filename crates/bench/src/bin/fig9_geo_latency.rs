@@ -5,16 +5,21 @@
 //!
 //! ```sh
 //! cargo run --release -p bench --bin fig9_geo_latency
+//! cargo run --release -p bench --bin fig9_geo_latency -- --obs  # + phase table
 //! ```
 
+use bench::print_phase_breakdown;
+use hlf_obs::Snapshot;
 use hlf_simnet::SimTime;
 use ordering_core::sim::{run_geo_experiment, GeoConfig, Protocol};
 
 fn main() {
+    let collect_obs = std::env::args().any(|a| a == "--obs");
     println!("# Figure 9: EC2-style latency, 4 receivers, blocks of 100 envelopes");
     println!("# per frontend: median / p90 milliseconds\n");
 
     let envelope_sizes = [40usize, 200, 1024, 4096];
+    let mut obs_tables: Vec<(&str, Vec<Snapshot>)> = Vec::new();
 
     // Also re-run block size 10 at 1 KiB for the fig8-vs-fig9 delta the
     // paper calls out.
@@ -34,7 +39,15 @@ fn main() {
             config.duration = SimTime::from_secs(45);
             config.warmup = SimTime::from_secs(5);
             config.rate_per_frontend = 275.0;
+            config.collect_obs = collect_obs && envelope_size == 1024;
             let result = run_geo_experiment(&config);
+            if let Some(obs) = result.obs {
+                let name = match protocol {
+                    Protocol::BftSmart => "BFT-SMaRt",
+                    Protocol::Wheat => "WHEAT",
+                };
+                obs_tables.push((name, obs));
+            }
             rows.push(
                 result
                     .frontends
@@ -72,4 +85,9 @@ fn main() {
          (+{:.0} ms; paper: up to 63 ms higher)",
         fig9_reference - fig8_reference
     );
+
+    for (protocol_name, snapshots) in &obs_tables {
+        println!("\n# {protocol_name}, 1 KiB envelopes, blocks of 100");
+        print_phase_breakdown(snapshots);
+    }
 }

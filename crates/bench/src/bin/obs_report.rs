@@ -1,0 +1,87 @@
+//! Boots a 4-node ordering service with tentative execution, drives a
+//! couple of seconds of traffic through a frontend, then dumps every
+//! obs registry — consensus phase timings, SMR node/client metrics,
+//! block-cutter and signing-pool metrics, frontend collection rounds —
+//! as text to stdout and as a stable JSON snapshot to `BENCH_obs.json`.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin obs_report              # writes BENCH_obs.json
+//! cargo run --release -p bench --bin obs_report -- out.json  # custom path
+//! ```
+
+use bench::print_phase_breakdown;
+use bytes::Bytes;
+use ordering_core::service::{OrderingService, ServiceOptions};
+use std::time::{Duration, Instant};
+
+const ENVELOPE_SIZE: usize = 1024;
+const WAVE: usize = 40;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .filter(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "BENCH_obs.json".to_string());
+
+    let options = ServiceOptions::new(1)
+        .with_block_size(10)
+        .with_signing_threads(4)
+        .with_tentative(true)
+        .with_request_timeout_ms(60_000);
+    let mut service = OrderingService::start(4, options);
+    let mut frontend = service.frontend();
+
+    println!("# obs_report: 4 orderers, f=1, tentative execution, blocks of 10");
+    println!("# driving ~2 s of 1 KiB envelopes through one frontend...\n");
+
+    // Closed-ish loop: keep a wave of envelopes in flight, drain blocks
+    // as they come back, for about two seconds.
+    let deadline = Instant::now() + Duration::from_secs(2);
+    let mut submitted = 0u64;
+    let mut delivered = 0u64;
+    let mut in_flight = 0usize;
+    while Instant::now() < deadline {
+        while in_flight < WAVE {
+            frontend.submit(Bytes::from(vec![0x5au8; ENVELOPE_SIZE]));
+            submitted += 1;
+            in_flight += 1;
+        }
+        if let Some(block) = frontend.next_block(Duration::from_millis(100)) {
+            delivered += block.envelopes.len() as u64;
+            in_flight = in_flight.saturating_sub(block.envelopes.len());
+        }
+    }
+    // Drain what is still in flight so the histograms cover whole
+    // request lifecycles.
+    let drain_deadline = Instant::now() + Duration::from_secs(5);
+    while delivered < submitted {
+        let now = Instant::now();
+        if now >= drain_deadline {
+            break;
+        }
+        match frontend.next_block(drain_deadline - now) {
+            Some(block) => delivered += block.envelopes.len() as u64,
+            None => break,
+        }
+    }
+    println!("submitted {submitted} envelopes, got back {delivered} in blocks\n");
+
+    let snapshots = service.obs_snapshots();
+
+    for snapshot in &snapshots {
+        println!("{}", snapshot.to_text());
+    }
+
+    print_phase_breakdown(&snapshots);
+
+    let json = hlf_obs::to_json_many(&snapshots);
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("\nwrote {} registries to {out_path}", snapshots.len()),
+        Err(error) => {
+            eprintln!("failed to write {out_path}: {error}");
+            std::process::exit(1);
+        }
+    }
+
+    service.shutdown();
+}

@@ -6,6 +6,7 @@
 
 use bytes::Bytes;
 use hlf_consensus::messages::Batch;
+use hlf_obs::Snapshot;
 use hlf_smr::app::{Application, Outbound};
 use hlf_smr::runtime::{ClusterRuntime, RuntimeOptions};
 use ordering_core::frontend::{Frontend, FrontendConfig};
@@ -44,6 +45,8 @@ pub struct LanConfig {
     pub verify_frontends: bool,
     /// Sign each block twice (paper footnote 10).
     pub double_sign: bool,
+    /// Capture per-node obs snapshots and return them in the result.
+    pub collect_obs: bool,
 }
 
 impl LanConfig {
@@ -59,6 +62,7 @@ impl LanConfig {
             measure: Duration::from_secs(3),
             verify_frontends: false,
             double_sign: false,
+            collect_obs: false,
         }
     }
 }
@@ -73,7 +77,7 @@ pub fn paper_signing_threads() -> usize {
 }
 
 /// Result of one LAN-throughput point.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct LanResult {
     /// Envelopes ordered per second, measured at node 0 (as in the
     /// paper).
@@ -82,6 +86,9 @@ pub struct LanResult {
     pub blocks_per_sec: f64,
     /// Total envelopes ordered during the window.
     pub envelopes: u64,
+    /// Obs snapshots (per node, `clients`, `frontends`), when
+    /// [`LanConfig::collect_obs`] was set.
+    pub obs: Option<Vec<Snapshot>>,
 }
 
 /// Runs one LAN throughput measurement: an in-process ordering cluster,
@@ -171,6 +178,7 @@ pub fn run_lan_throughput(config: &LanConfig) -> LanResult {
     for thread in receiver_threads {
         let _ = thread.join();
     }
+    let obs = config.collect_obs.then(|| service.obs_snapshots());
     service.shutdown();
 
     let tx_per_sec = envelopes as f64 / elapsed.as_secs_f64();
@@ -178,6 +186,51 @@ pub fn run_lan_throughput(config: &LanConfig) -> LanResult {
         tx_per_sec,
         blocks_per_sec: tx_per_sec / config.block_size as f64,
         envelopes,
+        obs,
+    }
+}
+
+/// Latency histograms worth surfacing in a per-phase breakdown table,
+/// with their units.
+const PHASE_METRICS: &[(&str, &str)] = &[
+    ("consensus.replica.write_phase_ms", "ms"),
+    ("consensus.replica.accept_phase_ms", "ms"),
+    ("consensus.replica.decide_ms", "ms"),
+    ("smr.node.request_decide_us", "us"),
+    ("core.signing.queue_wait_us", "us"),
+    ("core.signing.sign_us", "us"),
+    ("core.frontend.collect_round_us", "us"),
+    ("smr.client.invoke_us", "us"),
+];
+
+/// Prints the `--obs` per-phase latency breakdown: one row per
+/// populated phase histogram in each registry.
+pub fn print_phase_breakdown(snapshots: &[Snapshot]) {
+    println!("## per-phase latency breakdown");
+    println!(
+        "{:<12} {:<36} {:>4} {:>9} {:>8} {:>8} {:>8} {:>8}",
+        "registry", "metric", "unit", "count", "p50", "p90", "p99", "max"
+    );
+    for snap in snapshots {
+        for &(name, unit) in PHASE_METRICS {
+            let Some(h) = snap.histogram(name) else {
+                continue;
+            };
+            if h.count == 0 {
+                continue;
+            }
+            println!(
+                "{:<12} {:<36} {:>4} {:>9} {:>8} {:>8} {:>8} {:>8}",
+                snap.registry,
+                name,
+                unit,
+                h.count,
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.max
+            );
+        }
     }
 }
 

@@ -29,12 +29,14 @@
 //! ```
 
 pub mod messages;
+pub mod obs;
 pub mod quorum;
 pub mod replica;
 pub mod sync;
 pub mod testing;
 
 pub use messages::{Batch, ConsensusMsg, DecisionProof, Request, StopData, Vote, VotePhase};
+pub use obs::ReplicaObs;
 pub use quorum::{QuorumError, QuorumSystem};
 pub use replica::{Action, Config, Metrics, Replica};
 

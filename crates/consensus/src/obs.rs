@@ -1,0 +1,91 @@
+//! Replica-side observability: per-phase latency histograms and
+//! protocol event counters, resolved once from an [`hlf_obs::Registry`]
+//! so the consensus hot path records through bare `Arc` derefs.
+//!
+//! Metric names (see DESIGN.md §Observability):
+//!
+//! | name | kind | meaning |
+//! |------|------|---------|
+//! | `consensus.replica.write_phase_ms`  | histogram | PROPOSE accepted → WRITE quorum |
+//! | `consensus.replica.accept_phase_ms` | histogram | WRITE quorum → decision |
+//! | `consensus.replica.decide_ms`       | histogram | PROPOSE accepted → decision |
+//! | `consensus.replica.write_quorum_votes`  | histogram | matching WRITE votes when the quorum formed |
+//! | `consensus.replica.accept_quorum_votes` | histogram | ACCEPT votes in the decision proof |
+//! | `consensus.replica.decided`              | counter | instances decided |
+//! | `consensus.replica.tentative_deliveries` | counter | WHEAT tentative deliveries |
+//! | `consensus.replica.rollbacks`            | counter | tentative deliveries undone |
+//! | `consensus.replica.regency_changes`      | counter | leader changes installed |
+//! | `consensus.replica.pending_requests`     | gauge   | requests waiting to be ordered |
+
+use hlf_obs::{Counter, Gauge, Histogram, Registry};
+use std::sync::Arc;
+
+/// Handles to every replica metric. Cheap to clone (a few `Arc`s);
+/// attach with [`crate::replica::Replica::attach_obs`].
+#[derive(Clone, Debug)]
+pub struct ReplicaObs {
+    /// PROPOSE accepted → WRITE quorum reached, in ms of replica time.
+    pub write_phase_ms: Arc<Histogram>,
+    /// WRITE quorum reached → instance decided, in ms of replica time.
+    pub accept_phase_ms: Arc<Histogram>,
+    /// PROPOSE accepted → instance decided, in ms of replica time.
+    pub decide_ms: Arc<Histogram>,
+    /// Matching WRITE votes counted the moment the quorum formed.
+    pub write_quorum_votes: Arc<Histogram>,
+    /// ACCEPT votes bundled into the decision proof.
+    pub accept_quorum_votes: Arc<Histogram>,
+    /// Instances decided.
+    pub decided: Arc<Counter>,
+    /// WHEAT tentative deliveries emitted.
+    pub tentative_deliveries: Arc<Counter>,
+    /// Tentative deliveries rolled back by a leader change.
+    pub rollbacks: Arc<Counter>,
+    /// Regency (leader) changes installed.
+    pub regency_changes: Arc<Counter>,
+    /// Requests currently waiting to be ordered.
+    pub pending_requests: Arc<Gauge>,
+}
+
+impl ReplicaObs {
+    /// Resolves (creating on first use) every replica metric in
+    /// `registry`.
+    pub fn new(registry: &Registry) -> ReplicaObs {
+        ReplicaObs {
+            write_phase_ms: registry.histogram("consensus.replica.write_phase_ms"),
+            accept_phase_ms: registry.histogram("consensus.replica.accept_phase_ms"),
+            decide_ms: registry.histogram("consensus.replica.decide_ms"),
+            write_quorum_votes: registry.histogram("consensus.replica.write_quorum_votes"),
+            accept_quorum_votes: registry.histogram("consensus.replica.accept_quorum_votes"),
+            decided: registry.counter("consensus.replica.decided"),
+            tentative_deliveries: registry.counter("consensus.replica.tentative_deliveries"),
+            rollbacks: registry.counter("consensus.replica.rollbacks"),
+            regency_changes: registry.counter("consensus.replica.regency_changes"),
+            pending_requests: registry.gauge("consensus.replica.pending_requests"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_all_metrics() {
+        let registry = Registry::new("replica-obs-test");
+        let obs = ReplicaObs::new(&registry);
+        obs.decided.inc();
+        obs.write_phase_ms.record(3);
+        obs.pending_requests.set(7);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("consensus.replica.decided"), Some(1));
+        assert_eq!(
+            snap.histogram("consensus.replica.write_phase_ms").unwrap().count,
+            1
+        );
+        assert_eq!(snap.gauge_value("consensus.replica.pending_requests"), Some(7));
+        // Second resolution returns the same underlying metrics.
+        let again = ReplicaObs::new(&registry);
+        again.decided.inc();
+        assert_eq!(obs.decided.get(), 2);
+    }
+}

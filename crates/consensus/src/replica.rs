@@ -20,6 +20,7 @@
 //! request forwarding into a STOP / STOP-DATA / SYNC leader change.
 
 use crate::messages::{Batch, ConsensusMsg, DecisionProof, Request, StopData, Vote, VotePhase};
+use crate::obs::ReplicaObs;
 use crate::quorum::QuorumSystem;
 use crate::sync::{select, validate_sync};
 use hlf_crypto::ecdsa::{SigningKey, VerifyingKey};
@@ -187,6 +188,11 @@ struct Instance {
     last_write: Option<(u32, Hash256)>,
     last_write_value: Option<Batch>,
     last_write_cert: Vec<Vote>,
+    /// Replica clock when the current epoch's proposal was installed
+    /// (phase-timing anchor; reset on epoch bumps).
+    proposed_at: Option<u64>,
+    /// Replica clock when the WRITE quorum first formed this epoch.
+    write_quorum_at: Option<u64>,
 }
 
 impl Instance {
@@ -203,6 +209,8 @@ impl Instance {
             last_write: None,
             last_write_value: None,
             last_write_cert: Vec::new(),
+            proposed_at: None,
+            write_quorum_at: None,
         }
     }
 
@@ -216,6 +224,8 @@ impl Instance {
         self.accepts.clear();
         self.write_sent = false;
         self.accept_sent = false;
+        self.proposed_at = None;
+        self.write_quorum_at = None;
         // `tentative` is kept: a rollback is only emitted if the new
         // epoch binds a different value.
     }
@@ -279,6 +289,9 @@ pub struct Replica {
     /// our own STOP quorum installed the regency.
     early_stopdata: Vec<(NodeId, StopData)>,
     metrics: Metrics,
+    /// Optional per-phase histograms and event counters (attached by
+    /// the runtime when a registry exists; `None` costs nothing).
+    obs: Option<ReplicaObs>,
 }
 
 impl std::fmt::Debug for Replica {
@@ -323,7 +336,15 @@ impl Replica {
             sync_buffer: Vec::new(),
             early_stopdata: Vec::new(),
             metrics: Metrics::default(),
+            obs: None,
         }
+    }
+
+    /// Attaches per-phase histograms and event counters (usually
+    /// resolved from the owning node's registry). Without this the
+    /// replica keeps only the plain [`Metrics`] counters.
+    pub fn attach_obs(&mut self, obs: ReplicaObs) {
+        self.obs = Some(obs);
     }
 
     /// This replica's id.
@@ -477,6 +498,9 @@ impl Replica {
         }
         self.pending_ids.insert(id);
         self.pending.push_back(request);
+        if let Some(obs) = &self.obs {
+            obs.pending_requests.set(self.pending.len() as i64);
+        }
         if self.oldest_pending_since.is_none() {
             self.oldest_pending_since = Some(self.now_ms);
         }
@@ -688,6 +712,7 @@ impl Replica {
         let hash = batch.digest();
         self.inst.hash = Some(hash);
         self.inst.batch = Some(batch.clone());
+        self.inst.proposed_at = Some(self.now_ms);
 
         let vote = Vote::sign(
             &self.cfg.signing_key,
@@ -761,6 +786,15 @@ impl Replica {
 
         if !self.inst.accept_sent {
             self.inst.accept_sent = true;
+            // The WRITE quorum just formed: close the WRITE phase.
+            self.inst.write_quorum_at = Some(self.now_ms);
+            if let Some(obs) = &self.obs {
+                if let Some(t0) = self.inst.proposed_at {
+                    obs.write_phase_ms.record(self.now_ms.saturating_sub(t0));
+                }
+                obs.write_quorum_votes
+                    .record(self.inst.last_write_cert.len() as u64);
+            }
             let vote = Vote::sign(
                 &self.cfg.signing_key,
                 VotePhase::Accept,
@@ -776,6 +810,14 @@ impl Replica {
         if self.cfg.tentative_execution && self.inst.tentative.is_none() {
             if let Some(batch) = self.inst.batch.clone() {
                 self.inst.tentative = Some(hash);
+                if let Some(obs) = &self.obs {
+                    obs.tentative_deliveries.inc();
+                }
+                hlf_obs::trace!(
+                    "replica {} tentatively delivers cid {}",
+                    self.cfg.node.as_usize(),
+                    self.next_cid
+                );
                 actions.push(Action::DeliverTentative {
                     cid: self.next_cid,
                     batch,
@@ -872,6 +914,23 @@ impl Replica {
         }
         self.metrics.decided_instances += 1;
         self.metrics.delivered_requests += batch.len() as u64;
+        if let Some(obs) = &self.obs {
+            obs.decided.inc();
+            obs.pending_requests.set(self.pending.len() as i64);
+            obs.accept_quorum_votes.record(proof.votes.len() as u64);
+            if let Some(t0) = self.inst.write_quorum_at {
+                obs.accept_phase_ms.record(self.now_ms.saturating_sub(t0));
+            }
+            if let Some(t0) = self.inst.proposed_at {
+                obs.decide_ms.record(self.now_ms.saturating_sub(t0));
+            }
+        }
+        hlf_obs::trace!(
+            "replica {} decides cid {} ({} requests)",
+            self.cfg.node.as_usize(),
+            cid,
+            batch.len()
+        );
 
         actions.push(Action::Commit { cid, batch, proof });
 
@@ -932,6 +991,15 @@ impl Replica {
     fn install_regency(&mut self, regency: u32, actions: &mut Vec<Action>) {
         self.regency = regency;
         self.metrics.regency_changes += 1;
+        if let Some(obs) = &self.obs {
+            obs.regency_changes.inc();
+        }
+        hlf_obs::info!(
+            "replica {} installs regency {} (leader {})",
+            self.cfg.node.as_usize(),
+            regency,
+            self.leader_of(regency).as_usize()
+        );
         self.syncing = true;
         self.sync_started_at = self.now_ms;
         self.collect.clear();
@@ -1058,6 +1126,14 @@ impl Replica {
             // itself evidence that the group moved on.
             self.regency = regency;
             self.metrics.regency_changes += 1;
+            if let Some(obs) = &self.obs {
+                obs.regency_changes.inc();
+            }
+            hlf_obs::info!(
+                "replica {} adopts regency {} from SYNC",
+                self.cfg.node.as_usize(),
+                regency
+            );
             self.inst.bump_epoch(regency);
             self.stop_votes.retain(|&r, _| r > regency);
         }
@@ -1079,6 +1155,12 @@ impl Replica {
                 // We are behind: remember the proposal, ask for state
                 // transfer.
                 self.pending_sync = Some((regency, cid, batch));
+                hlf_obs::debug!(
+                    "replica {} behind: at cid {} while group syncs cid {}",
+                    self.cfg.node.as_usize(),
+                    self.next_cid,
+                    cid
+                );
                 actions.push(Action::Behind { target_cid: cid });
             }
             std::cmp::Ordering::Equal => {
@@ -1099,6 +1181,14 @@ impl Replica {
             if tentative != new_hash {
                 self.inst.tentative = None;
                 self.metrics.rollbacks += 1;
+                if let Some(obs) = &self.obs {
+                    obs.rollbacks.inc();
+                }
+                hlf_obs::debug!(
+                    "replica {} rolls back tentative cid {} (sync re-bound)",
+                    self.cfg.node.as_usize(),
+                    cid
+                );
                 actions.push(Action::Rollback { cid });
             }
         }
@@ -1153,6 +1243,14 @@ impl Replica {
             if tentative != proof.hash {
                 self.inst.tentative = None;
                 self.metrics.rollbacks += 1;
+                if let Some(obs) = &self.obs {
+                    obs.rollbacks.inc();
+                }
+                hlf_obs::debug!(
+                    "replica {} rolls back tentative cid {} (proven value differs)",
+                    self.cfg.node.as_usize(),
+                    cid
+                );
                 actions.push(Action::Rollback { cid });
             }
         }
@@ -1490,5 +1588,68 @@ mod tests {
         for r in &replicas {
             assert_eq!(r.metrics().decided_instances, 0);
         }
+    }
+
+    #[test]
+    fn obs_records_phase_latencies_and_counters() {
+        use crate::testing::Cluster;
+
+        let mut cluster = Cluster::classic(4, 1);
+        let registry = hlf_obs::Registry::new("obs-replica-test");
+        for i in 0..4 {
+            cluster.replica_mut(i).attach_obs(ReplicaObs::new(&registry));
+        }
+        for seq in 1..=5 {
+            cluster.submit_to_all(Request::new(ClientId(3), seq, &b"tx"[..]));
+            cluster.run_to_quiescence();
+        }
+
+        let snap = registry.snapshot();
+        // All four replicas decided 5 instances each.
+        assert_eq!(snap.counter_value("consensus.replica.decided"), Some(20));
+        let write = snap.histogram("consensus.replica.write_phase_ms").unwrap();
+        let accept = snap.histogram("consensus.replica.accept_phase_ms").unwrap();
+        let decide = snap.histogram("consensus.replica.decide_ms").unwrap();
+        assert_eq!(write.count, 20);
+        assert_eq!(accept.count, 20);
+        assert_eq!(decide.count, 20);
+        // The write quorum needed at least 3 of 4 matching votes.
+        let votes = snap
+            .histogram("consensus.replica.write_quorum_votes")
+            .unwrap();
+        assert!(votes.buckets.first().unwrap().0 >= 3);
+        // Proof quorums too.
+        let proof_votes = snap
+            .histogram("consensus.replica.accept_quorum_votes")
+            .unwrap();
+        assert!(proof_votes.buckets.first().unwrap().0 >= 3);
+        // Everything drained.
+        assert_eq!(
+            snap.gauge_value("consensus.replica.pending_requests"),
+            Some(0)
+        );
+        assert_eq!(snap.counter_value("consensus.replica.rollbacks"), Some(0));
+    }
+
+    #[test]
+    fn obs_counts_tentative_deliveries() {
+        use crate::testing::Cluster;
+
+        let mut cluster = Cluster::wheat(5, 1);
+        let registry = hlf_obs::Registry::new("obs-wheat-test");
+        for i in 0..5 {
+            cluster.replica_mut(i).attach_obs(ReplicaObs::new(&registry));
+        }
+        cluster.submit_to_all(Request::new(ClientId(4), 1, &b"tx"[..]));
+        cluster.run_to_quiescence();
+
+        let snap = registry.snapshot();
+        let tentative = snap
+            .counter_value("consensus.replica.tentative_deliveries")
+            .unwrap();
+        // Every replica that reached the write quorum delivered
+        // tentatively before deciding.
+        assert!(tentative >= 1, "no tentative deliveries recorded");
+        assert_eq!(snap.counter_value("consensus.replica.decided"), Some(5));
     }
 }

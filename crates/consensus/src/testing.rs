@@ -149,6 +149,12 @@ impl Cluster {
         &self.replicas[i]
     }
 
+    /// Mutable replica access (e.g. to attach observability with
+    /// [`Replica::attach_obs`] before driving traffic).
+    pub fn replica_mut(&mut self, i: usize) -> &mut Replica {
+        &mut self.replicas[i]
+    }
+
     /// Number of replicas.
     pub fn n(&self) -> usize {
         self.replicas.len()

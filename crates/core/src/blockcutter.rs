@@ -12,19 +12,64 @@
 use bytes::Bytes;
 use hlf_wire::{decode_seq, encode_seq, Encode, Reader, WireError};
 
+/// Why a block was cut — a property of the ordered stream itself, so
+/// every replica attributes each cut identically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CutReason {
+    /// The envelope count reached the configured block size.
+    Size,
+    /// The next envelope would have exceeded the byte cap.
+    Bytes,
+}
+
+/// A cut block's envelopes plus the reason the cut happened.
+///
+/// Dereferences to the envelope slice, so existing `cut.len()` /
+/// iteration call sites keep working.
+#[derive(Clone, Debug)]
+pub struct Cut {
+    /// The envelopes, in stream order.
+    pub envelopes: Vec<Bytes>,
+    /// What triggered the cut.
+    pub reason: CutReason,
+}
+
+impl Cut {
+    /// Consumes the cut, returning just the envelopes.
+    pub fn into_envelopes(self) -> Vec<Bytes> {
+        self.envelopes
+    }
+}
+
+impl std::ops::Deref for Cut {
+    type Target = [Bytes];
+    fn deref(&self) -> &[Bytes] {
+        &self.envelopes
+    }
+}
+
+impl IntoIterator for Cut {
+    type Item = Bytes;
+    type IntoIter = std::vec::IntoIter<Bytes>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.envelopes.into_iter()
+    }
+}
+
 /// Deterministic envelope-to-block grouping.
 ///
 /// # Examples
 ///
 /// ```
 /// use bytes::Bytes;
-/// use ordering_core::blockcutter::BlockCutter;
+/// use ordering_core::blockcutter::{BlockCutter, CutReason};
 ///
 /// let mut cutter = BlockCutter::new(3, 1024 * 1024);
 /// assert!(cutter.push(Bytes::from_static(b"e1")).is_none());
 /// assert!(cutter.push(Bytes::from_static(b"e2")).is_none());
 /// let cut = cutter.push(Bytes::from_static(b"e3")).unwrap();
 /// assert_eq!(cut.len(), 3);
+/// assert_eq!(cut.reason, CutReason::Size);
 /// assert_eq!(cutter.pending(), 0);
 /// ```
 #[derive(Clone, Debug)]
@@ -64,25 +109,31 @@ impl BlockCutter {
     }
 
     /// Adds one ordered envelope; returns a full block's envelopes when
-    /// the addition completes a block.
+    /// the addition completes a block, tagged with the [`CutReason`].
     ///
     /// An envelope that would push the buffer past `max_block_bytes`
     /// first cuts the buffered envelopes (if any), then starts the next
     /// block — mirroring Fabric's `PreferredMaxBytes` behaviour, and
     /// still a pure function of the stream.
-    pub fn push(&mut self, envelope: Bytes) -> Option<Vec<Bytes>> {
+    pub fn push(&mut self, envelope: Bytes) -> Option<Cut> {
         let overflow = !self.buffer.is_empty()
             && self.buffered_bytes + envelope.len() > self.max_block_bytes;
         if overflow {
-            let cut = self.drain();
+            let envelopes = self.drain();
             self.buffered_bytes = envelope.len();
             self.buffer.push(envelope);
-            return Some(cut);
+            return Some(Cut {
+                envelopes,
+                reason: CutReason::Bytes,
+            });
         }
         self.buffered_bytes += envelope.len();
         self.buffer.push(envelope);
         if self.buffer.len() >= self.block_size {
-            Some(self.drain())
+            Some(Cut {
+                envelopes: self.drain(),
+                reason: CutReason::Size,
+            })
         } else {
             None
         }
@@ -149,6 +200,7 @@ mod tests {
         }
         let cut = cutter.push(env(5)).unwrap();
         assert_eq!(cut.len(), 10);
+        assert_eq!(cut.reason, CutReason::Size);
         assert_eq!(cutter.pending(), 0);
         // And again: the cutter is reusable.
         for _ in 0..9 {
@@ -167,6 +219,7 @@ mod tests {
         // first three are cut, the fourth starts the next block.
         let cut = cutter.push(env(300)).unwrap();
         assert_eq!(cut.len(), 3);
+        assert_eq!(cut.reason, CutReason::Bytes);
         assert_eq!(cutter.pending(), 1);
     }
 

@@ -10,10 +10,12 @@
 //! suffice.
 
 use crate::channel::tag_envelope;
+use crate::obs::FrontendObs;
 use bytes::Bytes;
 use hlf_crypto::ecdsa::VerifyingKey;
 use hlf_crypto::sha256::Hash256;
 use hlf_fabric::block::{Block, BlockSignature, SYSTEM_CHANNEL};
+use hlf_obs::Registry;
 use hlf_smr::client::{ProxyConfig, ServiceProxy};
 use hlf_transport::Network;
 use hlf_wire::{ClientId, NodeId};
@@ -66,7 +68,7 @@ impl FrontendConfig {
 }
 
 /// Per-block-number collection state.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Collecting {
     /// header hash -> (block content, signatures gathered, nodes seen)
     candidates: HashMap<Hash256, (Block, Vec<BlockSignature>, HashSet<NodeId>)>,
@@ -74,6 +76,19 @@ struct Collecting {
     /// ECDSA verification in this collection round, so re-pushed copies
     /// skip the expensive check (verification mode only).
     verified: HashSet<(u32, Hash256, hlf_crypto::ecdsa::Signature)>,
+    /// When the first copy for this slot arrived (collection-round
+    /// latency = first copy -> threshold reached).
+    first_seen: Instant,
+}
+
+impl Collecting {
+    fn new() -> Collecting {
+        Collecting {
+            candidates: HashMap::new(),
+            verified: HashSet::new(),
+            first_seen: Instant::now(),
+        }
+    }
 }
 
 /// Frontend counters.
@@ -101,6 +116,7 @@ pub struct Frontend {
     /// (channel, number) -> completed block.
     ready: BTreeMap<(String, u64), Block>,
     stats: FrontendStats,
+    obs: Option<FrontendObs>,
 }
 
 impl std::fmt::Debug for Frontend {
@@ -128,7 +144,13 @@ impl Frontend {
             collecting: BTreeMap::new(),
             ready: BTreeMap::new(),
             stats: FrontendStats::default(),
+            obs: None,
         }
+    }
+
+    /// Starts recording `core.frontend.*` metrics into `registry`.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.obs = Some(FrontendObs::new(registry));
     }
 
     /// This frontend's client id.
@@ -151,8 +173,27 @@ impl Frontend {
     /// own hash chain of blocks.
     pub fn submit_to_channel(&mut self, channel: &str, envelope: impl Into<Bytes>) {
         self.stats.submitted += 1;
+        if let Some(obs) = &self.obs {
+            obs.submitted.inc();
+        }
         let tagged = tag_envelope(channel, &envelope.into());
         self.proxy.invoke_async(tagged);
+    }
+
+    /// Counts one rejected block copy in both counter sets.
+    fn discard_copy(&mut self) {
+        self.stats.discarded_copies += 1;
+        if let Some(obs) = &self.obs {
+            obs.discarded_copies.inc();
+        }
+    }
+
+    /// Counts one in-order block delivery in both counter sets.
+    fn count_delivery(&mut self) {
+        self.stats.delivered_blocks += 1;
+        if let Some(obs) = &self.obs {
+            obs.delivered_blocks.inc();
+        }
     }
 
     /// Copies needed before a block is trusted.
@@ -172,7 +213,7 @@ impl Frontend {
         if block.header.number < self.next_deliver_on(&block.header.channel)
             || !block.data_consistent()
         {
-            self.stats.discarded_copies += 1;
+            self.discard_copy();
             return;
         }
         let slot = (block.header.channel.clone(), block.header.number);
@@ -206,12 +247,12 @@ impl Frontend {
             });
             self.stats.verify_cache_hits += cache_hits;
             if !valid {
-                self.stats.discarded_copies += 1;
+                self.discard_copy();
                 return;
             }
         }
         let threshold = self.threshold();
-        let entry = self.collecting.entry(slot.clone()).or_default();
+        let entry = self.collecting.entry(slot.clone()).or_insert_with(Collecting::new);
         if let Some(triple) = newly_verified {
             entry.verified.insert(triple);
         }
@@ -231,7 +272,12 @@ impl Frontend {
         if nodes.len() >= threshold {
             let mut complete = stored.clone();
             complete.signatures = signatures.clone();
-            self.collecting.remove(&slot);
+            if let Some(round) = self.collecting.remove(&slot) {
+                if let Some(obs) = &self.obs {
+                    obs.collect_round_us
+                        .record(round.first_seen.elapsed().as_micros() as u64);
+                }
+            }
             self.ready.insert(slot, complete);
         }
     }
@@ -246,7 +292,7 @@ impl Frontend {
             .cloned()?;
         let block = self.ready.remove(&slot).expect("key just seen");
         self.next_deliver.insert(slot.0, slot.1 + 1);
-        self.stats.delivered_blocks += 1;
+        self.count_delivery();
         Some(block)
     }
 
@@ -266,7 +312,7 @@ impl Frontend {
             }
             let push = self.proxy.next_push(deadline - now)?;
             let Ok(block) = hlf_wire::from_bytes::<Block>(&push.payload) else {
-                self.stats.discarded_copies += 1;
+                self.discard_copy();
                 continue;
             };
             self.accept(push.from, block);
@@ -280,7 +326,7 @@ impl Frontend {
             let slot = (channel.to_string(), self.next_deliver_on(channel));
             if let Some(block) = self.ready.remove(&slot) {
                 self.next_deliver.insert(slot.0, slot.1 + 1);
-                self.stats.delivered_blocks += 1;
+                self.count_delivery();
                 return Some(block);
             }
             let now = Instant::now();
@@ -289,7 +335,7 @@ impl Frontend {
             }
             let push = self.proxy.next_push(deadline - now)?;
             let Ok(block) = hlf_wire::from_bytes::<Block>(&push.payload) else {
-                self.stats.discarded_copies += 1;
+                self.discard_copy();
                 continue;
             };
             self.accept(push.from, block);
@@ -302,7 +348,7 @@ impl Frontend {
             if let Ok(block) = hlf_wire::from_bytes::<Block>(&push.payload) {
                 self.accept(push.from, block);
             } else {
-                self.stats.discarded_copies += 1;
+                self.discard_copy();
             }
         }
     }
@@ -483,6 +529,37 @@ mod tests {
         push_block(&replicas[1], &second);
         let delivered = frontend.next_block(Duration::from_secs(2)).unwrap();
         assert_eq!(delivered.header.number, 1);
+    }
+
+    #[test]
+    fn registry_records_collection_rounds_and_deliveries() {
+        let (mut frontend, replicas, _n) = fixture(DeliveryPolicy::MatchOnly, 4, 1);
+        let registry = Registry::new("frontend-test");
+        frontend.attach_obs(&registry);
+        let (sk, _) = orderer_keys(4);
+        frontend.submit(Bytes::from_static(b"envelope"));
+        let base = block(1, Hash256::ZERO, 1);
+        for i in 0..3 {
+            let mut copy = base.clone();
+            copy.sign(i as u32, &sk[i]);
+            push_block(&replicas[i], &copy);
+        }
+        let delivered = frontend.next_block(Duration::from_secs(2)).unwrap();
+        assert_eq!(delivered.header.number, 1);
+        // A stale copy for the already-delivered number is discarded.
+        let mut stale = base.clone();
+        stale.sign(3, &sk[3]);
+        push_block(&replicas[3], &stale);
+        assert!(frontend.next_block(Duration::from_millis(100)).is_none());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("core.frontend.submitted"), Some(1));
+        assert_eq!(snap.counter_value("core.frontend.delivered_blocks"), Some(1));
+        assert_eq!(snap.counter_value("core.frontend.discarded_copies"), Some(1));
+        let round = snap.histogram("core.frontend.collect_round_us").unwrap();
+        assert_eq!(round.count, 1);
+        // The obs counters track the plain stats struct exactly.
+        assert_eq!(frontend.stats().delivered_blocks, 1);
+        assert_eq!(frontend.stats().discarded_copies, 1);
     }
 
     #[test]

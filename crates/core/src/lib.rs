@@ -46,12 +46,14 @@ pub mod blockcutter;
 pub mod channel;
 pub mod frontend;
 pub mod node;
+pub mod obs;
 pub mod service;
 pub mod signing;
 pub mod sim;
 
-pub use blockcutter::BlockCutter;
+pub use blockcutter::{BlockCutter, Cut, CutReason};
 pub use frontend::{DeliveryPolicy, Frontend, FrontendConfig, FrontendStats};
 pub use node::{OrderingNodeApp, OrderingNodeConfig, OrderingNodeStats};
+pub use obs::{CutterObs, FrontendObs, SigningObs};
 pub use service::{OrderingService, ServiceOptions};
 pub use signing::{SigningPool, SigningStats};

@@ -2,14 +2,16 @@
 //! turns the totally ordered envelope stream into signed blocks
 //! (paper §5.1, "Ordering Nodes" side of Figure 5).
 
-use crate::blockcutter::BlockCutter;
+use crate::blockcutter::{BlockCutter, CutReason};
 use crate::channel::untag_envelope;
+use crate::obs::CutterObs;
 use crate::signing::{SigningPool, SigningStats};
 use bytes::Bytes;
 use hlf_consensus::messages::Batch;
 use hlf_crypto::ecdsa::SigningKey;
 use hlf_crypto::sha256::Hash256;
 use hlf_fabric::block::Block;
+use hlf_obs::Registry;
 use hlf_smr::app::{Application, Outbound};
 use hlf_smr::node::PushHandle;
 use hlf_wire::{Decode, Encode, Reader};
@@ -61,6 +63,9 @@ pub struct OrderingNodeConfig {
     /// `BatchTimeout` (batch boundaries are identical at all replicas),
     /// bounding envelope latency under light traffic.
     pub flush_on_batch_end: bool,
+    /// Registry to record blockcutter and signing-pool metrics into
+    /// (`core.cutter.*`, `core.signing.*`). `None` disables recording.
+    pub registry: Option<Arc<Registry>>,
 }
 
 impl std::fmt::Debug for OrderingNodeConfig {
@@ -85,6 +90,7 @@ impl OrderingNodeConfig {
             signing_threads: 16,
             double_sign: false,
             flush_on_batch_end: false,
+            registry: None,
         }
     }
 
@@ -109,6 +115,12 @@ impl OrderingNodeConfig {
     /// Enables deterministic partial-block flushing at batch boundaries.
     pub fn with_flush_on_batch_end(mut self, enabled: bool) -> OrderingNodeConfig {
         self.flush_on_batch_end = enabled;
+        self
+    }
+
+    /// Records cutter and signing metrics into `registry`.
+    pub fn with_registry(mut self, registry: Arc<Registry>) -> OrderingNodeConfig {
+        self.registry = Some(registry);
         self
     }
 }
@@ -152,6 +164,7 @@ pub struct OrderingNodeApp {
     pool: SigningPool,
     stats: Arc<OrderingNodeStats>,
     signing_stats: Arc<SigningStats>,
+    cutter_obs: Option<CutterObs>,
     undo: Vec<Undo>,
 }
 
@@ -172,10 +185,11 @@ impl OrderingNodeApp {
         let double_sign = config.double_sign;
         let context_key = config.signing_key.clone();
         let node = config.node;
-        let pool = SigningPool::new(
+        let pool = SigningPool::with_registry(
             config.signing_threads,
             config.node,
             config.signing_key.clone(),
+            config.registry.as_deref(),
             move |block: Block| {
                 if double_sign {
                     // Footnote 10: a second signature attaches the block
@@ -193,12 +207,14 @@ impl OrderingNodeApp {
             },
         );
         let signing_stats = pool.stats();
+        let cutter_obs = config.registry.as_deref().map(CutterObs::new);
         OrderingNodeApp {
             chains: BTreeMap::new(),
             config,
             pool,
             stats: Arc::new(OrderingNodeStats::default()),
             signing_stats,
+            cutter_obs,
             undo: Vec::new(),
         }
     }
@@ -263,12 +279,19 @@ impl Application for OrderingNodeApp {
                 .chains
                 .entry(channel.clone())
                 .or_insert_with(|| ChainState::new(block_size, max_block_bytes));
-            if let Some(envelopes) = chain.cutter.push(envelope) {
+            if let Some(cut) = chain.cutter.push(envelope) {
+                if let Some(obs) = &self.cutter_obs {
+                    let reason = match cut.reason {
+                        CutReason::Size => &obs.cut_size,
+                        CutReason::Bytes => &obs.cut_bytes,
+                    };
+                    obs.record_cut(reason, cut.len(), block_size);
+                }
                 let block = Block::build_in_channel(
                     channel,
                     chain.next_number,
                     chain.prev_hash,
-                    envelopes,
+                    cut.into_envelopes(),
                 );
                 chain.prev_hash = block.header.hash();
                 chain.next_number += 1;
@@ -288,6 +311,13 @@ impl Application for OrderingNodeApp {
             for channel in channels {
                 let chain = self.chains.get_mut(&channel).expect("channel exists");
                 let envelopes = chain.cutter.drain();
+                if let Some(obs) = &self.cutter_obs {
+                    obs.record_cut(
+                        &obs.cut_batch_end,
+                        envelopes.len(),
+                        self.config.block_size,
+                    );
+                }
                 let block = Block::build_in_channel(
                     channel,
                     chain.next_number,
@@ -504,6 +534,44 @@ mod tests {
         let mut sizes = vec![b2.envelopes.len(), b3.envelopes.len()];
         sizes.sort_unstable();
         assert_eq!(sizes, vec![2, 10]);
+    }
+
+    #[test]
+    fn registry_records_cut_reasons_and_fill() {
+        let network = Network::new();
+        let replica_endpoint = network.join(PeerId::replica(0));
+        let _frontend = network.join(PeerId::client(1));
+        let push = hlf_smr::node::PushHandle::for_tests(
+            replica_endpoint.sender(),
+            vec![ClientId(1)],
+        );
+        let registry = Arc::new(Registry::new("core-node-test"));
+        let config = OrderingNodeConfig::new(0, SigningKey::from_seed(b"orderer-0"))
+            .with_block_size(5)
+            .with_signing_threads(2)
+            .with_flush_on_batch_end(true)
+            .with_registry(Arc::clone(&registry));
+        let mut app = OrderingNodeApp::new(config, push);
+        // 12 envelopes, block size 5, flush on batch end: two full cuts
+        // (Size) plus a 2-envelope batch-end flush.
+        app.execute_batch(1, &batch(1, 12), false);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("core.cutter.cut_size"), Some(2));
+        assert_eq!(snap.counter_value("core.cutter.cut_bytes"), Some(0));
+        assert_eq!(snap.counter_value("core.cutter.cut_batch_end"), Some(1));
+        let fill = snap.histogram("core.cutter.block_fill_pct").unwrap();
+        assert_eq!(fill.count, 3);
+        assert_eq!(fill.max, 100);
+        assert_eq!(fill.min, 40);
+        // Signing metrics flow through the same registry.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while app.signing_stats().signed() < 3 {
+            assert!(std::time::Instant::now() < deadline, "pool stalled");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("core.signing.signed"), Some(3));
+        assert_eq!(snap.histogram("core.signing.sign_us").unwrap().count, 3);
     }
 
     #[test]

@@ -5,10 +5,12 @@ use crate::frontend::{Frontend, FrontendConfig};
 use crate::node::{OrderingNodeApp, OrderingNodeConfig};
 use bytes::Bytes;
 use hlf_crypto::ecdsa::VerifyingKey;
+use hlf_obs::{Registry, Snapshot};
 use hlf_smr::runtime::{ClusterKeys, ClusterRuntime, RuntimeOptions};
 use hlf_smr::storage::MemoryLog;
 use hlf_transport::Network;
 use hlf_wire::ClientId;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Service-level options.
@@ -23,6 +25,10 @@ pub struct ServiceOptions {
     pub signing_threads: usize,
     /// WHEAT: weighted quorums + tentative execution.
     pub wheat: bool,
+    /// Tentative execution alone (no weighted quorums). Implied by
+    /// `wheat`; set it separately to study tentative delivery on a
+    /// classic `3f + 1` cluster.
+    pub tentative: bool,
     /// Consensus batch cap.
     pub batch_max: usize,
     /// Request timeout before leader-change escalation.
@@ -45,6 +51,7 @@ impl ServiceOptions {
             block_size: 10,
             signing_threads: 4,
             wheat: false,
+            tentative: false,
             batch_max: 400,
             request_timeout_ms: 2_000,
             frontend_verification: false,
@@ -69,6 +76,13 @@ impl ServiceOptions {
     /// cluster must then be created with `3f + 1 + f·k` nodes.
     pub fn with_wheat(mut self, wheat: bool) -> ServiceOptions {
         self.wheat = wheat;
+        self
+    }
+
+    /// Enables tentative execution without weighted quorums (works on a
+    /// classic `3f + 1` cluster).
+    pub fn with_tentative(mut self, tentative: bool) -> ServiceOptions {
+        self.tentative = tentative;
         self
     }
 
@@ -104,6 +118,9 @@ pub struct OrderingService {
     n: usize,
     orderer_keys: Vec<VerifyingKey>,
     next_frontend: u32,
+    /// Shared registry for every frontend created via
+    /// [`OrderingService::frontend`].
+    frontend_registry: Arc<Registry>,
 }
 
 impl std::fmt::Debug for OrderingService {
@@ -127,7 +144,7 @@ impl OrderingService {
             .with_batch_max(options.batch_max)
             .with_request_timeout_ms(options.request_timeout_ms);
         runtime_options.wheat_weights = options.wheat;
-        runtime_options.tentative_execution = options.wheat;
+        runtime_options.tentative_execution = options.wheat || options.tentative;
 
         // The runtime derives its consensus keys deterministically; the
         // ordering apps reuse the same keys for block signatures (the
@@ -138,13 +155,14 @@ impl OrderingService {
         let runtime = ClusterRuntime::start_custom(
             n,
             runtime_options,
-            move |i, push| {
+            move |i, push, registry| {
                 let config =
                     OrderingNodeConfig::new(i as u32, keys.signing[i].clone())
                         .with_block_size(app_options.block_size)
                         .with_signing_threads(app_options.signing_threads)
                         .with_double_sign(app_options.double_sign)
-                        .with_flush_on_batch_end(app_options.flush_on_batch_end);
+                        .with_flush_on_batch_end(app_options.flush_on_batch_end)
+                        .with_registry(registry);
                 Box::new(OrderingNodeApp::new(config, push))
             },
             |_| Box::new(MemoryLog::new()),
@@ -155,6 +173,7 @@ impl OrderingService {
             n,
             orderer_keys,
             next_frontend: 1000,
+            frontend_registry: Registry::new("frontends"),
         }
     }
 
@@ -196,14 +215,32 @@ impl OrderingService {
         move || stats.executed_requests()
     }
 
-    /// Connects a new frontend.
+    /// Connects a new frontend (wired to the shared `frontends`
+    /// obs registry).
     pub fn frontend(&mut self) -> Frontend {
         self.next_frontend += 1;
         let mut config = FrontendConfig::new(ClientId(self.next_frontend), self.n, self.options.f);
         if self.options.frontend_verification {
             config = config.with_verification(self.orderer_keys.clone());
         }
-        Frontend::connect(self.runtime.network(), config)
+        let mut frontend = Frontend::connect(self.runtime.network(), config);
+        frontend.attach_obs(&self.frontend_registry);
+        frontend
+    }
+
+    /// Node `i`'s obs registry (consensus, SMR, cutter and signing
+    /// metrics).
+    pub fn obs_registry(&self, i: usize) -> Arc<Registry> {
+        self.runtime.obs_registry(i)
+    }
+
+    /// Snapshots of every registry in the service: each node's
+    /// (`node-0` .. `node-{n-1}`), the SMR `clients` registry, then the
+    /// shared `frontends` registry.
+    pub fn obs_snapshots(&self) -> Vec<Snapshot> {
+        let mut snapshots = self.runtime.obs_snapshots();
+        snapshots.push(self.frontend_registry.snapshot());
+        snapshots
     }
 
     /// Convenience: submit `envelopes` through a frontend and wait for

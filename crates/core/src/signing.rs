@@ -6,12 +6,15 @@
 //! signature never feeds back into replicated state — the next header
 //! chains to the previous header's *hash*, not its signature.
 
+use crate::obs::SigningObs;
 use crossbeam::channel::{self, Receiver, Sender};
 use hlf_crypto::ecdsa::SigningKey;
 use hlf_fabric::block::Block;
+use hlf_obs::Registry;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Pool counters.
 #[derive(Debug, Default)]
@@ -23,19 +26,38 @@ pub struct SigningStats {
 impl SigningStats {
     /// Blocks handed to the pool so far.
     pub fn submitted(&self) -> u64 {
-        self.submitted.load(Ordering::Relaxed)
+        self.submitted.load(Ordering::Acquire)
     }
 
     /// Blocks signed so far.
     pub fn signed(&self) -> u64 {
-        self.signed.load(Ordering::Relaxed)
+        self.signed.load(Ordering::Acquire)
+    }
+
+    /// A consistent `(submitted, signed)` pair with `submitted >=
+    /// signed` guaranteed.
+    ///
+    /// The load order is what makes this hold: `signed` is read
+    /// *first*. A block is always counted in `submitted` before any
+    /// signer can count it in `signed`, so at every instant the true
+    /// values satisfy `submitted >= signed`. Reading `signed` at `t0`
+    /// and `submitted` at `t1 >= t0` then gives `submitted(t1) >=
+    /// submitted(t0) >= signed(t0)` — counters only grow. (Reading
+    /// `submitted` first allows the opposite race: signers can complete
+    /// blocks between the two loads and `signed` can overtake the stale
+    /// `submitted` reading.)
+    pub fn counters(&self) -> (u64, u64) {
+        let signed = self.signed.load(Ordering::Acquire);
+        let submitted = self.submitted.load(Ordering::Acquire);
+        (submitted, signed)
     }
 
     /// Blocks submitted but not yet signed — the queue depth as the
-    /// counters see it. Saturating: `signed` can transiently read ahead
-    /// of `submitted` between the two relaxed loads.
+    /// counters see it. Derived from [`SigningStats::counters`], so it
+    /// can never underflow; the `saturating_sub` is belt-and-braces.
     pub fn pending(&self) -> u64 {
-        self.submitted().saturating_sub(self.signed())
+        let (submitted, signed) = self.counters();
+        submitted.saturating_sub(signed)
     }
 }
 
@@ -45,9 +67,10 @@ impl SigningStats {
 /// `deliver` callback (which, in the ordering node, transmits it to all
 /// registered frontends through a [`hlf_smr::PushHandle`]).
 pub struct SigningPool {
-    jobs: Sender<Block>,
+    jobs: Sender<(Block, Instant)>,
     workers: Vec<JoinHandle<()>>,
     stats: Arc<SigningStats>,
+    obs: Option<SigningObs>,
 }
 
 impl std::fmt::Debug for SigningPool {
@@ -72,27 +95,55 @@ impl SigningPool {
         key: SigningKey,
         deliver: impl Fn(Block) + Send + Sync + 'static,
     ) -> SigningPool {
+        SigningPool::with_registry(threads, node, key, None, deliver)
+    }
+
+    /// Like [`SigningPool::new`], additionally recording queue-wait and
+    /// signing-time metrics into `registry` when one is given.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_registry(
+        threads: usize,
+        node: u32,
+        key: SigningKey,
+        registry: Option<&Registry>,
+        deliver: impl Fn(Block) + Send + Sync + 'static,
+    ) -> SigningPool {
         assert!(threads > 0, "signing pool needs at least one thread");
         // Bounded queue: when signing cannot keep up, `submit` blocks
         // the node thread — the CPU "tug of war" between the
         // application's worker threads and consensus the paper
         // describes in §6.2. An unbounded queue would let the measured
         // ordering rate silently outrun the signing rate.
-        let (jobs, job_rx): (Sender<Block>, Receiver<Block>) = channel::bounded(256);
+        let (jobs, job_rx): (Sender<(Block, Instant)>, Receiver<(Block, Instant)>) =
+            channel::bounded(256);
         let deliver = Arc::new(deliver);
         let stats = Arc::new(SigningStats::default());
+        let obs = registry.map(SigningObs::new);
         let workers = (0..threads)
             .map(|w| {
                 let job_rx = job_rx.clone();
                 let key = key.clone();
                 let deliver = Arc::clone(&deliver);
                 let stats = Arc::clone(&stats);
+                let obs = obs.clone();
                 std::thread::Builder::new()
                     .name(format!("signer-{node}-{w}"))
                     .spawn(move || {
-                        while let Ok(mut block) = job_rx.recv() {
+                        while let Ok((mut block, enqueued_at)) = job_rx.recv() {
+                            let dequeued_at = Instant::now();
                             block.sign(node, &key);
-                            stats.signed.fetch_add(1, Ordering::Relaxed);
+                            stats.signed.fetch_add(1, Ordering::Release);
+                            if let Some(obs) = &obs {
+                                obs.queue_wait_us.record(
+                                    (dequeued_at - enqueued_at).as_micros() as u64,
+                                );
+                                obs.sign_us
+                                    .record(dequeued_at.elapsed().as_micros() as u64);
+                                obs.signed.inc();
+                            }
                             deliver(block);
                         }
                     })
@@ -103,17 +154,21 @@ impl SigningPool {
             jobs,
             workers,
             stats,
+            obs,
         }
     }
 
     /// Queues a block for signing and delivery, blocking while the
     /// queue is full (backpressure onto the node thread).
     pub fn submit(&self, block: Block) {
-        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        self.stats.submitted.fetch_add(1, Ordering::Release);
+        if let Some(obs) = &self.obs {
+            obs.queue_depth.set(self.jobs.len() as i64);
+        }
         // The pool only shuts down on drop, after the node thread; a
         // send failure means teardown is racing us and the block is
         // moot.
-        let _ = self.jobs.send(block);
+        let _ = self.jobs.send((block, Instant::now()));
     }
 
     /// Pool counters.
@@ -207,5 +262,71 @@ mod tests {
     fn zero_threads_rejected() {
         let key = SigningKey::from_seed(b"pool3");
         let _ = SigningPool::new(0, 0, key, |_| {});
+    }
+
+    /// Regression: `pending()` must never underflow while the pool is
+    /// under load. The old implementation loaded `submitted` before
+    /// `signed`, so a signer completing between the two loads could
+    /// make the stale `submitted` reading smaller than `signed`. The
+    /// fixed load order (`signed` first) makes `submitted >= signed`
+    /// hold for every observed pair; this test hammers the pair-load
+    /// from a racing reader thread to catch a reintroduced swap.
+    #[test]
+    fn pending_never_underflows_under_load() {
+        let key = SigningKey::from_seed(b"pool4");
+        let pool = Arc::new(SigningPool::new(4, 3, key, |_| {}));
+        let stats = pool.stats();
+        let stop = Arc::new(AtomicU64::new(0));
+
+        let reader_stop = Arc::clone(&stop);
+        let reader = std::thread::spawn(move || {
+            let mut observations = 0u64;
+            while reader_stop.load(Ordering::Relaxed) == 0 {
+                let (submitted, signed) = stats.counters();
+                assert!(
+                    submitted >= signed,
+                    "observed signed ({signed}) ahead of submitted ({submitted})"
+                );
+                observations += 1;
+            }
+            observations
+        });
+
+        for number in 1..=2000 {
+            pool.submit(block(number));
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while pool.stats().signed() < 2000 {
+            assert!(Instant::now() < deadline, "pool stalled");
+            std::thread::yield_now();
+        }
+        stop.store(1, Ordering::Relaxed);
+        let observations = reader.join().unwrap();
+        assert!(observations > 0, "reader thread never sampled the counters");
+        assert_eq!(pool.stats().pending(), 0);
+    }
+
+    #[test]
+    fn registry_records_queue_and_sign_timings() {
+        let key = SigningKey::from_seed(b"pool5");
+        let registry = hlf_obs::Registry::new("signing-test");
+        let delivered = Arc::new(AtomicU64::new(0));
+        let sink = Arc::clone(&delivered);
+        let pool = SigningPool::with_registry(2, 1, key, Some(&registry), move |_| {
+            sink.fetch_add(1, Ordering::Relaxed);
+        });
+        for number in 1..=20 {
+            pool.submit(block(number));
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while delivered.load(Ordering::Relaxed) < 20 {
+            assert!(Instant::now() < deadline, "pool stalled");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("core.signing.signed"), Some(20));
+        assert_eq!(snap.histogram("core.signing.queue_wait_us").unwrap().count, 20);
+        assert_eq!(snap.histogram("core.signing.sign_us").unwrap().count, 20);
+        assert!(snap.histogram("core.signing.sign_us").unwrap().sum > 0);
     }
 }

@@ -16,17 +16,21 @@
 
 use bytes::Bytes;
 use hlf_consensus::messages::{Batch, ConsensusMsg, Request};
+use hlf_consensus::obs::ReplicaObs;
 use hlf_consensus::quorum::QuorumSystem;
 use hlf_consensus::replica::{Action, Config as ConsensusConfig, Replica};
 use hlf_crypto::ecdsa::{SigningKey, VerifyingKey};
 use hlf_crypto::sha256::Hash256;
 use hlf_fabric::block::Block;
+use hlf_obs::{Registry, Snapshot};
 use hlf_simnet::regions::{Region, RegionMatrix};
 use hlf_simnet::{percentile, Actor, Ctx, LatencyModel, SimMessage, SimTime, Simulation};
 use hlf_wire::{ClientId, NodeId};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 
-use crate::blockcutter::BlockCutter;
+use crate::blockcutter::{BlockCutter, CutReason};
+use crate::obs::CutterObs;
 
 /// Which protocol variant to simulate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -82,6 +86,9 @@ struct ReplicaActor {
     next_sign_token: u64,
     signing: HashMap<u64, Block>,
     tick_every: SimTime,
+    /// Cutter metrics (recording never feeds back into behaviour, so
+    /// determinism is preserved).
+    cutter_obs: Option<CutterObs>,
 }
 
 impl ReplicaActor {
@@ -131,8 +138,16 @@ impl ReplicaActor {
 
     fn execute(&mut self, batch: &Batch, ctx: &mut Ctx<'_, GeoMsg>) {
         for request in &batch.requests {
-            if let Some(envelopes) = self.cutter.push(request.payload.clone()) {
-                let block = Block::build(self.next_number, self.prev_hash, envelopes);
+            if let Some(cut) = self.cutter.push(request.payload.clone()) {
+                if let Some(obs) = &self.cutter_obs {
+                    let reason = match cut.reason {
+                        CutReason::Size => &obs.cut_size,
+                        CutReason::Bytes => &obs.cut_bytes,
+                    };
+                    obs.record_cut(reason, cut.len(), self.cutter.block_size());
+                }
+                let block =
+                    Block::build(self.next_number, self.prev_hash, cut.into_envelopes());
                 self.prev_hash = block.header.hash();
                 self.next_number += 1;
                 // Model the ECDSA signing delay, then transmit.
@@ -301,6 +316,9 @@ pub struct GeoConfig {
     pub weights_override: Option<bool>,
     /// Ablation override: force tentative execution on/off.
     pub tentative_override: Option<bool>,
+    /// Collect per-replica obs registries (consensus phase timings and
+    /// cutter metrics) and return their snapshots in the result.
+    pub collect_obs: bool,
 }
 
 impl GeoConfig {
@@ -317,7 +335,14 @@ impl GeoConfig {
             seed: 1,
             weights_override: None,
             tentative_override: None,
+            collect_obs: false,
         }
+    }
+
+    /// Enables per-replica obs snapshot collection.
+    pub fn with_obs(mut self) -> GeoConfig {
+        self.collect_obs = true;
+        self
     }
 }
 
@@ -341,6 +366,9 @@ pub struct GeoResult {
     pub frontends: Vec<FrontendLatency>,
     /// Aggregate delivered envelopes per simulated second.
     pub throughput: f64,
+    /// Per-replica obs snapshots (replica order), when
+    /// [`GeoConfig::collect_obs`] was set.
+    pub obs: Option<Vec<Snapshot>>,
 }
 
 /// Replica placement for a protocol (paper §6.3).
@@ -428,6 +456,13 @@ pub fn run_geo_experiment(config: &GeoConfig) -> GeoResult {
 
     let mut sim: Simulation<GeoMsg> = Simulation::new(model, config.seed);
     let frontend_indices: Vec<usize> = (n..n + frontends.len()).collect();
+    let registries: Vec<Arc<Registry>> = if config.collect_obs {
+        (0..n)
+            .map(|i| Registry::new(format!("geo-node-{i}")))
+            .collect()
+    } else {
+        Vec::new()
+    };
     #[allow(clippy::needless_range_loop)] // i is both key index and node id
     for i in 0..n {
         let consensus = ConsensusConfig::new(
@@ -438,8 +473,13 @@ pub fn run_geo_experiment(config: &GeoConfig) -> GeoResult {
         )
         .with_tentative_execution(tentative)
         .with_request_timeout_ms(10_000);
+        let mut replica = Replica::new(consensus);
+        let cutter_obs = registries.get(i).map(|registry| {
+            replica.attach_obs(ReplicaObs::new(registry));
+            CutterObs::new(registry)
+        });
         sim.add_actor(Box::new(ReplicaActor {
-            replica: Replica::new(consensus),
+            replica,
             n,
             frontends: frontend_indices.clone(),
             cutter: BlockCutter::new(config.block_size, 64 * 1024 * 1024),
@@ -452,6 +492,7 @@ pub fn run_geo_experiment(config: &GeoConfig) -> GeoResult {
             next_sign_token: SIGN_TOKEN_BASE,
             signing: HashMap::new(),
             tick_every: SimTime::from_millis(500),
+            cutter_obs,
         }));
     }
     let gap = SimTime::from_micros((1_000_000.0 / config.rate_per_frontend) as u64);
@@ -496,9 +537,16 @@ pub fn run_geo_experiment(config: &GeoConfig) -> GeoResult {
     let measured_window = config.duration.saturating_sub(config.warmup);
     let throughput = total_delivered as f64 / (measured_window.as_micros() as f64 / 1e6);
 
+    let obs = if config.collect_obs {
+        Some(registries.iter().map(|r| r.snapshot()).collect())
+    } else {
+        None
+    };
+
     GeoResult {
         frontends: per_frontend,
         throughput,
+        obs,
     }
 }
 
@@ -566,6 +614,39 @@ mod tests {
         let a = run_geo_experiment(&quick_config(Protocol::BftSmart));
         let b = run_geo_experiment(&quick_config(Protocol::BftSmart));
         for (x, y) in a.frontends.iter().zip(&b.frontends) {
+            assert_eq!(x.median_ms, y.median_ms);
+            assert_eq!(x.samples, y.samples);
+        }
+    }
+
+    #[test]
+    fn obs_snapshots_cover_phases_and_cuts() {
+        let mut config = quick_config(Protocol::Wheat).with_obs();
+        config.duration = SimTime::from_secs(8);
+        let result = run_geo_experiment(&config);
+        let snaps = result.obs.expect("obs requested");
+        assert_eq!(snaps.len(), 5);
+        for (i, snap) in snaps.iter().enumerate() {
+            assert_eq!(snap.registry, format!("geo-node-{i}"));
+            let decided = snap.counter_value("consensus.replica.decided").unwrap();
+            assert!(decided > 0, "node {i} decided nothing");
+            let write = snap.histogram("consensus.replica.write_phase_ms").unwrap();
+            let accept = snap.histogram("consensus.replica.accept_phase_ms").unwrap();
+            assert!(write.count > 0, "node {i} has no WRITE samples");
+            assert!(accept.count > 0, "node {i} has no ACCEPT samples");
+            assert!(
+                snap.counter_value("core.cutter.cut_size").unwrap() > 0,
+                "node {i} cut no blocks"
+            );
+        }
+        // WHEAT delivers tentatively after WRITE on every replica.
+        assert!(snaps
+            .iter()
+            .any(|s| s.counter_value("consensus.replica.tentative_deliveries").unwrap() > 0));
+        // Obs collection must not perturb the deterministic run.
+        let plain = run_geo_experiment(&quick_config(Protocol::Wheat));
+        let with_obs = run_geo_experiment(&quick_config(Protocol::Wheat).with_obs());
+        for (x, y) in plain.frontends.iter().zip(&with_obs.frontends) {
             assert_eq!(x.median_ms, y.median_ms);
             assert_eq!(x.samples, y.samples);
         }

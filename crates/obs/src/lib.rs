@@ -1,0 +1,60 @@
+//! Zero-dependency observability for the ordering service.
+//!
+//! The paper's evaluation (Figs. 6–9) is entirely about *where time
+//! goes* — signing throughput, WRITE-vs-ACCEPT latency under tentative
+//! execution, geo quorum formation. This crate is the substrate every
+//! perf experiment reports through:
+//!
+//! - [`Counter`] / [`Gauge`] — lock-free atomic scalars.
+//! - [`Histogram`] — log-linear-bucket latency histogram (HDR-style,
+//!   16 sub-buckets per power of two) with p50/p90/p99/max snapshots.
+//! - [`SpanTimer`] — RAII scope timer that records elapsed µs into a
+//!   histogram on drop.
+//! - [`Registry`] — a named bag of metrics that a node *owns* (no
+//!   globals); exporters walk [`Snapshot`]s.
+//! - [`Snapshot`] — point-in-time copy with a human-readable text
+//!   report ([`Snapshot::to_text`]) and a stable JSON form
+//!   ([`Snapshot::to_json`] / [`Snapshot::from_json`]).
+//! - [`log!`] and friends — leveled stderr logging, off by default,
+//!   gated by the `HLF_LOG` environment variable.
+//!
+//! Metric names follow `crate.subsystem.metric`, e.g.
+//! `consensus.replica.write_phase_ms` (see DESIGN.md §Observability).
+//!
+//! # Example
+//!
+//! ```
+//! use hlf_obs::Registry;
+//!
+//! let registry = Registry::new("node-0");
+//! let decided = registry.counter("smr.node.decided");
+//! let latency = registry.histogram("smr.node.request_decide_us");
+//!
+//! decided.inc();
+//! latency.record(1_250);
+//! {
+//!     let _span = latency.span(); // records elapsed µs on drop
+//! }
+//!
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter_value("smr.node.decided"), Some(1));
+//! let json = snap.to_json();
+//! let back = hlf_obs::Snapshot::from_json(&json).unwrap();
+//! assert_eq!(back.counter_value("smr.node.decided"), Some(1));
+//! ```
+
+pub mod histogram;
+pub mod logging;
+pub mod metrics;
+pub mod registry;
+pub mod snapshot;
+pub mod span;
+
+pub use histogram::Histogram;
+pub use logging::Level;
+pub use metrics::{Counter, Gauge};
+pub use registry::{Metric, Registry};
+pub use snapshot::{
+    from_json_many, to_json_many, HistogramSnapshot, MetricSnapshot, MetricValue, Snapshot,
+};
+pub use span::SpanTimer;

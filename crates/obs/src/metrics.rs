@@ -1,0 +1,133 @@
+//! Lock-free scalar metrics: monotonic counters and up/down gauges.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+///
+/// All operations are relaxed atomics: counters are statistics, not
+/// synchronization primitives, and the hot paths (consensus message
+/// handling, signing workers) must not pay fence costs for them.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (queue depths, in-flight
+/// requests, current regency).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.sub(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if it is currently lower.
+    pub fn set_max(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_basics() {
+        let g = Gauge::new();
+        g.add(10);
+        g.dec();
+        g.sub(2);
+        assert_eq!(g.get(), 7);
+        g.set(-3);
+        assert_eq!(g.get(), -3);
+        g.set_max(5);
+        assert_eq!(g.get(), 5);
+        g.set_max(1);
+        assert_eq!(g.get(), 5);
+    }
+
+    #[test]
+    fn counter_concurrent_sums() {
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+    }
+}

@@ -1,0 +1,95 @@
+//! RAII scope timers.
+
+use crate::Histogram;
+use std::time::Instant;
+
+/// Records the elapsed wall time of a scope, in microseconds, into a
+/// [`Histogram`] when dropped.
+///
+/// ```
+/// use hlf_obs::Histogram;
+///
+/// let h = Histogram::new();
+/// {
+///     let _span = h.span();
+///     // ... timed work ...
+/// }
+/// assert_eq!(h.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SpanTimer<'a> {
+    histogram: &'a Histogram,
+    start: Instant,
+    armed: bool,
+}
+
+impl<'a> SpanTimer<'a> {
+    /// Starts timing now. Usually spelled [`Histogram::span`].
+    pub fn new(histogram: &'a Histogram) -> SpanTimer<'a> {
+        SpanTimer {
+            histogram,
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Elapsed microseconds so far.
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// Stops the timer and records immediately, returning the recorded
+    /// value in microseconds.
+    pub fn finish(mut self) -> u64 {
+        self.armed = false;
+        let elapsed = self.elapsed_us();
+        self.histogram.record(elapsed);
+        elapsed
+    }
+
+    /// Abandons the span without recording (e.g. an error path whose
+    /// latency would pollute the distribution).
+    pub fn discard(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.histogram.record(self.elapsed_us());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_records_once() {
+        let h = Histogram::new();
+        {
+            let _span = h.span();
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn finish_records_and_disarms_drop() {
+        let h = Histogram::new();
+        let span = h.span();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let us = span.finish();
+        assert!(us >= 1_000, "slept 2ms but recorded {us}us");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.snapshot().max, us);
+    }
+
+    #[test]
+    fn discard_records_nothing() {
+        let h = Histogram::new();
+        h.span().discard();
+        assert_eq!(h.count(), 0);
+    }
+}

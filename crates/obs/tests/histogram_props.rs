@@ -1,0 +1,102 @@
+//! Property tests for histogram bucket math and quantiles, plus a
+//! generative JSON round-trip.
+
+use hlf_obs::histogram::{bucket_index, bucket_lower, bucket_upper, NUM_BUCKETS};
+use hlf_obs::{Histogram, MetricSnapshot, MetricValue, Snapshot};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every recorded value falls in a bucket whose range contains it.
+    #[test]
+    fn bucket_contains_value(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < NUM_BUCKETS);
+        prop_assert!(bucket_lower(i) <= v, "lower {} > {}", bucket_lower(i), v);
+        prop_assert!(v <= bucket_upper(i), "upper {} < {}", bucket_upper(i), v);
+    }
+
+    /// Bucketing preserves order: a <= b implies bucket(a) <= bucket(b).
+    #[test]
+    fn bucket_index_is_monotone(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+    }
+
+    /// Quantiles are monotone in q and bounded by [min, max].
+    #[test]
+    fn quantiles_are_monotone(
+        values in proptest::collection::vec(any::<u64>(), 1..200),
+        qa in 0u32..=100,
+        qb in 0u32..=100,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let (qlo, qhi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        let vlo = snap.quantile(qlo as f64 / 100.0);
+        let vhi = snap.quantile(qhi as f64 / 100.0);
+        prop_assert!(vlo <= vhi, "q{qlo}={vlo} > q{qhi}={vhi}");
+        prop_assert!(vhi <= snap.max);
+        // Any quantile is at least the smallest bucket's lower bound.
+        prop_assert!(vlo >= snap.buckets[0].0);
+    }
+
+    /// A quantile answer is never below the true value by more than
+    /// the bucket's relative error (the bucket upper bound is
+    /// reported, so it can only overshoot within one bucket width).
+    #[test]
+    fn median_lands_in_a_populated_bucket(
+        values in proptest::collection::vec(0u64..1_000_000, 1..100),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let p50 = snap.p50();
+        // p50 equals some populated bucket's (clamped) upper bound.
+        prop_assert!(
+            snap.buckets.iter().any(|&(_, hi, _)| p50 == hi.min(snap.max)),
+            "p50 {p50} not a bucket boundary"
+        );
+    }
+
+    /// Snapshot totals equal what was recorded, and the JSON form
+    /// round-trips exactly for arbitrary recorded data.
+    #[test]
+    fn recorded_snapshot_roundtrips_via_json(
+        values in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let h = Histogram::new();
+        let mut sum = 0u64;
+        for &v in &values {
+            h.record(v);
+            sum = sum.wrapping_add(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(
+            snap.buckets.iter().map(|&(_, _, c)| c).sum::<u64>(),
+            values.len() as u64
+        );
+        if let Some(&max) = values.iter().max() {
+            prop_assert_eq!(snap.max, max);
+            prop_assert_eq!(snap.min, *values.iter().min().unwrap());
+        }
+
+        let wrapped = Snapshot {
+            registry: "prop".to_string(),
+            metrics: vec![MetricSnapshot {
+                name: "test.histogram".to_string(),
+                value: MetricValue::Histogram(snap),
+            }],
+        };
+        let back = Snapshot::from_json(&wrapped.to_json()).unwrap();
+        prop_assert_eq!(back, wrapped);
+    }
+}
+
+// `sum` above wraps on overflow (u64 histogram sum wraps too for
+// pathological inputs); totals check uses count, not sum, on purpose.

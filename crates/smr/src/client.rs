@@ -7,9 +7,11 @@
 //! WHEAT's tentative execution (paper §4). The ordering service's
 //! frontends use the asynchronous path plus the push stream.
 
+use crate::obs::ProxyObs;
 use crate::wire::SmrMsg;
 use bytes::Bytes;
 use hlf_consensus::messages::Request;
+use hlf_obs::Registry;
 use hlf_transport::{Endpoint, Network, PeerId, TransportError};
 use hlf_wire::{from_bytes, to_bytes, ClientId, NodeId};
 use std::collections::HashMap;
@@ -96,6 +98,7 @@ pub struct ServiceProxy {
     next_seq: u64,
     /// Push messages received while waiting for replies.
     pushes: VecDeque<Push>,
+    obs: Option<ProxyObs>,
 }
 
 impl fmt::Debug for ServiceProxy {
@@ -116,12 +119,20 @@ impl ServiceProxy {
             config,
             next_seq: 1,
             pushes: VecDeque::new(),
+            obs: None,
         }
     }
 
     /// This client's id.
     pub fn id(&self) -> ClientId {
         self.config.id
+    }
+
+    /// Attaches client metrics (`smr.client.*`) resolved from
+    /// `registry`. Safe to call on proxies sharing one registry: the
+    /// metrics aggregate across them.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.obs = Some(ProxyObs::new(registry));
     }
 
     /// Registers with every replica for pushes without submitting a
@@ -168,19 +179,28 @@ impl ServiceProxy {
     /// in time; [`InvokeError::Disconnected`] if the hub is gone.
     pub fn invoke(&mut self, payload: impl Into<Bytes>) -> Result<Bytes, InvokeError> {
         let payload = payload.into();
+        let sent_at = Instant::now();
         let seq = self.send_request(payload.clone());
-        let deadline = Instant::now() + self.config.invoke_timeout;
+        let deadline = sent_at + self.config.invoke_timeout;
         let slice = self.config.invoke_timeout / (self.config.retransmissions + 1);
-        let mut next_retransmit = Instant::now() + slice;
+        let mut next_retransmit = sent_at + slice;
         // payload -> distinct replicas that sent it
         let mut votes: HashMap<Bytes, Vec<NodeId>> = HashMap::new();
         loop {
             let now = Instant::now();
             if now >= deadline {
+                if let Some(obs) = &self.obs {
+                    obs.invoke_timeouts.inc();
+                }
+                hlf_obs::warn!("client {} invocation seq {seq} timed out", self.config.id.0);
                 return Err(InvokeError::Timeout);
             }
             if now >= next_retransmit {
                 self.transmit(seq, payload.clone());
+                if let Some(obs) = &self.obs {
+                    obs.retransmits.inc();
+                }
+                hlf_obs::debug!("client {} retransmitting seq {seq}", self.config.id.0);
                 next_retransmit = now + slice;
             }
             let wait = (deadline - now).min(next_retransmit - now);
@@ -211,6 +231,9 @@ impl ServiceProxy {
                         entry.push(NodeId(id));
                     }
                     if entry.len() >= self.config.reply_threshold {
+                        if let Some(obs) = &self.obs {
+                            obs.invoke_us.record(sent_at.elapsed().as_micros() as u64);
+                        }
                         return Ok(payload);
                     }
                 }

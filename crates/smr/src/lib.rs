@@ -8,7 +8,9 @@
 //! * [`client`] — synchronous/asynchronous service proxies with
 //!   `f + 1` / quorum reply policies,
 //! * [`storage`] — the durable decided-batch log and checkpoints,
-//! * [`runtime`] — one-call cluster bootstrap.
+//! * [`runtime`] — one-call cluster bootstrap,
+//! * [`obs`] — node- and client-side metrics (`smr.node.*`,
+//!   `smr.client.*`) over `hlf-obs`.
 //!
 //! # Examples
 //!
@@ -32,11 +34,13 @@
 pub mod app;
 pub mod client;
 pub mod node;
+pub mod obs;
 pub mod runtime;
 pub mod storage;
 pub mod wire;
 
 pub use app::{Application, CounterApp, Dest, Outbound};
+pub use obs::{NodeObs, ProxyObs};
 pub use client::{InvokeError, ProxyConfig, Push, ServiceProxy};
 pub use node::{spawn_replica, spawn_replica_with, NodeConfig, NodeHandle, NodeStats, PushHandle};
 pub use runtime::{ClusterKeys, ClusterRuntime, RuntimeOptions};

@@ -2,11 +2,14 @@
 //! state transfer, wired to the in-process transport.
 
 use crate::app::{Application, Dest};
+use crate::obs::NodeObs;
 use crate::storage::LogStore;
 use crate::wire::{LogEntry, SmrMsg};
 use bytes::Bytes;
 use hlf_consensus::messages::ConsensusMsg;
 use hlf_consensus::replica::{Action, Config as ConsensusConfig, Replica};
+use hlf_consensus::ReplicaObs;
+use hlf_obs::Registry;
 use hlf_transport::{Endpoint, Network, PeerId, SenderHandle};
 use hlf_wire::{from_bytes, to_bytes, ClientId, NodeId};
 use parking_lot::RwLock;
@@ -78,17 +81,27 @@ pub struct NodeConfig {
     pub checkpoint_interval: u64,
     /// Granularity of the internal clock.
     pub tick_interval: Duration,
+    /// Metrics registry for this node; when set, the node attaches
+    /// consensus ([`ReplicaObs`]) and SMR ([`NodeObs`]) metrics to it.
+    pub registry: Option<Arc<Registry>>,
 }
 
 impl NodeConfig {
     /// Paper-flavoured defaults: checkpoint every 256 decisions, 20 ms
-    /// ticks.
+    /// ticks, no metrics registry.
     pub fn new(consensus: ConsensusConfig) -> NodeConfig {
         NodeConfig {
             consensus,
             checkpoint_interval: 256,
             tick_interval: Duration::from_millis(20),
+            registry: None,
         }
+    }
+
+    /// Attaches a metrics registry.
+    pub fn with_registry(mut self, registry: Arc<Registry>) -> NodeConfig {
+        self.registry = Some(registry);
+        self
     }
 }
 
@@ -135,6 +148,7 @@ pub struct NodeHandle {
     node: NodeId,
     shutdown: Arc<AtomicBool>,
     stats: Arc<NodeStats>,
+    registry: Option<Arc<Registry>>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -142,6 +156,11 @@ impl NodeHandle {
     /// This node's identity.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// The node's metrics registry, if one was configured.
+    pub fn obs_registry(&self) -> Option<&Arc<Registry>> {
+        self.registry.as_ref()
     }
 
     /// Live statistics.
@@ -209,6 +228,7 @@ pub fn spawn_replica_with(
     build_app: impl FnOnce(PushHandle) -> Box<dyn Application> + Send + 'static,
 ) -> NodeHandle {
     let node = config.consensus.node;
+    let registry = config.registry.clone();
     let endpoint = network.join(PeerId::Replica(node.0));
     let shutdown = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(NodeStats::default());
@@ -233,6 +253,7 @@ pub fn spawn_replica_with(
         node,
         shutdown,
         stats,
+        registry,
         thread: Some(thread),
     }
 }
@@ -256,6 +277,12 @@ struct NodeWorker {
     /// Suppress client-visible outputs while replaying transferred
     /// state.
     replaying: bool,
+    obs: Option<NodeObs>,
+    /// Arrival time of each client's latest in-flight request, for the
+    /// request→decide latency histogram. One slot per client: a newer
+    /// seq from the same client supersedes the old entry, so the map is
+    /// bounded by the connected-client count.
+    request_seen: HashMap<ClientId, (u64, Instant)>,
 }
 
 impl NodeWorker {
@@ -267,7 +294,11 @@ impl NodeWorker {
         stats: Arc<NodeStats>,
         clients: Arc<RwLock<HashSet<ClientId>>>,
     ) -> NodeWorker {
-        let replica = Replica::new(config.consensus.clone());
+        let mut replica = Replica::new(config.consensus.clone());
+        let obs = config.registry.as_deref().map(|registry| {
+            replica.attach_obs(ReplicaObs::new(registry));
+            NodeObs::new(registry)
+        });
         NodeWorker {
             config,
             endpoint,
@@ -282,6 +313,8 @@ impl NodeWorker {
             tentative_executed: None,
             transfer: None,
             replaying: false,
+            obs,
+            request_seen: HashMap::new(),
         }
     }
 
@@ -320,6 +353,13 @@ impl NodeWorker {
         }
         self.replaying = false;
         if recovered > 0 {
+            if let Some(obs) = &self.obs {
+                obs.recoveries.inc();
+            }
+            hlf_obs::info!(
+                "node {} recovered to cid {recovered} from durable log",
+                self.replica.node().0
+            );
             let now = self.now_ms();
             let actions = self.replica.install_state(now, recovered);
             self.stats.last_cid.store(recovered, Ordering::Relaxed);
@@ -352,6 +392,10 @@ impl NodeWorker {
                             .send(PeerId::Client(cid), Bytes::from(to_bytes(&msg)));
                         return;
                     }
+                }
+                if self.obs.is_some() {
+                    self.request_seen
+                        .insert(request.client, (request.seq, Instant::now()));
                 }
                 let actions = self.replica.on_request(now, request);
                 self.apply(actions);
@@ -408,6 +452,21 @@ impl NodeWorker {
                         .executed_requests
                         .fetch_add(batch.len() as u64, Ordering::Relaxed);
                     self.stats.last_cid.store(cid, Ordering::Relaxed);
+                    if let Some(obs) = &self.obs {
+                        obs.commit_batch_len.record(batch.len() as u64);
+                        for request in &batch.requests {
+                            let matches = self
+                                .request_seen
+                                .get(&request.client)
+                                .is_some_and(|(seq, _)| *seq == request.seq);
+                            if matches {
+                                let (_, seen) =
+                                    self.request_seen.remove(&request.client).unwrap();
+                                obs.request_decide_us
+                                    .record(seen.elapsed().as_micros() as u64);
+                            }
+                        }
+                    }
                     if cid % self.config.checkpoint_interval == 0 {
                         let snapshot = self.app.snapshot();
                         self.log.checkpoint(cid, &snapshot);
@@ -493,6 +552,10 @@ impl NodeWorker {
         {
             return;
         }
+        hlf_obs::info!(
+            "node {} behind: starting state transfer towards cid {target_cid}",
+            self.replica.node().0
+        );
         self.transfer = Some(Transfer {
             target_cid,
             checkpoints: HashMap::new(),
@@ -503,6 +566,9 @@ impl NodeWorker {
     }
 
     fn request_state(&self) {
+        if let Some(obs) = &self.obs {
+            obs.state_transfer_rounds.inc();
+        }
         let from_cid = self.stats.last_cid() + 1;
         let msg = SmrMsg::StateRequest { from_cid };
         let bytes = Bytes::from(to_bytes(&msg));
@@ -613,6 +679,13 @@ impl NodeWorker {
         self.tentative_executed = None;
         self.stats.last_cid.store(reached, Ordering::Relaxed);
         self.stats.state_transfers.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.state_transfers.inc();
+        }
+        hlf_obs::info!(
+            "node {} finished state transfer at cid {reached}",
+            self.replica.node().0
+        );
         let now = self.now_ms();
         let actions = self.replica.install_state(now, reached);
         self.apply(actions);

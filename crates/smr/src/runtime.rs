@@ -7,8 +7,10 @@ use crate::storage::{LogStore, MemoryLog};
 use hlf_consensus::quorum::QuorumSystem;
 use hlf_consensus::replica::Config as ConsensusConfig;
 use hlf_crypto::ecdsa::{SigningKey, VerifyingKey};
+use hlf_obs::{Registry, Snapshot};
 use hlf_transport::{Network, PeerId};
 use hlf_wire::{ClientId, NodeId};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Deterministic cluster key material.
@@ -88,6 +90,12 @@ pub struct ClusterRuntime {
     quorums: QuorumSystem,
     options: RuntimeOptions,
     next_client: u32,
+    /// Per-node metrics registries (`node-0` .. `node-{n-1}`), created
+    /// up front and reused across [`ClusterRuntime::restart`] so
+    /// counters survive a crash/recover cycle.
+    registries: Vec<Arc<Registry>>,
+    /// Shared registry for proxies created via [`ClusterRuntime::proxy`].
+    client_registry: Arc<Registry>,
 }
 
 impl std::fmt::Debug for ClusterRuntime {
@@ -124,24 +132,26 @@ impl ClusterRuntime {
     pub fn start_custom(
         n: usize,
         options: RuntimeOptions,
-        app_builder: impl Fn(usize, crate::node::PushHandle) -> Box<dyn Application>
+        app_builder: impl Fn(usize, crate::node::PushHandle, Arc<Registry>) -> Box<dyn Application>
             + Send
             + Sync
             + 'static,
         log_factory: impl Fn(usize) -> Box<dyn LogStore>,
     ) -> ClusterRuntime {
-        let app_builder = std::sync::Arc::new(app_builder);
+        let app_builder = Arc::new(app_builder);
         let mut runtime = Self::prepare(n, options);
         for i in 0..n {
             let consensus = runtime.consensus_config(i);
             let mut node_config = NodeConfig::new(consensus);
             node_config.checkpoint_interval = runtime.options.checkpoint_interval;
-            let builder = std::sync::Arc::clone(&app_builder);
+            node_config.registry = Some(Arc::clone(&runtime.registries[i]));
+            let builder = Arc::clone(&app_builder);
+            let registry = Arc::clone(&runtime.registries[i]);
             let handle = crate::node::spawn_replica_with(
                 node_config,
                 &runtime.network,
                 log_factory(i),
-                move |push| builder(i, push),
+                move |push| builder(i, push, registry),
             );
             runtime.handles.push(Some(handle));
         }
@@ -175,6 +185,7 @@ impl ClusterRuntime {
             QuorumSystem::classic(n, options.f).expect("valid classic configuration")
         };
         let keys = ClusterKeys::derive("runtime", n);
+        let registries = (0..n).map(|i| Registry::new(format!("node-{i}"))).collect();
         ClusterRuntime {
             network: Network::new(),
             handles: Vec::new(),
@@ -182,6 +193,8 @@ impl ClusterRuntime {
             quorums,
             options,
             next_client: 0,
+            registries,
+            client_registry: Registry::new("clients"),
         }
     }
 
@@ -205,6 +218,7 @@ impl ClusterRuntime {
     ) -> NodeHandle {
         let mut node_config = NodeConfig::new(self.consensus_config(i));
         node_config.checkpoint_interval = self.options.checkpoint_interval;
+        node_config.registry = Some(Arc::clone(&self.registries[i]));
         spawn_replica(node_config, &self.network, app, log)
     }
 
@@ -228,6 +242,26 @@ impl ClusterRuntime {
         self.handles[i].as_ref().expect("node running").stats_arc()
     }
 
+    /// Node `i`'s metrics registry. Unlike [`ClusterRuntime::stats`],
+    /// this works while the node is crashed (the registry is owned by
+    /// the runtime and survives restarts).
+    pub fn obs_registry(&self, i: usize) -> Arc<Registry> {
+        Arc::clone(&self.registries[i])
+    }
+
+    /// The registry shared by all proxies from [`ClusterRuntime::proxy`].
+    pub fn client_obs_registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.client_registry)
+    }
+
+    /// Snapshots every node registry plus the client registry, in node
+    /// order, for [`hlf_obs::to_json_many`] or text reports.
+    pub fn obs_snapshots(&self) -> Vec<Snapshot> {
+        let mut snaps: Vec<Snapshot> = self.registries.iter().map(|r| r.snapshot()).collect();
+        snaps.push(self.client_registry.snapshot());
+        snaps
+    }
+
     /// Creates a synchronous client proxy with the classic `f + 1`
     /// reply threshold (or the tentative quorum when the cluster runs
     /// WHEAT tentative execution).
@@ -239,7 +273,9 @@ impl ClusterRuntime {
         } else {
             ProxyConfig::classic(id, self.n(), self.options.f)
         };
-        ServiceProxy::new(&self.network, config)
+        let mut proxy = ServiceProxy::new(&self.network, config);
+        proxy.attach_obs(&self.client_registry);
+        proxy
     }
 
     /// Creates a proxy with an explicit configuration.

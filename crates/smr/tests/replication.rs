@@ -207,6 +207,105 @@ fn async_invocations_are_ordered() {
 }
 
 #[test]
+fn cluster_metrics_cover_consensus_smr_and_client() {
+    let mut cluster = ClusterRuntime::start(4, RuntimeOptions::classic(1), |_| {
+        Box::new(CounterApp::new())
+    });
+    let mut client = cluster.proxy();
+    for _ in 0..5 {
+        client.invoke(vec![0u8; 1]).unwrap();
+    }
+    assert!(cluster.wait_for_cid(5, Duration::from_secs(5)));
+
+    // Every node registry carries consensus phase histograms and the
+    // SMR request→decide latency.
+    for i in 0..4 {
+        let snap = cluster.obs_registry(i).snapshot();
+        assert_eq!(snap.registry, format!("node-{i}"));
+        assert_eq!(snap.counter_value("consensus.replica.decided"), Some(5));
+        let write = snap.histogram("consensus.replica.write_phase_ms").unwrap();
+        assert_eq!(write.count, 5);
+        let accept = snap.histogram("consensus.replica.accept_phase_ms").unwrap();
+        assert_eq!(accept.count, 5);
+        let decide = snap.histogram("smr.node.request_decide_us").unwrap();
+        assert_eq!(decide.count, 5);
+        assert!(decide.sum > 0, "request→decide latency must be non-zero");
+        let batch = snap.histogram("smr.node.commit_batch_len").unwrap();
+        assert_eq!(batch.count, 5);
+    }
+
+    // The shared client registry aggregates proxy invocations.
+    let clients = cluster.client_obs_registry().snapshot();
+    let invoke = clients.histogram("smr.client.invoke_us").unwrap();
+    assert_eq!(invoke.count, 5);
+    assert_eq!(clients.counter_value("smr.client.invoke_timeouts"), Some(0));
+
+    // obs_snapshots returns node registries in order plus the clients.
+    let snaps = cluster.obs_snapshots();
+    assert_eq!(snaps.len(), 5);
+    assert_eq!(snaps[4].registry, "clients");
+    cluster.shutdown();
+}
+
+#[test]
+fn node_metrics_survive_crash_and_restart() {
+    let dir = std::env::temp_dir().join(format!("hlf-smr-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for i in 0..4 {
+        let _ = std::fs::remove_file(dir.join(format!("obs-{i}.log")));
+    }
+    let dir2 = dir.clone();
+    let options = RuntimeOptions::classic(1).with_checkpoint_interval(2);
+    let mut cluster = ClusterRuntime::start_with_logs(
+        4,
+        options,
+        |_| Box::new(CounterApp::new()),
+        move |i| Box::new(FileLog::open(dir2.join(format!("obs-{i}.log"))).unwrap()),
+    );
+    let mut client = cluster.proxy();
+    for _ in 0..5 {
+        client.invoke(vec![0u8; 2]).unwrap();
+    }
+    assert!(cluster.wait_for_cid(5, Duration::from_secs(5)));
+    let before = cluster
+        .obs_registry(2)
+        .snapshot()
+        .counter_value("consensus.replica.decided")
+        .unwrap();
+    assert_eq!(before, 5);
+
+    cluster.crash(2);
+    // The registry outlives the node: still readable while crashed.
+    assert_eq!(
+        cluster
+            .obs_registry(2)
+            .snapshot()
+            .counter_value("consensus.replica.decided"),
+        Some(5)
+    );
+    cluster.restart(
+        2,
+        Box::new(CounterApp::new()),
+        Box::new(FileLog::open(dir.join("obs-2.log")).unwrap()),
+    );
+    client.invoke(vec![0u8; 2]).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while cluster.stats(2).last_cid() < 6 {
+        assert!(std::time::Instant::now() < deadline, "node 2 did not rejoin");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // The restarted node replayed its durable log (a recovery) and kept
+    // recording into the same registry, so counters only grow.
+    let snap = cluster.obs_registry(2).snapshot();
+    assert_eq!(snap.counter_value("smr.node.recoveries"), Some(1));
+    assert!(snap.counter_value("consensus.replica.decided").unwrap() > before);
+    cluster.shutdown();
+    for i in 0..4 {
+        let _ = std::fs::remove_file(dir.join(format!("obs-{i}.log")));
+    }
+}
+
+#[test]
 fn message_loss_is_tolerated() {
     let options = RuntimeOptions::classic(1).with_request_timeout_ms(200);
     let cluster = ClusterRuntime::start(4, options, |_| Box::new(CounterApp::new()));
