@@ -1,6 +1,6 @@
 # Convenience targets for the hlf-bft reproduction.
 
-.PHONY: build test lint figures bench bench-crypto obs-report clean-results
+.PHONY: build test lint figures bench bench-crypto bench-wire obs-report clean-results
 
 build:
 	cargo build --workspace --release
@@ -30,6 +30,14 @@ bench-crypto:
 	cargo bench -p bench --bench crypto 2>&1 | tee bench_crypto_output.txt
 	cargo run --release -p bench --example sig_rate
 	cargo run --release -p bench --bin bench_crypto_json
+
+# Message-path numbers: allocations per ordered envelope, block
+# encode/decode, and Fig.-7-style e2e throughput. Writes a raw
+# measurement file; rebuild against the pre-change libraries and pass
+# it back with --baseline to refresh BENCH_wire.json (see the binary's
+# doc comment for the two-step recipe).
+bench-wire:
+	cargo run --release -p bench --bin bench_wire -- --out bench_wire_raw.json
 
 # Boot a 4-node cluster with tentative execution, drive ~2 s of
 # traffic, print every obs registry and write BENCH_obs.json.

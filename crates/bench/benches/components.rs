@@ -1,7 +1,7 @@
 //! Criterion benchmarks for the remaining hot components: blockcutter,
 //! wire codec, envelope validation and the in-process transport.
 
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hlf_transport::{Network, PeerId};
 use hlf_wire::{from_bytes, to_bytes};

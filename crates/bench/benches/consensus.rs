@@ -3,7 +3,7 @@
 //! the deterministic harness, and of the synchronization-phase
 //! selection function.
 
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hlf_consensus::messages::{Request, StopData, Vote, VotePhase};
 use hlf_consensus::quorum::QuorumSystem;

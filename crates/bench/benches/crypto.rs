@@ -6,7 +6,7 @@
 //! Strauss–Shamir fast paths can be measured on any machine (see
 //! `BENCH_crypto.json` at the repository root and `make bench-crypto`).
 
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use hlf_crypto::bignum::U256;
 use hlf_crypto::ecdsa::SigningKey;

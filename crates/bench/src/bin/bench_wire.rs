@@ -1,0 +1,404 @@
+//! Emits `BENCH_wire.json`: before/after cost of the message path,
+//! measured on *this* machine.
+//!
+//! Unlike `bench_crypto_json` (which keeps reference algorithms
+//! in-tree), the zero-copy work changes the *shape* of the whole
+//! pipeline, so the honest comparison is binary-vs-binary: this one
+//! source file compiles against both the pre-PR and the current rlibs
+//! (it only touches APIs that exist unchanged on both sides), and the
+//! two runs are merged with `--baseline`:
+//!
+//! ```sh
+//! # 1. built against the pre-PR libraries:
+//! bench_wire --out /tmp/wire_before.json
+//! # 2. built against the current libraries:
+//! bench_wire --baseline /tmp/wire_before.json --out BENCH_wire.json
+//! ```
+//!
+//! Three measurement groups:
+//!  * heap allocations (count and KiB) per *ordered* envelope — the
+//!    full client → frontend → consensus → block → delivery pipeline,
+//!    counted across every thread by a wrapping global allocator;
+//!  * block encode/decode nanoseconds and allocations per envelope;
+//!  * end-to-end Fig.-7-style LAN throughput (tx/s, median of 3).
+
+use bench::{run_lan_throughput, LanConfig};
+use hlf_crypto::Hash256;
+use hlf_fabric::block::Block;
+use ordering_core::service::{OrderingService, ServiceOptions};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Counting allocator: every heap allocation on every thread is tallied.
+// ---------------------------------------------------------------------------
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_snapshot() -> (u64, u64) {
+    (ALLOCS.load(Ordering::SeqCst), ALLOC_BYTES.load(Ordering::SeqCst))
+}
+
+// ---------------------------------------------------------------------------
+// Measurements
+// ---------------------------------------------------------------------------
+
+const ENVELOPE_BYTES: usize = 200;
+const BLOCK_SIZE: usize = 100;
+/// The e2e point uses the paper's 4 KiB envelopes and a fan-out of 8
+/// receiver frontends — the configuration where wire copies dominate.
+const E2E_ENVELOPE_BYTES: usize = 4096;
+const E2E_RECEIVERS: usize = 8;
+
+fn payload(i: usize) -> Vec<u8> {
+    let mut body = vec![0u8; ENVELOPE_BYTES];
+    body[..8].copy_from_slice(&(i as u64).to_le_bytes());
+    body
+}
+
+/// Median-of-3 timing runs, nanoseconds per op.
+fn time_ns(iters: u32, mut op: impl FnMut()) -> f64 {
+    for _ in 0..(iters / 10).max(1) {
+        op();
+    }
+    let mut runs = [0.0f64; 3];
+    for slot in &mut runs {
+        let start = Instant::now();
+        for _ in 0..iters {
+            op();
+        }
+        *slot = start.elapsed().as_secs_f64() / iters as f64 * 1e9;
+    }
+    runs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    runs[1]
+}
+
+/// Allocations (count, bytes) per ordered envelope across the whole
+/// in-process cluster: 4 nodes, f = 1, 200-byte envelopes, blocks of
+/// 100, measured after a warm-up batch so pools and caches are primed.
+fn measure_ordered_envelope_allocs() -> (f64, f64) {
+    let mut service = OrderingService::start(
+        4,
+        ServiceOptions::new(1)
+            .with_block_size(BLOCK_SIZE)
+            .with_signing_threads(1)
+            .with_request_timeout_ms(60_000),
+    );
+    let mut frontend = service.frontend();
+    let timeout = Duration::from_secs(30);
+
+    // Warm-up: fills the signing pool, reply caches, and (on the
+    // current libraries) the transport buffer pool.
+    let warm: Vec<_> = (0..200).map(|i| payload(i).into()).collect();
+    let blocks = OrderingService::order_all(&mut frontend, warm, timeout);
+    assert!(!blocks.is_empty(), "warm-up ordered no blocks");
+
+    const MEASURED: usize = 500;
+    let batch: Vec<_> = (0..MEASURED).map(|i| payload(1000 + i).into()).collect();
+    let (allocs0, bytes0) = alloc_snapshot();
+    let blocks = OrderingService::order_all(&mut frontend, batch, timeout);
+    let (allocs1, bytes1) = alloc_snapshot();
+    let ordered: usize = blocks.iter().map(|b| b.envelopes.len()).sum();
+    assert!(
+        ordered >= MEASURED,
+        "ordered only {ordered} of {MEASURED} envelopes"
+    );
+    service.shutdown();
+
+    let per_env = (allocs1 - allocs0) as f64 / ordered as f64;
+    let kib_per_env = (bytes1 - bytes0) as f64 / ordered as f64 / 1024.0;
+    (per_env, kib_per_env)
+}
+
+/// Block encode/decode: ns and allocations per envelope for a
+/// 100-envelope block of 200-byte envelopes.
+fn measure_block_codec() -> (f64, f64, f64, f64) {
+    let envelopes: Vec<_> = (0..BLOCK_SIZE).map(|i| payload(i).into()).collect();
+    let block = Block::build(1, Hash256::ZERO, envelopes);
+    let encoded = hlf_wire::to_bytes(&block);
+
+    const ITERS: u32 = 2000;
+    let encode_ns = time_ns(ITERS, || {
+        black_box(hlf_wire::to_bytes(black_box(&block)));
+    }) / BLOCK_SIZE as f64;
+    let decode_ns = time_ns(ITERS, || {
+        black_box(hlf_wire::from_bytes::<Block>(black_box(&encoded)).unwrap());
+    }) / BLOCK_SIZE as f64;
+
+    let (a0, _) = alloc_snapshot();
+    for _ in 0..ITERS {
+        black_box(hlf_wire::to_bytes(black_box(&block)));
+    }
+    let (a1, _) = alloc_snapshot();
+    for _ in 0..ITERS {
+        black_box(hlf_wire::from_bytes::<Block>(black_box(&encoded)).unwrap());
+    }
+    let (a2, _) = alloc_snapshot();
+
+    let encode_allocs = (a1 - a0) as f64 / ITERS as f64;
+    let decode_allocs = (a2 - a1) as f64 / ITERS as f64;
+    (encode_ns, decode_ns, encode_allocs, decode_allocs)
+}
+
+/// Fig.-7-style saturated LAN throughput, median of 3 windows.
+fn measure_e2e_tx_per_sec() -> f64 {
+    let mut config = LanConfig::new(4, 1);
+    config.block_size = BLOCK_SIZE;
+    config.envelope_size = E2E_ENVELOPE_BYTES;
+    config.receivers = E2E_RECEIVERS;
+    config.measure = Duration::from_secs(3);
+    let mut rates: Vec<f64> = (0..3)
+        .map(|_| run_lan_throughput(&config).tx_per_sec)
+        .collect();
+    rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    rates[1]
+}
+
+// ---------------------------------------------------------------------------
+// Raw-run JSON (flat) and the merged before/after report
+// ---------------------------------------------------------------------------
+
+struct Raw {
+    allocs_per_env: f64,
+    alloc_kib_per_env: f64,
+    encode_ns_per_env: f64,
+    decode_ns_per_env: f64,
+    encode_allocs_per_block: f64,
+    decode_allocs_per_block: f64,
+    tx_per_sec: f64,
+}
+
+impl Raw {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"allocs_per_env\": {:.2},\n  \"alloc_kib_per_env\": {:.2},\n  \
+             \"encode_ns_per_env\": {:.1},\n  \"decode_ns_per_env\": {:.1},\n  \
+             \"encode_allocs_per_block\": {:.1},\n  \"decode_allocs_per_block\": {:.1},\n  \
+             \"tx_per_sec\": {:.1}\n}}\n",
+            self.allocs_per_env,
+            self.alloc_kib_per_env,
+            self.encode_ns_per_env,
+            self.decode_ns_per_env,
+            self.encode_allocs_per_block,
+            self.decode_allocs_per_block,
+            self.tx_per_sec,
+        )
+    }
+}
+
+/// Pulls `"key": <number>` out of a flat JSON object; good enough for
+/// the files this binary writes itself (the workspace deliberately has
+/// no serde).
+fn json_number(text: &str, key: &str) -> f64 {
+    let needle = format!("\"{key}\"");
+    let at = text
+        .find(&needle)
+        .unwrap_or_else(|| panic!("baseline file is missing {needle}"));
+    let rest = &text[at + needle.len()..];
+    let rest = rest
+        .trim_start()
+        .strip_prefix(':')
+        .expect("malformed baseline: no ':' after key")
+        .trim_start();
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().expect("malformed baseline number")
+}
+
+fn parse_raw(text: &str) -> Raw {
+    Raw {
+        allocs_per_env: json_number(text, "allocs_per_env"),
+        alloc_kib_per_env: json_number(text, "alloc_kib_per_env"),
+        encode_ns_per_env: json_number(text, "encode_ns_per_env"),
+        decode_ns_per_env: json_number(text, "decode_ns_per_env"),
+        encode_allocs_per_block: json_number(text, "encode_allocs_per_block"),
+        decode_allocs_per_block: json_number(text, "decode_allocs_per_block"),
+        tx_per_sec: json_number(text, "tx_per_sec"),
+    }
+}
+
+fn merged_report(before: &Raw, after: &Raw) -> String {
+    struct Row {
+        name: &'static str,
+        before: f64,
+        after: f64,
+        // true when bigger is better (throughput); false for costs
+        higher_is_better: bool,
+        precision: usize,
+    }
+    let rows = [
+        Row {
+            name: "allocs_per_ordered_envelope",
+            before: before.allocs_per_env,
+            after: after.allocs_per_env,
+            higher_is_better: false,
+            precision: 2,
+        },
+        Row {
+            name: "alloc_kib_per_ordered_envelope",
+            before: before.alloc_kib_per_env,
+            after: after.alloc_kib_per_env,
+            higher_is_better: false,
+            precision: 2,
+        },
+        Row {
+            name: "block_encode_ns_per_envelope",
+            before: before.encode_ns_per_env,
+            after: after.encode_ns_per_env,
+            higher_is_better: false,
+            precision: 1,
+        },
+        Row {
+            name: "block_decode_ns_per_envelope",
+            before: before.decode_ns_per_env,
+            after: after.decode_ns_per_env,
+            higher_is_better: false,
+            precision: 1,
+        },
+        Row {
+            name: "block_encode_allocs",
+            before: before.encode_allocs_per_block,
+            after: after.encode_allocs_per_block,
+            higher_is_better: false,
+            precision: 1,
+        },
+        Row {
+            name: "block_decode_allocs",
+            before: before.decode_allocs_per_block,
+            after: after.decode_allocs_per_block,
+            higher_is_better: false,
+            precision: 1,
+        },
+        Row {
+            name: "e2e_tx_per_sec",
+            before: before.tx_per_sec,
+            after: after.tx_per_sec,
+            higher_is_better: true,
+            precision: 1,
+        },
+    ];
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"wire_zero_copy\",\n");
+    out.push_str(
+        "  \"method\": \"same source, same machine: 'before' compiled against the \
+         pre-PR libraries, 'after' against the current ones\",\n",
+    );
+    out.push_str(&format!(
+        "  \"workload\": \"n=4 f=1, blocks of {BLOCK_SIZE}; allocs/codec at \
+         {ENVELOPE_BYTES}-byte envelopes, e2e at {E2E_ENVELOPE_BYTES}-byte envelopes with \
+         {E2E_RECEIVERS} receivers\",\n"
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let speedup = if row.higher_is_better {
+            row.after / row.before
+        } else {
+            row.before / row.after
+        };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"before\": {:.p$}, \"after\": {:.p$}, \
+             \"speedup\": {:.2}}}{}\n",
+            row.name,
+            row.before,
+            row.after,
+            speedup,
+            if i + 1 == rows.len() { "" } else { "," },
+            p = row.precision,
+        ));
+    }
+    out.push_str("  ],\n");
+    let alloc_cut = 100.0 * (1.0 - after.allocs_per_env / before.allocs_per_env);
+    let e2e_gain = 100.0 * (after.tx_per_sec / before.tx_per_sec - 1.0);
+    out.push_str(&format!(
+        "  \"acceptance\": {{\"alloc_reduction_pct\": {alloc_cut:.1}, \
+         \"e2e_gain_pct\": {e2e_gain:.1}}}\n"
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut baseline: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
+            "--out" => out_path = Some(args.next().expect("--out needs a path")),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    // Codec timings first, while the process is still single-threaded
+    // (the service benchmarks leave worker threads winding down).
+    eprintln!("measuring block encode/decode...");
+    let (encode_ns, decode_ns, encode_allocs, decode_allocs) = measure_block_codec();
+    eprintln!("  encode {encode_ns:.0} ns/env, decode {decode_ns:.0} ns/env");
+
+    eprintln!("measuring ordered-envelope allocations...");
+    let (allocs_per_env, alloc_kib_per_env) = measure_ordered_envelope_allocs();
+    eprintln!("  {allocs_per_env:.1} allocs, {alloc_kib_per_env:.1} KiB per envelope");
+
+    eprintln!("measuring e2e throughput (3 windows)...");
+    let tx_per_sec = measure_e2e_tx_per_sec();
+    eprintln!("  {tx_per_sec:.0} tx/s");
+
+    let raw = Raw {
+        allocs_per_env,
+        alloc_kib_per_env,
+        encode_ns_per_env: encode_ns,
+        decode_ns_per_env: decode_ns,
+        encode_allocs_per_block: encode_allocs,
+        decode_allocs_per_block: decode_allocs,
+        tx_per_sec,
+    };
+
+    let report = match baseline {
+        None => raw.to_json(),
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+            merged_report(&parse_raw(&text), &raw)
+        }
+    };
+    print!("{report}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, &report).expect("write output file");
+        eprintln!("wrote {path}");
+    }
+}

@@ -14,7 +14,7 @@
 //! ```
 
 use bench::{ktps, paper_signing_threads, run_lan_throughput, run_raw_consensus_throughput, LanConfig};
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use hlf_crypto::ecdsa::SigningKey;
 use hlf_crypto::sha256::Hash256;
 use hlf_fabric::block::Block;
@@ -39,7 +39,7 @@ fn measure_tp_sign() -> f64 {
                 while !stop.load(Ordering::Relaxed) {
                     let mut block = Block::build(number, prev, envelopes.clone());
                     block.sign(w as u32, &key);
-                    prev = block.header.hash();
+                    prev = block.header_hash();
                     number += 1;
                     signed.fetch_add(1, Ordering::Relaxed);
                 }

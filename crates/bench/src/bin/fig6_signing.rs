@@ -11,7 +11,7 @@
 //! cargo run --release -p bench --bin fig6_signing
 //! ```
 
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use ordering_core::signing::SigningPool;
 use hlf_crypto::ecdsa::SigningKey;
 use hlf_fabric::block::Block;
@@ -42,7 +42,7 @@ fn signing_rate(threads: usize, envelope_size: usize, block_size: usize) -> f64 
                     // node would: header over the envelope data hash.
                     let mut block = Block::build(number, prev, envelopes.clone());
                     block.sign(w as u32, &key);
-                    prev = block.header.hash();
+                    prev = block.header_hash();
                     number += 1;
                     signed.fetch_add(1, Ordering::Relaxed);
                 }

@@ -10,7 +10,7 @@
 //! ```
 
 use bench::print_phase_breakdown;
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use ordering_core::service::{OrderingService, ServiceOptions};
 use std::time::{Duration, Instant};
 

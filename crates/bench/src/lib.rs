@@ -4,7 +4,7 @@
 //! 2018 paper (see `DESIGN.md` §4 for the experiment index); this
 //! library holds the workload drivers they share.
 
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use hlf_consensus::messages::Batch;
 use hlf_obs::Snapshot;
 use hlf_smr::app::{Application, Outbound};

@@ -7,10 +7,10 @@
 //! certificates transferable and Byzantine-safe.
 
 use crate::ConsensusError;
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use hlf_crypto::ecdsa::{Signature, SigningKey, VerifyingKey};
 use hlf_crypto::sha256::{sha256, Hash256};
-use hlf_wire::{decode_seq, encode_seq, Decode, Encode, Reader, WireError};
+use hlf_wire::{decode_seq, encode_seq, seq_encoded_len, Decode, Encode, Reader, WireError};
 use hlf_wire::{ClientId, NodeId};
 
 /// A client request: the unit the ordering service totally orders
@@ -52,6 +52,10 @@ impl Encode for Request {
         self.client.encode(out);
         self.seq.encode(out);
         self.payload.encode(out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        4 + 8 + 4 + self.payload.len()
     }
 }
 
@@ -112,6 +116,10 @@ impl Batch {
 impl Encode for Batch {
     fn encode(&self, out: &mut Vec<u8>) {
         encode_seq(&self.requests, out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        seq_encoded_len(&self.requests)
     }
 }
 
@@ -215,6 +223,10 @@ impl Encode for Vote {
         });
         self.signature.encode(out);
     }
+
+    fn encoded_len(&self) -> usize {
+        8 + 4 + 32 + 4 + 1 + 64
+    }
 }
 
 impl Decode for Vote {
@@ -292,6 +304,10 @@ impl Encode for DecisionProof {
         self.cid.encode(out);
         self.hash.encode(out);
         encode_seq(&self.votes, out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        8 + 32 + seq_encoded_len(&self.votes)
     }
 }
 
@@ -419,6 +435,16 @@ impl Encode for StopData {
         self.decision.encode(out);
         self.node.encode(out);
         self.signature.encode(out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        4 + 8
+            + self.last_write.encoded_len()
+            + self.value.encoded_len()
+            + seq_encoded_len(&self.write_cert)
+            + self.decision.encoded_len()
+            + 4
+            + 64
     }
 }
 
@@ -576,6 +602,23 @@ impl Encode for ConsensusMsg {
                 cid.encode(out);
                 batch.encode(out);
                 proof.encode(out);
+            }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            ConsensusMsg::Propose { batch, .. } => 8 + 4 + batch.encoded_len(),
+            ConsensusMsg::Write(vote) | ConsensusMsg::Accept(vote) => vote.encoded_len(),
+            ConsensusMsg::Stop { .. } => 4,
+            ConsensusMsg::StopData(sd) => sd.encoded_len(),
+            ConsensusMsg::Sync {
+                collect, batch, ..
+            } => 4 + seq_encoded_len(collect) + 8 + batch.encoded_len(),
+            ConsensusMsg::Forward { request } => request.encoded_len(),
+            ConsensusMsg::ValueRequest { .. } => 8,
+            ConsensusMsg::ValueReply { cid: _, batch, proof } => {
+                8 + batch.encoded_len() + proof.encoded_len()
             }
         }
     }
@@ -787,6 +830,7 @@ mod tests {
         ];
         for msg in messages {
             let bytes = to_bytes(&msg);
+            assert_eq!(bytes.len(), msg.encoded_len());
             assert_eq!(from_bytes::<ConsensusMsg>(&bytes).unwrap(), msg);
             assert!(msg.wire_size() > 0);
         }

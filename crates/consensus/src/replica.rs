@@ -1262,7 +1262,7 @@ impl Replica {
 #[allow(clippy::needless_range_loop)] // index doubles as the node id in tests
 mod tests {
     use super::*;
-    use bytes::Bytes;
+    use hlf_wire::Bytes;
 
     fn make_replicas(n: usize, f: usize) -> Vec<Replica> {
         let signing: Vec<SigningKey> = (0..n)

@@ -219,7 +219,7 @@ pub fn validate_sync(
 mod tests {
     use super::*;
     use crate::messages::Request;
-    use bytes::Bytes;
+    use hlf_wire::Bytes;
     use hlf_crypto::ecdsa::SigningKey;
     use hlf_wire::{ClientId, NodeId};
 

@@ -366,7 +366,7 @@ impl Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
+    use hlf_wire::Bytes;
     use hlf_wire::ClientId;
 
     fn req(seq: u64) -> Request {

@@ -2,7 +2,7 @@
 //! across synchronization phases, state installation, value transfer
 //! limits, and proposal validation.
 
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use hlf_consensus::messages::{Batch, ConsensusMsg, Request, Vote, VotePhase};
 use hlf_consensus::quorum::QuorumSystem;
 use hlf_consensus::replica::{Action, Config, Replica};

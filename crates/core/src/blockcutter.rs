@@ -9,7 +9,7 @@
 //! wall-clock `BatchTimeout` requires an *ordered* time trigger, as the
 //! reference implementation routes through consensus; see DESIGN.md.)
 
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use hlf_wire::{decode_seq, encode_seq, Encode, Reader, WireError};
 
 /// Why a block was cut — a property of the ordered stream itself, so
@@ -61,7 +61,7 @@ impl IntoIterator for Cut {
 /// # Examples
 ///
 /// ```
-/// use bytes::Bytes;
+/// use hlf_wire::Bytes;
 /// use ordering_core::blockcutter::{BlockCutter, CutReason};
 ///
 /// let mut cutter = BlockCutter::new(3, 1024 * 1024);

@@ -8,7 +8,7 @@
 //! frontends prepend a small channel tag that the ordering node strips
 //! before block cutting.
 
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use hlf_fabric::block::SYSTEM_CHANNEL;
 use hlf_wire::{Decode, Encode, Reader};
 
@@ -27,7 +27,8 @@ const TAG_MAGIC: u8 = 0xC7;
 /// assert_eq!(payload.as_ref(), b"envelope bytes");
 /// ```
 pub fn tag_envelope(channel: &str, envelope: &[u8]) -> Bytes {
-    let mut out = Vec::with_capacity(8 + channel.len() + envelope.len());
+    // Exact: magic byte + u32 length prefix + channel + envelope.
+    let mut out = Vec::with_capacity(1 + 4 + channel.len() + envelope.len());
     out.push(TAG_MAGIC);
     channel.to_string().encode(&mut out);
     out.extend_from_slice(envelope);

@@ -11,7 +11,7 @@
 
 use crate::channel::tag_envelope;
 use crate::obs::FrontendObs;
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use hlf_crypto::ecdsa::VerifyingKey;
 use hlf_crypto::sha256::Hash256;
 use hlf_fabric::block::{Block, BlockSignature, SYSTEM_CHANNEL};
@@ -19,8 +19,15 @@ use hlf_obs::Registry;
 use hlf_smr::client::{ProxyConfig, ServiceProxy};
 use hlf_transport::Network;
 use hlf_wire::{ClientId, NodeId};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
+
+/// Per-slot bound on the verified-signature dedup cache. A Byzantine
+/// orderer can mint unlimited distinct `(node, header, signature)`
+/// triples for one block number; beyond this many the oldest entries
+/// are ring-evicted (the cache only skips work, so eviction never
+/// affects correctness).
+const VERIFY_CACHE_PER_SLOT: usize = 64;
 
 /// How the frontend decides a pushed block is trustworthy.
 #[derive(Clone, Debug)]
@@ -47,6 +54,10 @@ pub struct FrontendConfig {
     pub f: usize,
     /// Trust policy for pushed blocks.
     pub policy: DeliveryPolicy,
+    /// Maximum block numbers collecting copies at once. Byzantine
+    /// orderers can push copies for numbers that never complete; past
+    /// this bound the least-recently-touched round is evicted.
+    pub max_collecting: usize,
 }
 
 impl FrontendConfig {
@@ -57,12 +68,19 @@ impl FrontendConfig {
             n,
             f,
             policy: DeliveryPolicy::MatchOnly,
+            max_collecting: 1024,
         }
     }
 
     /// Switches to signature verification with `f + 1` copies.
     pub fn with_verification(mut self, orderer_keys: Vec<VerifyingKey>) -> FrontendConfig {
         self.policy = DeliveryPolicy::Verify { orderer_keys };
+        self
+    }
+
+    /// Overrides the concurrent collection-round bound.
+    pub fn with_max_collecting(mut self, max: usize) -> FrontendConfig {
+        self.max_collecting = max.max(1);
         self
     }
 }
@@ -74,11 +92,17 @@ struct Collecting {
     candidates: HashMap<Hash256, (Block, Vec<BlockSignature>, HashSet<NodeId>)>,
     /// `(node, header hash, signature)` triples that already passed
     /// ECDSA verification in this collection round, so re-pushed copies
-    /// skip the expensive check (verification mode only).
+    /// skip the expensive check (verification mode only). Bounded to
+    /// [`VERIFY_CACHE_PER_SLOT`] entries, ring-evicted oldest-first.
     verified: HashSet<(u32, Hash256, hlf_crypto::ecdsa::Signature)>,
+    /// Insertion order of `verified`, driving the ring eviction.
+    verified_order: VecDeque<(u32, Hash256, hlf_crypto::ecdsa::Signature)>,
     /// When the first copy for this slot arrived (collection-round
     /// latency = first copy -> threshold reached).
     first_seen: Instant,
+    /// Monotonic stamp of the most recent copy for this slot (LRU key
+    /// for round eviction).
+    last_touch: u64,
 }
 
 impl Collecting {
@@ -86,8 +110,24 @@ impl Collecting {
         Collecting {
             candidates: HashMap::new(),
             verified: HashSet::new(),
+            verified_order: VecDeque::new(),
             first_seen: Instant::now(),
+            last_touch: 0,
         }
+    }
+
+    /// Caches a verified triple; returns the net change in entry count.
+    fn insert_verified(&mut self, triple: (u32, Hash256, hlf_crypto::ecdsa::Signature)) -> i64 {
+        if !self.verified.insert(triple) {
+            return 0;
+        }
+        self.verified_order.push_back(triple);
+        if self.verified_order.len() > VERIFY_CACHE_PER_SLOT {
+            let oldest = self.verified_order.pop_front().expect("nonempty");
+            self.verified.remove(&oldest);
+            return 0;
+        }
+        1
     }
 }
 
@@ -103,6 +143,9 @@ pub struct FrontendStats {
     /// Signature checks skipped because the same `(node, header,
     /// signature)` triple was already verified in the same round.
     pub verify_cache_hits: u64,
+    /// Collection rounds evicted before completing because the
+    /// concurrent-round bound was hit.
+    pub evicted_rounds: u64,
 }
 
 /// The ordering-service frontend.
@@ -117,6 +160,11 @@ pub struct Frontend {
     ready: BTreeMap<(String, u64), Block>,
     stats: FrontendStats,
     obs: Option<FrontendObs>,
+    /// Monotonic counter stamping collection-round activity (LRU).
+    touch: u64,
+    /// Verified-triple entries across all rounds (mirrors the
+    /// `core.frontend.verify_cache_entries` gauge).
+    verify_cache_entries: i64,
 }
 
 impl std::fmt::Debug for Frontend {
@@ -145,6 +193,8 @@ impl Frontend {
             ready: BTreeMap::new(),
             stats: FrontendStats::default(),
             obs: None,
+            touch: 0,
+            verify_cache_entries: 0,
         }
     }
 
@@ -225,7 +275,7 @@ impl Frontend {
             // paying for an ECDSA verification. The cache is read
             // through `get` — an invalid copy must not allocate
             // collection state for its slot.
-            let header_hash = block.header.hash();
+            let header_hash = block.header_hash();
             let cache = self.collecting.get(&slot).map(|c| &c.verified);
             let mut cache_hits = 0;
             let valid = block.signatures.iter().any(|s| {
@@ -252,11 +302,20 @@ impl Frontend {
             }
         }
         let threshold = self.threshold();
-        let entry = self.collecting.entry(slot.clone()).or_insert_with(Collecting::new);
-        if let Some(triple) = newly_verified {
-            entry.verified.insert(triple);
+        self.touch += 1;
+        if !self.collecting.contains_key(&slot)
+            && self.collecting.len() >= self.config.max_collecting
+        {
+            self.evict_stalest_round();
         }
-        let key = block.header.hash();
+        let touch = self.touch;
+        let entry = self.collecting.entry(slot.clone()).or_insert_with(Collecting::new);
+        entry.last_touch = touch;
+        if let Some(triple) = newly_verified {
+            self.verify_cache_entries += entry.insert_verified(triple);
+        }
+        let entry = self.collecting.get_mut(&slot).expect("just inserted");
+        let key = block.header_hash();
         let (stored, signatures, nodes) = entry
             .candidates
             .entry(key)
@@ -273,12 +332,37 @@ impl Frontend {
             let mut complete = stored.clone();
             complete.signatures = signatures.clone();
             if let Some(round) = self.collecting.remove(&slot) {
+                self.verify_cache_entries -= round.verified.len() as i64;
                 if let Some(obs) = &self.obs {
                     obs.collect_round_us
                         .record(round.first_seen.elapsed().as_micros() as u64);
                 }
             }
             self.ready.insert(slot, complete);
+        }
+        if let Some(obs) = &self.obs {
+            obs.collecting_rounds.set(self.collecting.len() as i64);
+            obs.verify_cache_entries.set(self.verify_cache_entries);
+        }
+    }
+
+    /// Removes the least-recently-touched collection round (called when
+    /// the concurrent-round bound is exceeded).
+    fn evict_stalest_round(&mut self) {
+        let Some(slot) = self
+            .collecting
+            .iter()
+            .min_by_key(|(_, round)| round.last_touch)
+            .map(|(slot, _)| slot.clone())
+        else {
+            return;
+        };
+        if let Some(round) = self.collecting.remove(&slot) {
+            self.verify_cache_entries -= round.verified.len() as i64;
+        }
+        self.stats.evicted_rounds += 1;
+        if let Some(obs) = &self.obs {
+            obs.evicted_rounds.inc();
         }
     }
 
@@ -311,7 +395,7 @@ impl Frontend {
                 return None;
             }
             let push = self.proxy.next_push(deadline - now)?;
-            let Ok(block) = hlf_wire::from_bytes::<Block>(&push.payload) else {
+            let Ok(block) = hlf_wire::from_bytes_shared::<Block>(&push.payload) else {
                 self.discard_copy();
                 continue;
             };
@@ -334,7 +418,7 @@ impl Frontend {
                 return None;
             }
             let push = self.proxy.next_push(deadline - now)?;
-            let Ok(block) = hlf_wire::from_bytes::<Block>(&push.payload) else {
+            let Ok(block) = hlf_wire::from_bytes_shared::<Block>(&push.payload) else {
                 self.discard_copy();
                 continue;
             };
@@ -345,7 +429,7 @@ impl Frontend {
     /// Drains any block copies that already arrived without waiting.
     pub fn poll(&mut self) {
         while let Some(push) = self.proxy.try_push() {
-            if let Ok(block) = hlf_wire::from_bytes::<Block>(&push.payload) {
+            if let Ok(block) = hlf_wire::from_bytes_shared::<Block>(&push.payload) {
                 self.accept(push.from, block);
             } else {
                 self.discard_copy();
@@ -395,6 +479,7 @@ mod tests {
                 n,
                 f,
                 policy,
+                max_collecting: 1024,
             },
         );
         // Drain the Subscribe messages.
@@ -472,7 +557,7 @@ mod tests {
         let (mut frontend, replicas, _n) = fixture(DeliveryPolicy::MatchOnly, 4, 1);
         let (sk, _) = orderer_keys(4);
         let b1 = block(1, Hash256::ZERO, 1);
-        let b2 = block(2, b1.header.hash(), 2);
+        let b2 = block(2, b1.header_hash(), 2);
         // Block 2 completes first.
         for i in 0..3 {
             let mut copy = b2.clone();
@@ -560,6 +645,77 @@ mod tests {
         // The obs counters track the plain stats struct exactly.
         assert_eq!(frontend.stats().delivered_blocks, 1);
         assert_eq!(frontend.stats().discarded_copies, 1);
+    }
+
+    #[test]
+    fn collection_rounds_are_bounded_with_lru_eviction() {
+        let network = Network::new();
+        let replicas: Vec<_> = (0..4u32).map(|i| network.join(PeerId::replica(i))).collect();
+        let mut frontend = Frontend::connect(
+            &network,
+            FrontendConfig::new(ClientId(50), 4, 1).with_max_collecting(2),
+        );
+        let registry = Registry::new("frontend-bound-test");
+        frontend.attach_obs(&registry);
+        for r in &replicas {
+            let _ = r.recv_timeout(Duration::from_millis(100));
+        }
+        let (sk, _) = orderer_keys(4);
+        let b1 = block(1, Hash256::ZERO, 1);
+        let b2 = block(2, b1.header_hash(), 2);
+        let b3 = block(3, b2.header_hash(), 3);
+        // One copy each of numbers 1 and 2, then number 1 again: round 1
+        // becomes the most recently touched, round 2 the stalest.
+        for (i, b) in [(0usize, &b1), (1, &b2), (1, &b1)] {
+            let mut copy = b.clone();
+            copy.sign(i as u32, &sk[i]);
+            push_block(&replicas[i], &copy);
+        }
+        assert!(frontend.next_block(Duration::from_millis(150)).is_none());
+        assert_eq!(frontend.stats().evicted_rounds, 0);
+        // A third concurrent round exceeds the bound of 2: the stalest
+        // round (number 2) is evicted, not the hot one.
+        let mut copy = b3.clone();
+        copy.sign(2, &sk[2]);
+        push_block(&replicas[2], &copy);
+        assert!(frontend.next_block(Duration::from_millis(150)).is_none());
+        assert_eq!(frontend.stats().evicted_rounds, 1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("core.frontend.evicted_rounds"), Some(1));
+        assert_eq!(snap.gauge_value("core.frontend.collecting_rounds"), Some(2));
+        // The surviving hot round still completes and delivers.
+        for i in [2usize, 3] {
+            let mut copy = b1.clone();
+            copy.sign(i as u32, &sk[i]);
+            push_block(&replicas[i], &copy);
+        }
+        let delivered = frontend.next_block(Duration::from_secs(2)).unwrap();
+        assert_eq!(delivered.header.number, 1);
+    }
+
+    #[test]
+    fn verify_cache_is_ring_bounded_per_slot() {
+        let (sk, vk) = orderer_keys(4);
+        let (mut frontend, replicas, _n) =
+            fixture(DeliveryPolicy::Verify { orderer_keys: vk }, 4, 1);
+        let registry = Registry::new("frontend-ring-test");
+        frontend.attach_obs(&registry);
+        // A Byzantine orderer pushes many distinct blocks for the same
+        // number, each validly signed: every one lands in the round's
+        // verified cache, which must stay ring-bounded.
+        let over = VERIFY_CACHE_PER_SLOT + 6;
+        for tag in 0..over {
+            let mut copy = block(1, Hash256::ZERO, tag as u8);
+            copy.sign(0, &sk[0]);
+            push_block(&replicas[0], &copy);
+        }
+        assert!(frontend.next_block(Duration::from_millis(200)).is_none());
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.gauge_value("core.frontend.verify_cache_entries"),
+            Some(VERIFY_CACHE_PER_SLOT as i64)
+        );
+        assert_eq!(snap.gauge_value("core.frontend.collecting_rounds"), Some(1));
     }
 
     #[test]

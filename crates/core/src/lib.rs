@@ -23,7 +23,7 @@
 //! # Examples
 //!
 //! ```
-//! use bytes::Bytes;
+//! use hlf_wire::Bytes;
 //! use ordering_core::service::{OrderingService, ServiceOptions};
 //! use std::time::Duration;
 //!

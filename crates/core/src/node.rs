@@ -6,7 +6,7 @@ use crate::blockcutter::{BlockCutter, CutReason};
 use crate::channel::untag_envelope;
 use crate::obs::CutterObs;
 use crate::signing::{SigningPool, SigningStats};
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use hlf_consensus::messages::Batch;
 use hlf_crypto::ecdsa::SigningKey;
 use hlf_crypto::sha256::Hash256;
@@ -197,12 +197,14 @@ impl OrderingNodeApp {
                     // cost; the context structure itself is out of scope.
                     let mut context = Vec::with_capacity(64);
                     context.extend_from_slice(b"hlfbft/exec-context/v1");
-                    context.extend_from_slice(block.header.hash().as_bytes());
+                    context.extend_from_slice(block.header_hash().as_bytes());
                     context.extend_from_slice(&node.to_le_bytes());
                     let digest = hlf_crypto::sha256::sha256(&context);
                     std::hint::black_box(context_key.sign_digest(&digest));
                 }
-                let bytes = Bytes::from(hlf_wire::to_bytes(&block));
+                // Encode into a pooled buffer: the last frontend copy
+                // to drop returns it to the transport pool.
+                let bytes = hlf_wire::to_pooled_bytes(&block, push.pool());
                 push.push_all(bytes);
             },
         );
@@ -293,7 +295,7 @@ impl Application for OrderingNodeApp {
                     chain.prev_hash,
                     cut.into_envelopes(),
                 );
-                chain.prev_hash = block.header.hash();
+                chain.prev_hash = block.header_hash();
                 chain.next_number += 1;
                 self.stats.blocks_cut.fetch_add(1, Ordering::Relaxed);
                 self.pool.submit(block);
@@ -324,7 +326,7 @@ impl Application for OrderingNodeApp {
                     chain.prev_hash,
                     envelopes,
                 );
-                chain.prev_hash = block.header.hash();
+                chain.prev_hash = block.header_hash();
                 chain.next_number += 1;
                 self.stats.blocks_cut.fetch_add(1, Ordering::Relaxed);
                 self.pool.submit(block);

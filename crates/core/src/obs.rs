@@ -98,6 +98,13 @@ pub struct FrontendObs {
     pub discarded_copies: Arc<Counter>,
     /// Envelopes relayed to the ordering cluster.
     pub submitted: Arc<Counter>,
+    /// Collection rounds open right now (bounded by the frontend's
+    /// `max_collecting`).
+    pub collecting_rounds: Arc<Gauge>,
+    /// Verified-signature dedup entries cached across all open rounds.
+    pub verify_cache_entries: Arc<Gauge>,
+    /// Collection rounds evicted before completing (bound pressure).
+    pub evicted_rounds: Arc<Counter>,
 }
 
 impl FrontendObs {
@@ -109,6 +116,9 @@ impl FrontendObs {
             delivered_blocks: registry.counter("core.frontend.delivered_blocks"),
             discarded_copies: registry.counter("core.frontend.discarded_copies"),
             submitted: registry.counter("core.frontend.submitted"),
+            collecting_rounds: registry.gauge("core.frontend.collecting_rounds"),
+            verify_cache_entries: registry.gauge("core.frontend.verify_cache_entries"),
+            evicted_rounds: registry.counter("core.frontend.evicted_rounds"),
         }
     }
 }

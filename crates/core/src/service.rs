@@ -3,7 +3,7 @@
 
 use crate::frontend::{Frontend, FrontendConfig};
 use crate::node::{OrderingNodeApp, OrderingNodeConfig};
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use hlf_crypto::ecdsa::VerifyingKey;
 use hlf_obs::{Registry, Snapshot};
 use hlf_smr::runtime::{ClusterKeys, ClusterRuntime, RuntimeOptions};

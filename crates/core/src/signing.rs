@@ -196,7 +196,7 @@ impl Drop for SigningPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
+    use hlf_wire::Bytes;
     use hlf_crypto::sha256::Hash256;
     use parking_lot::Mutex;
     use std::time::{Duration, Instant};

@@ -14,7 +14,7 @@
 //! beating Vmin ones, block size 100 adding fill delay — is reproduced
 //! faithfully; absolute numbers track the RTT matrix.
 
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use hlf_consensus::messages::{Batch, ConsensusMsg, Request};
 use hlf_consensus::obs::ReplicaObs;
 use hlf_consensus::quorum::QuorumSystem;
@@ -148,7 +148,7 @@ impl ReplicaActor {
                 }
                 let block =
                     Block::build(self.next_number, self.prev_hash, cut.into_envelopes());
-                self.prev_hash = block.header.hash();
+                self.prev_hash = block.header_hash();
                 self.next_number += 1;
                 // Model the ECDSA signing delay, then transmit.
                 let token = self.next_sign_token;
@@ -236,7 +236,7 @@ impl FrontendActor {
         if self.accepted.contains(&number) {
             return;
         }
-        let hash = block.header.hash();
+        let hash = block.header_hash();
         let entry = self.collecting.entry(number).or_default();
         let (stored, senders) = match entry.get_mut(&hash) {
             Some((stored, senders)) => (stored, senders),

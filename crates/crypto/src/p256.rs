@@ -6,7 +6,7 @@
 
 use crate::bignum::{Monty, U256};
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// Field prime `p = 2^256 - 2^224 + 2^192 + 2^96 - 1`.
 pub const P_HEX: &str = "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff";
@@ -176,6 +176,30 @@ fn base_table() -> &'static BaseTable {
             .collect();
         BaseTable { windows }
     })
+}
+
+/// Direct-mapped global cache of per-point affine window tables.
+///
+/// Building a window table costs 14 point operations plus one batched
+/// field inversion — more than the mixed-addition savings it buys a
+/// single multiplication. The callers that matter reuse the same few
+/// points over and over (ECDSA verification multiplies by long-lived
+/// public keys), so tables are cached keyed by the point's raw Jacobian
+/// Montgomery limbs. A logically equal point with a different Jacobian
+/// representation simply misses; identical `Point` values — the common
+/// case — hit after the first call.
+const WINDOW_CACHE_SLOTS: usize = 64;
+
+struct WindowCacheEntry {
+    key: (U256, U256, U256),
+    table: [AffinePoint; 15],
+}
+
+fn window_cache() -> &'static [Mutex<Option<WindowCacheEntry>>] {
+    static CACHE: OnceLock<Vec<Mutex<Option<WindowCacheEntry>>>> = OnceLock::new();
+    CACHE
+        .get_or_init(|| (0..WINDOW_CACHE_SLOTS).map(|_| Mutex::new(None)).collect())
+        .as_slice()
 }
 
 /// A point on P-256 in Jacobian coordinates (Montgomery-form components).
@@ -450,7 +474,7 @@ impl Point {
 
     /// Builds the affine window table `[P, 2P, .., 15P]` for this
     /// (non-identity) point, normalized with one batched inversion.
-    fn window_table(&self) -> Vec<AffinePoint> {
+    fn window_table(&self) -> [AffinePoint; 15] {
         let mut jacobian = [Point::identity(); 15];
         jacobian[0] = *self;
         for j in 2..=15usize {
@@ -461,6 +485,29 @@ impl Point {
             };
         }
         batch_normalize(&jacobian)
+            .try_into()
+            .expect("15-entry window")
+    }
+
+    /// [`Point::window_table`] through the global direct-mapped cache:
+    /// repeated multiplications by the same point (ECDSA public keys)
+    /// skip the table build and its field inversion entirely.
+    fn window_table_cached(&self) -> [AffinePoint; 15] {
+        let key = (self.x, self.y, self.z);
+        let bytes = self.x.to_be_bytes();
+        let slot = (bytes[31] ^ bytes[0]) as usize % WINDOW_CACHE_SLOTS;
+        let mut guard = match window_cache()[slot].lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(entry) = guard.as_ref() {
+            if entry.key == key {
+                return entry.table;
+            }
+        }
+        let table = self.window_table();
+        *guard = Some(WindowCacheEntry { key, table });
+        table
     }
 
     /// Scalar multiplication: fixed 4-bit windows over a batch-normalized
@@ -474,7 +521,7 @@ impl Point {
         if scalar.is_zero() || self.is_identity() {
             return Point::identity();
         }
-        let table = self.window_table();
+        let table = self.window_table_cached();
         let bytes = scalar.to_be_bytes();
         let mut acc = Point::identity();
         let mut started = false;
@@ -573,7 +620,7 @@ impl Point {
             return q.mul(u2);
         }
         let g_table = &base_table().windows[0]; // [G, 2G, .., 15G]
-        let q_table = q.window_table();
+        let q_table = q.window_table_cached();
         let b1 = u1.to_be_bytes();
         let b2 = u2.to_be_bytes();
         let mut acc = Point::identity();
@@ -734,6 +781,22 @@ impl Point {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn window_cache_hits_and_evictions_agree_with_reference() {
+        // More distinct points than cache slots: every slot sees
+        // insertions, evictions, and (second pass) hits. Both passes
+        // must agree with the uncached reference ladder.
+        let k = U256::from_u64(0xDEAD_BEEF_CAFE_F00D);
+        let points: Vec<Point> = (1..=(super::WINDOW_CACHE_SLOTS as u64 + 8))
+            .map(|i| Point::generator().mul_reference(&U256::from_u64(i * i + 1)))
+            .collect();
+        for pass in 0..2 {
+            for q in &points {
+                assert_eq!(q.mul(&k), q.mul_reference(&k), "pass {pass}");
+            }
+        }
+    }
 
     #[test]
     fn generator_is_on_curve() {

@@ -5,10 +5,11 @@
 //! own envelopes; ordering nodes sign the header, and peers require
 //! `f + 1` valid orderer signatures.
 
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use hlf_crypto::ecdsa::{Signature, SigningKey, VerifyingKey};
 use hlf_crypto::sha256::{sha256, Digest, Hash256};
-use hlf_wire::{decode_seq, encode_seq, Decode, Encode, Reader, WireError};
+use hlf_wire::{decode_seq, encode_seq, seq_encoded_len, Decode, Encode, Reader, WireError};
+use std::sync::OnceLock;
 
 /// The default channel used when an application does not partition its
 /// ledger.
@@ -52,6 +53,10 @@ impl Encode for BlockHeader {
         self.prev_hash.encode(out);
         self.data_hash.encode(out);
     }
+
+    fn encoded_len(&self) -> usize {
+        self.channel.encoded_len() + 8 + 32 + 32
+    }
 }
 
 impl Decode for BlockHeader {
@@ -79,6 +84,10 @@ impl Encode for BlockSignature {
         self.node.encode(out);
         self.signature.encode(out);
     }
+
+    fn encoded_len(&self) -> usize {
+        4 + 64
+    }
 }
 
 impl Decode for BlockSignature {
@@ -91,15 +100,38 @@ impl Decode for BlockSignature {
 }
 
 /// A block: header, opaque envelopes, and orderer signatures.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Block {
-    /// The chained header.
+    /// The chained header. Treated as immutable once the block is
+    /// built — see [`Block::header_hash`].
     pub header: BlockHeader,
     /// Raw envelope bytes, in decided order. The ordering service never
     /// parses these (paper step 4: "does not read the contents").
     pub envelopes: Vec<Bytes>,
     /// Orderer signatures over the header hash.
     pub signatures: Vec<BlockSignature>,
+    /// Hash-once cache for the header hash; sound because nothing
+    /// mutates `header` after construction.
+    cached_header_hash: OnceLock<Hash256>,
+}
+
+impl PartialEq for Block {
+    fn eq(&self, other: &Block) -> bool {
+        self.header == other.header
+            && self.envelopes == other.envelopes
+            && self.signatures == other.signatures
+    }
+}
+impl Eq for Block {}
+
+impl std::fmt::Debug for Block {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Block")
+            .field("header", &self.header)
+            .field("envelopes", &self.envelopes)
+            .field("signatures", &self.signatures)
+            .finish()
+    }
 }
 
 impl Block {
@@ -138,18 +170,30 @@ impl Block {
             },
             envelopes,
             signatures: Vec::new(),
+            cached_header_hash: OnceLock::new(),
         }
+    }
+
+    /// The header hash, computed once per block (hash-once): every
+    /// signer, verifier and chain link hashes the same header exactly
+    /// one time.
+    ///
+    /// The cache is sound as long as `header` is not mutated after the
+    /// block is built; nothing in this workspace does, and external
+    /// callers who do must not reuse the block afterwards.
+    pub fn header_hash(&self) -> Hash256 {
+        *self.cached_header_hash.get_or_init(|| self.header.hash())
     }
 
     /// Signs the header with an orderer key, appending the signature.
     pub fn sign(&mut self, node: u32, key: &SigningKey) {
-        let signature = key.sign_digest(&self.header.hash());
+        let signature = key.sign_digest(&self.header_hash());
         self.signatures.push(BlockSignature { node, signature });
     }
 
     /// Counts valid signatures from distinct known orderers.
     pub fn valid_signatures(&self, orderer_keys: &[VerifyingKey]) -> usize {
-        let header_hash = self.header.hash();
+        let header_hash = self.header_hash();
         let mut seen = std::collections::HashSet::new();
         self.signatures
             .iter()
@@ -167,11 +211,9 @@ impl Block {
         Block::data_hash(&self.envelopes) == self.header.data_hash
     }
 
-    /// Approximate serialized size in bytes.
+    /// Exact serialized size in bytes.
     pub fn wire_size(&self) -> usize {
-        76 + self.header.channel.len()
-            + self.envelopes.iter().map(|e| e.len() + 4).sum::<usize>()
-            + self.signatures.len() * 68
+        self.encoded_len()
     }
 }
 
@@ -181,14 +223,23 @@ impl Encode for Block {
         encode_seq(&self.envelopes, out);
         encode_seq(&self.signatures, out);
     }
+
+    fn encoded_len(&self) -> usize {
+        self.header.encoded_len()
+            + seq_encoded_len(&self.envelopes)
+            + seq_encoded_len(&self.signatures)
+    }
 }
 
 impl Decode for Block {
+    /// Decoding out of a shared buffer (see [`Reader::for_shared`])
+    /// makes every envelope a zero-copy view of the input frame.
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(Block {
             header: Decode::decode(r)?,
             envelopes: decode_seq(r)?,
             signatures: decode_seq(r)?,
+            cached_header_hash: OnceLock::new(),
         })
     }
 }
@@ -286,7 +337,7 @@ impl Ledger {
     pub fn tip_hash(&self) -> Hash256 {
         self.blocks
             .last()
-            .map(|b| b.header.hash())
+            .map(|b| b.header_hash())
             .unwrap_or(Hash256::ZERO)
     }
 
@@ -360,7 +411,7 @@ impl Ledger {
                 }
             }
             number = Some(block.header.number);
-            prev = block.header.hash();
+            prev = block.header_hash();
         }
         true
     }
@@ -387,9 +438,9 @@ mod tests {
     #[test]
     fn header_hash_chains_blocks() {
         let b1 = Block::build(1, Hash256::ZERO, envelopes(1, 3));
-        let b2 = Block::build(2, b1.header.hash(), envelopes(2, 3));
-        assert_eq!(b2.header.prev_hash, b1.header.hash());
-        assert_ne!(b1.header.hash(), b2.header.hash());
+        let b2 = Block::build(2, b1.header_hash(), envelopes(2, 3));
+        assert_eq!(b2.header.prev_hash, b1.header_hash());
+        assert_ne!(b1.header_hash(), b2.header.hash());
     }
 
     #[test]
@@ -438,7 +489,7 @@ mod tests {
         assert_eq!(ledger.height(), 1);
 
         // Wrong number.
-        let mut wrong_number = Block::build(5, b1.header.hash(), envelopes(2, 1));
+        let mut wrong_number = Block::build(5, b1.header_hash(), envelopes(2, 1));
         wrong_number.sign(0, &sk[0]);
         wrong_number.sign(1, &sk[1]);
         assert_eq!(
@@ -453,14 +504,14 @@ mod tests {
         assert_eq!(ledger.append(broken, &vk, 2), Err(LedgerError::BrokenChain));
 
         // Tampered data.
-        let mut tampered = Block::build(2, b1.header.hash(), envelopes(2, 1));
+        let mut tampered = Block::build(2, b1.header_hash(), envelopes(2, 1));
         tampered.sign(0, &sk[0]);
         tampered.sign(1, &sk[1]);
         tampered.envelopes[0] = Bytes::from_static(b"evil");
         assert_eq!(ledger.append(tampered, &vk, 2), Err(LedgerError::BadDataHash));
 
         // A good block appends.
-        let mut b2 = Block::build(2, b1.header.hash(), envelopes(2, 1));
+        let mut b2 = Block::build(2, b1.header_hash(), envelopes(2, 1));
         b2.sign(2, &sk[2]);
         b2.sign(3, &sk[3]);
         ledger.append(b2, &vk, 2).unwrap();
@@ -477,7 +528,32 @@ mod tests {
         block.sign(0, &sk[0]);
         let bytes = hlf_wire::to_bytes(&block);
         assert_eq!(hlf_wire::from_bytes::<Block>(&bytes).unwrap(), block);
-        assert!(block.wire_size() > 0);
+        assert_eq!(block.wire_size(), bytes.len(), "wire_size is exact");
+    }
+
+    #[test]
+    fn header_hash_memo_matches_recompute() {
+        let block = Block::build(3, Hash256::ZERO, envelopes(1, 2));
+        assert_eq!(block.header_hash(), block.header.hash());
+        // Memo survives cloning and repeated calls.
+        let clone = block.clone();
+        assert_eq!(clone.header_hash(), block.header.hash());
+    }
+
+    #[test]
+    fn shared_decode_yields_envelope_views() {
+        let block = Block::build(2, Hash256::ZERO, envelopes(5, 3));
+        let frame = Bytes::from(hlf_wire::to_bytes(&block));
+        let decoded: Block = hlf_wire::from_bytes_shared(&frame).unwrap();
+        assert_eq!(decoded, block);
+        // Each decoded envelope is a view of the frame, not a copy:
+        // slicing the frame at the same offset shares storage.
+        let mut offset = block.header.encoded_len() + 4;
+        for envelope in &decoded.envelopes {
+            offset += 4;
+            assert!(envelope.shares_storage_with(&frame.slice(offset..offset + envelope.len())));
+            offset += envelope.len();
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Chaincode: the smart-contract programs endorsing peers simulate.
 
 use crate::kvstore::SimulationView;
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use std::error::Error;
 use std::fmt;
 

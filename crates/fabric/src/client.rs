@@ -4,7 +4,7 @@
 
 use crate::envelope::{AssemblyError, Envelope, Proposal, ProposalResponse};
 use crate::peer::{EndorseError, Peer};
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use hlf_crypto::ecdsa::SigningKey;
 use std::fmt;
 
@@ -221,9 +221,9 @@ mod tests {
         let envelope = client
             .transact_str(&refs, 2, "kv", &["put", "k", "v"])
             .unwrap();
-        assert_eq!(envelope.endorsements.len(), 2);
+        assert_eq!(envelope.endorsements().len(), 2);
         assert!(envelope.verify_client(&client.verifying_key()));
-        assert_eq!(envelope.proposal.channel, "ch");
+        assert_eq!(envelope.proposal().channel, "ch");
         // Nonces advance per transaction.
         let envelope2 = client
             .transact_str(&refs, 2, "kv", &["put", "k", "v"])
@@ -256,7 +256,7 @@ mod tests {
         let envelope = client
             .transact_str(&refs, 2, "kv", &["put", "k", "v"])
             .unwrap();
-        assert_eq!(envelope.endorsements.len(), 2);
+        assert_eq!(envelope.endorsements().len(), 2);
     }
 
     #[test]

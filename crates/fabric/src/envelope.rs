@@ -1,10 +1,18 @@
 //! Transaction proposals, endorsements and envelopes (paper steps 1-3).
+//!
+//! [`Envelope`] is immutable after construction, which makes its
+//! encode-once/hash-once caches sound: the canonical wire encoding and
+//! the derived digests are computed at most once per envelope and
+//! shared by every later serialization, signature check and hash.
 
 use crate::types::RwSet;
-use bytes::Bytes;
 use hlf_crypto::ecdsa::{Signature, SigningKey, VerifyingKey};
-use hlf_crypto::sha256::{sha256, Hash256};
-use hlf_wire::{decode_seq, encode_seq, Decode, Encode, Reader, WireError};
+use hlf_crypto::sha256::{sha256, sha256_concat, Hash256};
+use hlf_wire::Bytes;
+use hlf_wire::{
+    decode_seq, encode_seq, seq_encoded_len, splice_canonical, Decode, Encode, Reader, WireError,
+};
+use std::sync::OnceLock;
 
 /// A client's signed request to invoke a chaincode function (step 1).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -24,13 +32,9 @@ pub struct Proposal {
 impl Proposal {
     /// The transaction id: hash of the proposal content.
     pub fn tx_id(&self) -> Hash256 {
-        let mut bytes = Vec::new();
+        let mut bytes = Vec::with_capacity(18 + self.encoded_len());
         bytes.extend_from_slice(b"hlfbft/proposal/v1");
-        self.channel.encode(&mut bytes);
-        self.chaincode.encode(&mut bytes);
-        self.client.encode(&mut bytes);
-        self.nonce.encode(&mut bytes);
-        encode_seq(&self.args, &mut bytes);
+        self.encode(&mut bytes);
         sha256(&bytes)
     }
 }
@@ -42,6 +46,14 @@ impl Encode for Proposal {
         self.client.encode(out);
         self.nonce.encode(out);
         encode_seq(&self.args, out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.channel.encoded_len()
+            + self.chaincode.encoded_len()
+            + 4
+            + 8
+            + seq_encoded_len(&self.args)
     }
 }
 
@@ -81,6 +93,10 @@ impl Encode for Endorsement {
     fn encode(&self, out: &mut Vec<u8>) {
         self.peer.encode(out);
         self.signature.encode(out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        4 + 64
     }
 }
 
@@ -128,18 +144,48 @@ impl ProposalResponse {
 
 /// A fully assembled transaction envelope (step 3): the unit the
 /// ordering service totally orders.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Fields are private and immutable after construction, so the
+/// canonical-bytes and digest caches can never go stale. Build one via
+/// [`Envelope::assemble`], [`Envelope::new`] or [`Envelope::from_bytes`].
+#[derive(Clone)]
 pub struct Envelope {
-    /// The original proposal.
-    pub proposal: Proposal,
-    /// The agreed simulation rw-set.
-    pub rw_set: RwSet,
-    /// The agreed chaincode response.
-    pub response: Bytes,
-    /// Endorsements collected by the client.
-    pub endorsements: Vec<Endorsement>,
-    /// Client signature over all of the above.
-    pub client_signature: Signature,
+    proposal: Proposal,
+    rw_set: RwSet,
+    response: Bytes,
+    endorsements: Vec<Endorsement>,
+    client_signature: Signature,
+    /// Encode-once: the canonical wire encoding, computed lazily (or
+    /// adopted zero-copy from the input buffer when decoded out of a
+    /// shared buffer — decode is canonical, so input bytes == re-encode).
+    canonical: OnceLock<Bytes>,
+    /// Hash-once caches derived from the immutable content.
+    cached_tx_id: OnceLock<Hash256>,
+    cached_client_digest: OnceLock<Hash256>,
+    cached_endorse_digest: OnceLock<Hash256>,
+}
+
+impl PartialEq for Envelope {
+    fn eq(&self, other: &Envelope) -> bool {
+        self.proposal == other.proposal
+            && self.rw_set == other.rw_set
+            && self.response == other.response
+            && self.endorsements == other.endorsements
+            && self.client_signature == other.client_signature
+    }
+}
+impl Eq for Envelope {}
+
+impl std::fmt::Debug for Envelope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Envelope")
+            .field("proposal", &self.proposal)
+            .field("rw_set", &self.rw_set)
+            .field("response", &self.response)
+            .field("endorsements", &self.endorsements)
+            .field("client_signature", &self.client_signature)
+            .finish()
+    }
 }
 
 /// Failure assembling an envelope from proposal responses.
@@ -165,6 +211,30 @@ impl std::fmt::Display for AssemblyError {
 impl std::error::Error for AssemblyError {}
 
 impl Envelope {
+    /// Builds an envelope from its parts with empty caches.
+    ///
+    /// The signature is taken as-is; use [`Envelope::assemble`] for the
+    /// client-side path that signs the content.
+    pub fn new(
+        proposal: Proposal,
+        rw_set: RwSet,
+        response: Bytes,
+        endorsements: Vec<Endorsement>,
+        client_signature: Signature,
+    ) -> Envelope {
+        Envelope {
+            proposal,
+            rw_set,
+            response,
+            endorsements,
+            client_signature,
+            canonical: OnceLock::new(),
+            cached_tx_id: OnceLock::new(),
+            cached_client_digest: OnceLock::new(),
+            cached_endorse_digest: OnceLock::new(),
+        }
+    }
+
     /// Assembles and signs an envelope from matching proposal responses
     /// (the client-side step 3 of the paper's protocol).
     ///
@@ -189,13 +259,40 @@ impl Envelope {
         let endorsements: Vec<Endorsement> =
             responses.into_iter().map(|r| r.endorsement).collect();
         let digest = Envelope::signing_digest(&proposal, &rw_set, &response, &endorsements);
-        Ok(Envelope {
+        let envelope = Envelope::new(
             proposal,
             rw_set,
             response,
             endorsements,
-            client_signature: client_key.sign_digest(&digest),
-        })
+            client_key.sign_digest(&digest),
+        );
+        let _ = envelope.cached_client_digest.set(digest);
+        Ok(envelope)
+    }
+
+    /// The original proposal.
+    pub fn proposal(&self) -> &Proposal {
+        &self.proposal
+    }
+
+    /// The agreed simulation rw-set.
+    pub fn rw_set(&self) -> &RwSet {
+        &self.rw_set
+    }
+
+    /// The agreed chaincode response.
+    pub fn response(&self) -> &Bytes {
+        &self.response
+    }
+
+    /// Endorsements collected by the client.
+    pub fn endorsements(&self) -> &[Endorsement] {
+        &self.endorsements
+    }
+
+    /// The client signature over the envelope content.
+    pub fn client_signature(&self) -> &Signature {
+        &self.client_signature
     }
 
     fn signing_digest(
@@ -213,20 +310,57 @@ impl Envelope {
         sha256(&bytes)
     }
 
-    /// The transaction id.
+    /// The canonical wire encoding, computed once (encode-once).
+    ///
+    /// Decoding out of a shared buffer seeds this with a zero-copy view
+    /// of the input, so an envelope that transits a node is never
+    /// re-serialized.
+    pub fn canonical_bytes(&self) -> &Bytes {
+        self.canonical.get_or_init(|| {
+            let mut out = Vec::with_capacity(self.content_encoded_len());
+            self.encode_content(&mut out);
+            Bytes::from(out)
+        })
+    }
+
+    fn encode_content(&self, out: &mut Vec<u8>) {
+        self.proposal.encode(out);
+        self.rw_set.encode(out);
+        self.response.encode(out);
+        encode_seq(&self.endorsements, out);
+        self.client_signature.encode(out);
+    }
+
+    fn content_encoded_len(&self) -> usize {
+        self.proposal.encoded_len()
+            + self.rw_set.encoded_len()
+            + self.response.encoded_len()
+            + seq_encoded_len(&self.endorsements)
+            + 64
+    }
+
+    /// The digest the client signature covers (hash-once).
+    ///
+    /// Computed by splicing the memoized canonical bytes — the signed
+    /// content is exactly the canonical encoding minus the trailing
+    /// 64-byte signature — so no field is re-serialized.
+    fn client_digest(&self) -> Hash256 {
+        *self.cached_client_digest.get_or_init(|| {
+            let canonical = self.canonical_bytes();
+            let content = &canonical[..canonical.len() - 64];
+            sha256_concat(&[b"hlfbft/envelope/v1", content])
+        })
+    }
+
+    /// The transaction id (hash-once).
     pub fn tx_id(&self) -> Hash256 {
-        self.proposal.tx_id()
+        *self.cached_tx_id.get_or_init(|| self.proposal.tx_id())
     }
 
     /// Verifies the client signature.
     pub fn verify_client(&self, key: &VerifyingKey) -> bool {
-        let digest = Envelope::signing_digest(
-            &self.proposal,
-            &self.rw_set,
-            &self.response,
-            &self.endorsements,
-        );
-        key.verify_digest(&digest, &self.client_signature).is_ok()
+        key.verify_digest(&self.client_digest(), &self.client_signature)
+            .is_ok()
     }
 
     /// Counts valid endorsements from distinct peers whose keys are in
@@ -240,7 +374,9 @@ impl Envelope {
         &self,
         endorser_keys: &[VerifyingKey],
     ) -> std::collections::HashSet<u32> {
-        let digest = endorsement_digest(&self.tx_id(), &self.rw_set, &self.response);
+        let digest = *self
+            .cached_endorse_digest
+            .get_or_init(|| endorsement_digest(&self.tx_id(), &self.rw_set, &self.response));
         self.endorsements
             .iter()
             .filter(|e| {
@@ -252,9 +388,10 @@ impl Envelope {
             .collect()
     }
 
-    /// Serializes to the opaque bytes the ordering service sees.
+    /// Serializes to the opaque bytes the ordering service sees. Cheap
+    /// after the first call: clones the memoized canonical buffer.
     pub fn to_bytes(&self) -> Bytes {
-        Bytes::from(hlf_wire::to_bytes(self))
+        self.canonical_bytes().clone()
     }
 
     /// Parses envelope bytes.
@@ -265,27 +402,48 @@ impl Envelope {
     pub fn from_bytes(bytes: &[u8]) -> Result<Envelope, WireError> {
         hlf_wire::from_bytes(bytes)
     }
+
+    /// Parses envelope bytes out of a shared buffer: payload fields and
+    /// the canonical-bytes cache become zero-copy views of `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] for malformed bytes.
+    pub fn from_shared(bytes: &Bytes) -> Result<Envelope, WireError> {
+        hlf_wire::from_bytes_shared(bytes)
+    }
 }
 
 impl Encode for Envelope {
     fn encode(&self, out: &mut Vec<u8>) {
-        self.proposal.encode(out);
-        self.rw_set.encode(out);
-        self.response.encode(out);
-        encode_seq(&self.endorsements, out);
-        self.client_signature.encode(out);
+        splice_canonical(self.canonical_bytes(), out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self.canonical.get() {
+            Some(canonical) => canonical.len(),
+            None => self.content_encoded_len(),
+        }
     }
 }
 
 impl Decode for Envelope {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(Envelope {
-            proposal: Decode::decode(r)?,
-            rw_set: Decode::decode(r)?,
-            response: Decode::decode(r)?,
-            endorsements: decode_seq(r)?,
-            client_signature: Decode::decode(r)?,
-        })
+        let start = r.position();
+        let envelope = Envelope::new(
+            Decode::decode(r)?,
+            Decode::decode(r)?,
+            Decode::decode(r)?,
+            decode_seq(r)?,
+            Decode::decode(r)?,
+        );
+        // Decode is canonical (fixed-width ints, length prefixes), so
+        // the consumed input bytes ARE the canonical encoding: adopt
+        // them as the encode-once cache when they are freely shareable.
+        if let Some(view) = r.shared_view(start, r.position()) {
+            let _ = envelope.canonical.set(view);
+        }
+        Ok(envelope)
     }
 }
 
@@ -325,6 +483,26 @@ mod tests {
         (sk, vk)
     }
 
+    fn assembled(n: usize) -> (Envelope, Vec<VerifyingKey>, SigningKey) {
+        let (sk, vk) = endorser_keys(n);
+        let client_key = SigningKey::from_seed(b"client-4");
+        let p = proposal();
+        let tx_id = p.tx_id();
+        let responses: Vec<ProposalResponse> = (0..n)
+            .map(|i| {
+                ProposalResponse::sign(
+                    i as u32,
+                    &sk[i],
+                    &tx_id,
+                    rw_set(),
+                    Bytes::from_static(b"ok"),
+                )
+            })
+            .collect();
+        let envelope = Envelope::assemble(p, responses, &client_key).unwrap();
+        (envelope, vk, client_key)
+    }
+
     #[test]
     fn tx_id_depends_on_nonce_and_args() {
         let p1 = proposal();
@@ -339,22 +517,7 @@ mod tests {
 
     #[test]
     fn assemble_verify_roundtrip() {
-        let (sk, vk) = endorser_keys(3);
-        let client_key = SigningKey::from_seed(b"client-4");
-        let p = proposal();
-        let tx_id = p.tx_id();
-        let responses: Vec<ProposalResponse> = (0..3)
-            .map(|i| {
-                ProposalResponse::sign(
-                    i as u32,
-                    &sk[i],
-                    &tx_id,
-                    rw_set(),
-                    Bytes::from_static(b"ok"),
-                )
-            })
-            .collect();
-        let envelope = Envelope::assemble(p, responses, &client_key).unwrap();
+        let (envelope, vk, client_key) = assembled(3);
         assert!(envelope.verify_client(client_key.verifying_key()));
         assert_eq!(envelope.valid_endorsements(&vk), 3);
 
@@ -389,28 +552,22 @@ mod tests {
 
     #[test]
     fn endorsement_forgery_detected() {
-        let (sk, vk) = endorser_keys(3);
-        let client_key = SigningKey::from_seed(b"client-4");
-        let p = proposal();
-        let tx_id = p.tx_id();
-        let responses: Vec<ProposalResponse> = (0..2)
-            .map(|i| {
-                ProposalResponse::sign(
-                    i as u32,
-                    &sk[i],
-                    &tx_id,
-                    rw_set(),
-                    Bytes::from_static(b"ok"),
-                )
-            })
-            .collect();
-        let mut envelope = Envelope::assemble(p, responses, &client_key).unwrap();
+        let (envelope, vk, client_key) = assembled(2);
 
-        // Tamper with the write set after endorsement: endorsements die.
-        envelope.rw_set.writes[0].value = Some(Bytes::from_static(b"evil"));
-        assert_eq!(envelope.valid_endorsements(&vk), 0);
+        // Rebuild the envelope with a tampered write set but the
+        // original signatures: endorsements die.
+        let mut tampered_set = envelope.rw_set().clone();
+        tampered_set.writes[0].value = Some(Bytes::from_static(b"evil"));
+        let tampered = Envelope::new(
+            envelope.proposal().clone(),
+            tampered_set,
+            envelope.response().clone(),
+            envelope.endorsements().to_vec(),
+            *envelope.client_signature(),
+        );
+        assert_eq!(tampered.valid_endorsements(&vk), 0);
         // And the client signature no longer covers the content either.
-        assert!(!envelope.verify_client(client_key.verifying_key()));
+        assert!(!tampered.verify_client(client_key.verifying_key()));
     }
 
     #[test]
@@ -424,5 +581,54 @@ mod tests {
         let envelope =
             Envelope::assemble(p, vec![r.clone(), r], &client_key).unwrap();
         assert_eq!(envelope.valid_endorsements(&vk), 1);
+    }
+
+    #[test]
+    fn cached_digest_matches_scratch_hash_for_every_constructor() {
+        // The memoized client digest must equal a from-scratch hash of
+        // the envelope content no matter how the envelope was built.
+        let (envelope, _, client_key) = assembled(2);
+        let scratch = |e: &Envelope| {
+            Envelope::signing_digest(e.proposal(), e.rw_set(), e.response(), e.endorsements())
+        };
+
+        // assemble() — digest seeded eagerly at signing time.
+        assert_eq!(envelope.client_digest(), scratch(&envelope));
+        assert!(envelope.verify_client(client_key.verifying_key()));
+
+        // new() — digest computed lazily from the canonical cache.
+        let rebuilt = Envelope::new(
+            envelope.proposal().clone(),
+            envelope.rw_set().clone(),
+            envelope.response().clone(),
+            envelope.endorsements().to_vec(),
+            *envelope.client_signature(),
+        );
+        assert_eq!(rebuilt.client_digest(), scratch(&rebuilt));
+
+        // from_bytes() — plain-slice decode, lazy canonical encode.
+        let parsed = Envelope::from_bytes(&envelope.to_bytes()).unwrap();
+        assert_eq!(parsed.client_digest(), scratch(&parsed));
+
+        // from_shared() — canonical cache adopted zero-copy from input.
+        let shared = envelope.to_bytes();
+        let parsed = Envelope::from_shared(&shared).unwrap();
+        assert_eq!(parsed.client_digest(), scratch(&parsed));
+        assert!(parsed.canonical_bytes().shares_storage_with(&shared));
+
+        // clone() — caches travel with the clone and stay correct.
+        let cloned = parsed.clone();
+        assert_eq!(cloned.client_digest(), scratch(&cloned));
+    }
+
+    #[test]
+    fn encode_uses_canonical_cache() {
+        let (envelope, _, _) = assembled(2);
+        let first = envelope.to_bytes();
+        let second = envelope.to_bytes();
+        // Same memoized buffer, not a re-encode.
+        assert!(first.shares_storage_with(&second));
+        assert_eq!(hlf_wire::to_bytes(&envelope), first.to_vec());
+        assert_eq!(envelope.encoded_len(), first.len());
     }
 }

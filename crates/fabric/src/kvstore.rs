@@ -1,7 +1,7 @@
 //! The versioned key/value world state maintained by committing peers.
 
 use crate::types::{ReadItem, RwSet, Version, WriteItem};
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use std::collections::HashMap;
 
 /// Versioned key/value store (Fabric's world state model).

@@ -22,7 +22,7 @@
 //! service normally sits between assembly and commit):
 //!
 //! ```
-//! use bytes::Bytes;
+//! use hlf_wire::Bytes;
 //! use hlf_crypto::ecdsa::SigningKey;
 //! use hlf_crypto::sha256::Hash256;
 //! use hlf_fabric::block::Block;

@@ -5,7 +5,6 @@ use crate::chaincode::{Chaincode, ChaincodeError};
 use crate::envelope::{Envelope, Proposal, ProposalResponse};
 use crate::kvstore::{SimulationView, VersionedKv};
 use crate::types::{TxValidation, Version};
-use bytes::Bytes;
 use hlf_crypto::ecdsa::{SigningKey, VerifyingKey};
 use hlf_crypto::sha256::Hash256;
 use std::collections::{HashMap, HashSet};
@@ -217,10 +216,17 @@ impl Peer {
 
         let mut events = Vec::with_capacity(envelopes.len());
         for (index, raw) in envelopes.iter().enumerate() {
-            let validation = self.validate_tx(raw, number, index as u32);
-            let tx_id = Envelope::from_bytes(raw)
-                .map(|e| e.tx_id())
-                .unwrap_or(Hash256::ZERO);
+            // Decode once, as a view of the block's backing buffer: the
+            // envelope adopts `raw` as its canonical bytes, so the
+            // tx-id and signature checks below hash those bytes without
+            // re-encoding.
+            let (tx_id, validation) = match Envelope::from_shared(raw) {
+                Ok(envelope) => (
+                    envelope.tx_id(),
+                    self.validate_tx(&envelope, number, index as u32),
+                ),
+                Err(_) => (Hash256::ZERO, TxValidation::Malformed),
+            };
             events.push(CommitEvent {
                 block: number,
                 tx_id,
@@ -230,16 +236,12 @@ impl Peer {
         Ok(events)
     }
 
-    fn validate_tx(&mut self, raw: &Bytes, block: u64, tx_index: u32) -> TxValidation {
-        let Ok(envelope) = Envelope::from_bytes(raw) else {
-            return TxValidation::Malformed;
-        };
-        let tx_id = envelope.tx_id();
-        if !self.seen_tx.insert(tx_id) {
+    fn validate_tx(&mut self, envelope: &Envelope, block: u64, tx_index: u32) -> TxValidation {
+        if !self.seen_tx.insert(envelope.tx_id()) {
             return TxValidation::Duplicate;
         }
         // Client signature must verify against the registered key.
-        let Some(client_key) = self.client_keys.get(&envelope.proposal.client) else {
+        let Some(client_key) = self.client_keys.get(&envelope.proposal().client) else {
             return TxValidation::BadEndorsement;
         };
         if !envelope.verify_client(client_key) {
@@ -249,18 +251,18 @@ impl Peer {
         let policy = self
             .config
             .policies
-            .get(&envelope.proposal.chaincode)
+            .get(&envelope.proposal().chaincode)
             .cloned()
             .unwrap_or(EndorsementPolicy::AnyN(1));
-        if !policy.satisfied(&envelope, &self.config.endorser_keys) {
+        if !policy.satisfied(envelope, &self.config.endorser_keys) {
             return TxValidation::BadEndorsement;
         }
         // MVCC: every read must still be current.
-        if !self.state.mvcc_ok(&envelope.rw_set) {
+        if !self.state.mvcc_ok(envelope.rw_set()) {
             return TxValidation::MvccConflict;
         }
         self.state
-            .apply(&envelope.rw_set, Version { block, tx: tx_index });
+            .apply(envelope.rw_set(), Version { block, tx: tx_index });
         TxValidation::Valid
     }
 }
@@ -269,7 +271,7 @@ impl Peer {
 mod tests {
     use super::*;
     use crate::chaincode::{AssetChaincode, KvChaincode};
-    use bytes::Bytes;
+    use hlf_wire::Bytes;
 
     struct Fixture {
         peers: Vec<Peer>,
@@ -366,7 +368,7 @@ mod tests {
         // Seed the key so both transactions read the same version.
         let seed = endorsed_envelope(&fx, proposal(1, &["put", "k", "0"]));
         let b1 = make_block(&fx, 1, Hash256::ZERO, vec![seed.to_bytes()]);
-        let prev = b1.header.hash();
+        let prev = b1.header_hash();
         for peer in fx.peers.iter_mut() {
             peer.validate_and_commit(b1.clone()).unwrap();
         }
@@ -497,7 +499,7 @@ mod tests {
         let e1 = endorsed_envelope(&fx, proposal(1, &["put", "a", "1"]));
         let e2 = endorsed_envelope(&fx, proposal(2, &["put", "b", "2"]));
         let b1 = make_block(&fx, 1, Hash256::ZERO, vec![e1.to_bytes()]);
-        let b2 = make_block(&fx, 2, b1.header.hash(), vec![e2.to_bytes()]);
+        let b2 = make_block(&fx, 2, b1.header_hash(), vec![e2.to_bytes()]);
         for peer in fx.peers.iter_mut() {
             peer.validate_and_commit(b1.clone()).unwrap();
             peer.validate_and_commit(b2.clone()).unwrap();

@@ -1,8 +1,8 @@
 //! Core value types: versions, read/write sets, transaction ids.
 
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use hlf_crypto::sha256::{sha256_concat, Hash256};
-use hlf_wire::{decode_seq, encode_seq, Decode, Encode, Reader, WireError};
+use hlf_wire::{decode_seq, encode_seq, seq_encoded_len, Decode, Encode, Reader, WireError};
 
 /// The version of a key in the world state: the position of the
 /// transaction that last wrote it (Fabric's MVCC version).
@@ -23,6 +23,10 @@ impl Encode for Version {
     fn encode(&self, out: &mut Vec<u8>) {
         self.block.encode(out);
         self.tx.encode(out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        8 + 4
     }
 }
 
@@ -49,6 +53,10 @@ impl Encode for ReadItem {
         self.key.encode(out);
         self.version.encode(out);
     }
+
+    fn encoded_len(&self) -> usize {
+        self.key.encoded_len() + self.version.encoded_len()
+    }
 }
 
 impl Decode for ReadItem {
@@ -73,6 +81,10 @@ impl Encode for WriteItem {
     fn encode(&self, out: &mut Vec<u8>) {
         self.key.encode(out);
         self.value.encode(out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.key.encoded_len() + self.value.encoded_len()
     }
 }
 
@@ -109,6 +121,10 @@ impl Encode for RwSet {
     fn encode(&self, out: &mut Vec<u8>) {
         encode_seq(&self.reads, out);
         encode_seq(&self.writes, out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        seq_encoded_len(&self.reads) + seq_encoded_len(&self.writes)
     }
 }
 

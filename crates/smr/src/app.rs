@@ -5,7 +5,7 @@
 //! application is the block generator (node thread + signing pool); the
 //! tests use simpler applications such as a replicated counter.
 
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use hlf_consensus::messages::Batch;
 use hlf_wire::ClientId;
 

@@ -9,11 +9,11 @@
 
 use crate::obs::ProxyObs;
 use crate::wire::SmrMsg;
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use hlf_consensus::messages::Request;
 use hlf_obs::Registry;
 use hlf_transport::{Endpoint, Network, PeerId, TransportError};
-use hlf_wire::{from_bytes, to_bytes, ClientId, NodeId};
+use hlf_wire::{from_bytes_shared, to_bytes, ClientId, NodeId};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::error::Error;
@@ -206,7 +206,7 @@ impl ServiceProxy {
             let wait = (deadline - now).min(next_retransmit - now);
             match self.endpoint.recv_timeout(wait) {
                 Ok((PeerId::Replica(id), raw)) => {
-                    let Ok(msg) = from_bytes::<SmrMsg>(&raw) else {
+                    let Ok(msg) = from_bytes_shared::<SmrMsg>(&raw) else {
                         continue;
                     };
                     let SmrMsg::Reply {
@@ -259,7 +259,8 @@ impl ServiceProxy {
             }
             match self.endpoint.recv_timeout(deadline - now) {
                 Ok((PeerId::Replica(id), raw)) => {
-                    let Ok(SmrMsg::Reply { seq, payload }) = from_bytes::<SmrMsg>(&raw) else {
+                    let Ok(SmrMsg::Reply { seq, payload }) = from_bytes_shared::<SmrMsg>(&raw)
+                    else {
                         continue;
                     };
                     if seq == 0 {
@@ -283,7 +284,7 @@ impl ServiceProxy {
         }
         while let Some((from, raw)) = self.endpoint.try_recv() {
             if let (PeerId::Replica(id), Ok(SmrMsg::Reply { seq: 0, payload })) =
-                (from, from_bytes::<SmrMsg>(&raw))
+                (from, from_bytes_shared::<SmrMsg>(&raw))
             {
                 return Some(Push {
                     from: NodeId(id),
@@ -298,6 +299,7 @@ impl ServiceProxy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hlf_wire::from_bytes;
 
     #[test]
     fn thresholds_match_paper() {

@@ -5,13 +5,13 @@ use crate::app::{Application, Dest};
 use crate::obs::NodeObs;
 use crate::storage::LogStore;
 use crate::wire::{LogEntry, SmrMsg};
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use hlf_consensus::messages::ConsensusMsg;
 use hlf_consensus::replica::{Action, Config as ConsensusConfig, Replica};
 use hlf_consensus::ReplicaObs;
 use hlf_obs::Registry;
 use hlf_transport::{Endpoint, Network, PeerId, SenderHandle};
-use hlf_wire::{from_bytes, to_bytes, ClientId, NodeId};
+use hlf_wire::{from_bytes_shared, to_pooled_bytes, BufferPool, ClientId, NodeId};
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -51,20 +51,29 @@ impl PushHandle {
     /// per-receiver cost here is what lets the in-process LAN benchmarks
     /// reproduce the paper's receiver-count scaling (Fig. 7).
     pub fn push_all(&self, payload: Bytes) {
+        let pool = self.sender.pool();
         let msg = SmrMsg::Reply { seq: 0, payload };
-        let bytes = to_bytes(&msg);
+        let bytes = to_pooled_bytes(&msg, pool);
         for client in self.clients.read().iter() {
-            let copy = Bytes::copy_from_slice(&bytes);
-            let _ = self.sender.send(PeerId::Client(client.0), copy);
+            // Each copy recycles through the hub pool once the receiver
+            // drops its last view, so steady-state pushes reuse a fixed
+            // working set of buffers.
+            let mut buf = pool.take(bytes.len());
+            buf.extend_from_slice(&bytes);
+            let _ = self.sender.send(PeerId::Client(client.0), pool.wrap(buf));
         }
     }
 
     /// Sends a reply to one client.
     pub fn send(&self, client: ClientId, seq: u64, payload: Bytes) {
         let msg = SmrMsg::Reply { seq, payload };
-        let _ = self
-            .sender
-            .send(PeerId::Client(client.0), Bytes::from(to_bytes(&msg)));
+        let bytes = to_pooled_bytes(&msg, self.sender.pool());
+        let _ = self.sender.send(PeerId::Client(client.0), bytes);
+    }
+
+    /// The transport hub's shared send-buffer pool.
+    pub fn pool(&self) -> &BufferPool {
+        self.sender.pool()
     }
 
     /// Number of currently connected clients.
@@ -367,8 +376,10 @@ impl NodeWorker {
         }
     }
 
-    fn on_transport(&mut self, from: PeerId, payload: &[u8]) {
-        let Ok(msg) = from_bytes::<SmrMsg>(payload) else {
+    fn on_transport(&mut self, from: PeerId, payload: &Bytes) {
+        // Decode as views into the transport buffer: the request/reply
+        // payload inside becomes a refcounted slice, not a fresh copy.
+        let Ok(msg) = from_bytes_shared::<SmrMsg>(payload) else {
             return;
         };
         let now = self.now_ms();
@@ -387,9 +398,8 @@ impl NodeWorker {
                             seq: *seq,
                             payload: payload.clone(),
                         };
-                        let _ = self
-                            .endpoint
-                            .send(PeerId::Client(cid), Bytes::from(to_bytes(&msg)));
+                        let bytes = to_pooled_bytes(&msg, self.endpoint.pool());
+                        let _ = self.endpoint.send(PeerId::Client(cid), bytes);
                         return;
                     }
                 }
@@ -425,7 +435,8 @@ impl NodeWorker {
             match action {
                 Action::Broadcast(msg) => self.broadcast_consensus(&msg),
                 Action::Send(to, msg) => {
-                    let bytes = Bytes::from(to_bytes(&SmrMsg::Consensus(msg)));
+                    let bytes =
+                        to_pooled_bytes(&SmrMsg::Consensus(msg), self.endpoint.pool());
                     let _ = self.endpoint.send(PeerId::Replica(to.0), bytes);
                 }
                 Action::DeliverTentative { cid, batch } => {
@@ -478,7 +489,7 @@ impl NodeWorker {
     }
 
     fn broadcast_consensus(&self, msg: &ConsensusMsg) {
-        let bytes = Bytes::from(to_bytes(&SmrMsg::Consensus(msg.clone())));
+        let bytes = to_pooled_bytes(&SmrMsg::Consensus(msg.clone()), self.endpoint.pool());
         let self_id = self.replica.node();
         for node in 0..self.consensus_n() {
             if node as u32 != self_id.0 {
@@ -507,7 +518,7 @@ impl NodeWorker {
                 seq: out.seq,
                 payload: out.payload,
             };
-            let bytes = Bytes::from(to_bytes(&msg));
+            let bytes = to_pooled_bytes(&msg, self.endpoint.pool());
             match out.dest {
                 Dest::Client(client) => {
                     let _ = self.endpoint.send(PeerId::Client(client.0), bytes);
@@ -541,7 +552,7 @@ impl NodeWorker {
         };
         let _ = self
             .endpoint
-            .send(PeerId::Replica(to.0), Bytes::from(to_bytes(&msg)));
+            .send(PeerId::Replica(to.0), to_pooled_bytes(&msg, self.endpoint.pool()));
     }
 
     fn start_transfer(&mut self, target_cid: u64) {
@@ -571,7 +582,7 @@ impl NodeWorker {
         }
         let from_cid = self.stats.last_cid() + 1;
         let msg = SmrMsg::StateRequest { from_cid };
-        let bytes = Bytes::from(to_bytes(&msg));
+        let bytes = to_pooled_bytes(&msg, self.endpoint.pool());
         let self_id = self.replica.node();
         for node in 0..self.consensus_n() {
             if node as u32 != self_id.0 {

@@ -7,7 +7,7 @@
 //! benchmarks) and a file-backed one (durability across restarts).
 
 use crate::wire::LogEntry;
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use hlf_consensus::messages::{Batch, DecisionProof};
 use hlf_wire::{from_bytes, to_bytes, Decode, Encode, Reader, WireError};
 use std::fs;

@@ -1,9 +1,9 @@
 //! Framing for everything that crosses the transport: client requests,
 //! replies/pushes, consensus traffic, and state transfer.
 
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use hlf_consensus::messages::{Batch, ConsensusMsg, DecisionProof, Request};
-use hlf_wire::{decode_seq, encode_seq, Decode, Encode, Reader, WireError};
+use hlf_wire::{decode_seq, encode_seq, seq_encoded_len, Decode, Encode, Reader, WireError};
 
 /// One recoverable log entry served during state transfer.
 #[derive(Clone, Debug, PartialEq)]
@@ -21,6 +21,10 @@ impl Encode for LogEntry {
         self.cid.encode(out);
         self.batch.encode(out);
         self.proof.encode(out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        8 + self.batch.encoded_len() + self.proof.encoded_len()
     }
 }
 
@@ -98,6 +102,20 @@ impl Encode for SmrMsg {
             SmrMsg::Subscribe => out.push(5),
         }
     }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            SmrMsg::Request(request) => request.encoded_len(),
+            SmrMsg::Reply { payload, .. } => 8 + payload.encoded_len(),
+            SmrMsg::Consensus(msg) => msg.encoded_len(),
+            SmrMsg::StateRequest { .. } => 8,
+            SmrMsg::StateReply {
+                checkpoint,
+                entries,
+            } => checkpoint.encoded_len() + seq_encoded_len(entries),
+            SmrMsg::Subscribe => 0,
+        }
+    }
 }
 
 impl Decode for SmrMsg {
@@ -159,7 +177,9 @@ mod tests {
             SmrMsg::Subscribe,
         ];
         for msg in messages {
-            assert_eq!(from_bytes::<SmrMsg>(&to_bytes(&msg)).unwrap(), msg);
+            let bytes = to_bytes(&msg);
+            assert_eq!(bytes.len(), msg.encoded_len());
+            assert_eq!(from_bytes::<SmrMsg>(&bytes).unwrap(), msg);
         }
     }
 

@@ -19,13 +19,13 @@
 //! let network = Network::new();
 //! let a = network.join(PeerId::replica(0));
 //! let b = network.join(PeerId::replica(1));
-//! a.send(PeerId::replica(1), bytes::Bytes::from_static(b"hello")).unwrap();
+//! a.send(PeerId::replica(1), hlf_wire::Bytes::from_static(b"hello")).unwrap();
 //! let (from, msg) = b.recv_timeout(Duration::from_secs(1)).unwrap();
 //! assert_eq!(from, PeerId::replica(0));
 //! assert_eq!(&msg[..], b"hello");
 //! ```
 
-use bytes::Bytes;
+use hlf_wire::{BufferPool, Bytes};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use hlf_crypto::hmac::hmac_sha256_multi;
 use parking_lot::{Mutex, RwLock};
@@ -168,6 +168,11 @@ impl FaultState {
 struct Hub {
     peers: RwLock<HashMap<PeerId, Sender<(PeerId, Bytes)>>>,
     faults: Mutex<FaultState>,
+    /// Free-list of send buffers shared by every endpoint on this hub.
+    /// Buffers wrapped through it return to the list when the last
+    /// [`Bytes`] view of a message drops, so steady-state traffic
+    /// recycles a small working set instead of allocating per message.
+    pool: BufferPool,
 }
 
 /// The in-process network hub endpoints attach to.
@@ -197,6 +202,7 @@ impl Network {
             hub: Arc::new(Hub {
                 peers: RwLock::new(HashMap::new()),
                 faults: Mutex::new(FaultState::default()),
+                pool: BufferPool::default(),
             }),
         }
     }
@@ -261,6 +267,11 @@ impl Network {
     pub fn peers(&self) -> Vec<PeerId> {
         self.hub.peers.read().keys().copied().collect()
     }
+
+    /// The hub-wide send-buffer pool.
+    pub fn pool(&self) -> &BufferPool {
+        &self.hub.pool
+    }
 }
 
 /// One participant's handle on the network.
@@ -301,6 +312,11 @@ impl SenderHandle {
         self.id
     }
 
+    /// The hub-wide send-buffer pool (see [`Endpoint::pool`]).
+    pub fn pool(&self) -> &BufferPool {
+        &self.hub.pool
+    }
+
     /// Sends `payload` to `to` (same semantics as [`Endpoint::send`]).
     ///
     /// # Errors
@@ -326,6 +342,13 @@ impl Endpoint {
     /// This endpoint's identity.
     pub fn id(&self) -> PeerId {
         self.id
+    }
+
+    /// The hub-wide send-buffer pool. Encode outgoing messages through
+    /// it (e.g. [`hlf_wire::to_pooled_bytes`]) so their buffers recycle
+    /// once delivered.
+    pub fn pool(&self) -> &BufferPool {
+        &self.hub.pool
     }
 
     /// A cloneable send-only handle for worker threads.
@@ -459,6 +482,16 @@ impl Authenticator {
         Bytes::from(out)
     }
 
+    /// Like [`seal`](Authenticator::seal), but takes the output buffer
+    /// from `pool` so it recycles when the sealed message is dropped.
+    pub fn seal_with(&self, payload: &[u8], pool: &BufferPool) -> Bytes {
+        let tag = hmac_sha256_multi(&self.key, &[payload]);
+        let mut out = pool.take(32 + payload.len());
+        out.extend_from_slice(tag.as_bytes());
+        out.extend_from_slice(payload);
+        pool.wrap(out)
+    }
+
     /// Verifies and strips the tag.
     ///
     /// # Errors
@@ -482,6 +515,29 @@ impl Authenticator {
             None
         }
     }
+
+    /// Verifies the tag and returns the payload as a zero-copy view of
+    /// `sealed` (no allocation on the receive path).
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if the message is too short or the tag does not
+    /// verify.
+    pub fn open_shared(&self, sealed: &Bytes) -> Option<Bytes> {
+        if sealed.len() < 32 {
+            return None;
+        }
+        let expected = hmac_sha256_multi(&self.key, &[&sealed[32..]]);
+        let mut diff = 0u8;
+        for (a, b) in sealed[..32].iter().zip(expected.as_bytes()) {
+            diff |= a ^ b;
+        }
+        if diff == 0 {
+            Some(sealed.slice(32..))
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -494,6 +550,45 @@ mod tests {
         let a = network.join(PeerId::replica(0));
         let b = network.join(PeerId::replica(1));
         (network, a, b)
+    }
+
+    #[test]
+    fn pooled_send_buffers_recycle_through_the_hub() {
+        let (network, a, b) = pair();
+        let pool = a.pool();
+        assert_eq!(network.pool().stats().recycled, 0);
+        let mut buf = pool.take(64);
+        buf.extend_from_slice(b"pooled payload");
+        a.send(b.id(), pool.wrap(buf)).unwrap();
+        let (_, received) = b.recv().unwrap();
+        assert_eq!(received.as_ref(), b"pooled payload");
+        drop(received);
+        // The last view just dropped: the buffer is back on the free
+        // list and the next take reuses it.
+        assert_eq!(a.pool().stats().recycled, 1);
+        let again = b.sender().pool().take(16);
+        assert!(again.capacity() >= 64);
+        assert_eq!(network.pool().stats().hits, 1);
+    }
+
+    #[test]
+    fn seal_with_and_open_shared_roundtrip_without_copying() {
+        let auth = Authenticator::for_link(b"secret", PeerId::replica(0), PeerId::replica(1));
+        let pool = hlf_wire::BufferPool::default();
+        let sealed = auth.seal_with(b"payload", &pool);
+        assert_eq!(sealed.len(), 32 + 7);
+        let opened = auth.open_shared(&sealed).unwrap();
+        assert_eq!(opened.as_ref(), b"payload");
+        assert!(opened.shares_storage_with(&sealed.slice(32..)));
+        // Tampering still rejected.
+        let mut bad = sealed.to_vec();
+        bad[0] ^= 1;
+        assert!(auth.open_shared(&Bytes::from(bad)).is_none());
+        assert!(auth.open_shared(&Bytes::from_static(b"short")).is_none());
+        // Both buffers dropped -> the seal buffer recycles.
+        drop(sealed);
+        drop(opened);
+        assert_eq!(pool.stats().recycled, 1);
     }
 
     #[test]

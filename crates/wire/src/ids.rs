@@ -40,6 +40,10 @@ impl Encode for NodeId {
     fn encode(&self, out: &mut Vec<u8>) {
         self.0.encode(out);
     }
+
+    fn encoded_len(&self) -> usize {
+        4
+    }
 }
 
 impl Decode for NodeId {
@@ -77,6 +81,10 @@ impl From<u32> for ClientId {
 impl Encode for ClientId {
     fn encode(&self, out: &mut Vec<u8>) {
         self.0.encode(out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        4
     }
 }
 

@@ -42,8 +42,10 @@
 //! # }
 //! ```
 
+pub mod bytes;
 pub mod ids;
 
+pub use bytes::{BufferPool, Bytes, PoolStats};
 pub use ids::{ClientId, NodeId};
 
 use hlf_crypto::ecdsa::Signature;
@@ -90,17 +92,41 @@ impl Error for WireError {}
 pub struct Reader<'a> {
     input: &'a [u8],
     pos: usize,
+    /// When decoding out of a shared buffer, the buffer itself, so that
+    /// byte-string fields can be taken as zero-copy views of it.
+    /// Invariant: `input == backing.as_slice()`.
+    backing: Option<&'a Bytes>,
 }
 
 impl<'a> Reader<'a> {
     /// Creates a reader over `input`.
     pub fn new(input: &'a [u8]) -> Reader<'a> {
-        Reader { input, pos: 0 }
+        Reader { input, pos: 0, backing: None }
+    }
+
+    /// Creates a reader over a shared buffer. Byte-string fields decode
+    /// as zero-copy views ([`Bytes::slice`]) of `bytes` instead of
+    /// fresh allocations.
+    pub fn for_shared(bytes: &'a Bytes) -> Reader<'a> {
+        Reader { input: bytes.as_slice(), pos: 0, backing: Some(bytes) }
     }
 
     /// Bytes not yet consumed.
     pub fn remaining(&self) -> usize {
         self.input.len() - self.pos
+    }
+
+    /// Current read offset from the start of the input.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// A zero-copy view of `input[start..end]`, available when the
+    /// reader was built with [`Reader::for_shared`]. Lets composite
+    /// decoders adopt the canonical bytes they just consumed as an
+    /// encode-once cache.
+    pub fn shared_view(&self, start: usize, end: usize) -> Option<Bytes> {
+        self.backing.map(|b| b.slice(start..end))
     }
 
     /// Takes `n` raw bytes.
@@ -120,12 +146,43 @@ impl<'a> Reader<'a> {
     fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
         Ok(self.take(N)?.try_into().expect("take returned N bytes"))
     }
+
+    /// Takes `n` bytes as a [`Bytes`] value: a zero-copy view when the
+    /// reader was built with [`Reader::for_shared`], a copy otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEof`] if fewer than `n` bytes remain.
+    pub fn take_view(&mut self, n: usize) -> Result<Bytes, WireError> {
+        match self.backing {
+            Some(backing) => {
+                if self.remaining() < n {
+                    return Err(WireError::UnexpectedEof);
+                }
+                let view = backing.slice(self.pos..self.pos + n);
+                self.pos += n;
+                Ok(view)
+            }
+            None => Ok(Bytes::copy_from_slice(self.take(n)?)),
+        }
+    }
 }
 
 /// Serializes a value into a canonical byte string.
 pub trait Encode {
     /// Appends the encoding of `self` to `out`.
     fn encode(&self, out: &mut Vec<u8>);
+
+    /// Exact length in bytes of [`Encode::encode`]'s output, so callers
+    /// can preallocate once.
+    ///
+    /// The default does a scratch encode; implementations should
+    /// override it with an O(1) (or at worst single-pass) computation.
+    fn encoded_len(&self) -> usize {
+        let mut scratch = Vec::new();
+        self.encode(&mut scratch);
+        scratch.len()
+    }
 }
 
 /// Deserializes a value from its canonical byte string.
@@ -138,11 +195,24 @@ pub trait Decode: Sized {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError>;
 }
 
-/// Encodes a value to a fresh buffer.
+/// Encodes a value to a fresh buffer, preallocated to the exact size in
+/// one shot via [`Encode::encoded_len`].
 pub fn to_bytes<T: Encode + ?Sized>(value: &T) -> Vec<u8> {
-    let mut out = Vec::new();
+    let expected = value.encoded_len();
+    let mut out = Vec::with_capacity(expected);
     value.encode(&mut out);
+    debug_assert_eq!(out.len(), expected, "encoded_len disagrees with encode output");
     out
+}
+
+/// Encodes a value into a pool-recycled buffer (see [`BufferPool`]).
+///
+/// The returned [`Bytes`] gives the buffer back to `pool` when its last
+/// clone drops, so steady-state encode paths stop allocating.
+pub fn to_pooled_bytes<T: Encode + ?Sized>(value: &T, pool: &BufferPool) -> Bytes {
+    let mut out = pool.take(value.encoded_len());
+    value.encode(&mut out);
+    pool.wrap(out)
 }
 
 /// Decodes exactly one value, rejecting trailing bytes.
@@ -159,12 +229,32 @@ pub fn from_bytes<T: Decode>(bytes: &[u8]) -> Result<T, WireError> {
     Ok(value)
 }
 
+/// Decodes exactly one value out of a shared buffer, rejecting trailing
+/// bytes. Byte-string fields inside the value are zero-copy views of
+/// `bytes` rather than fresh allocations (see [`Reader::for_shared`]).
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on malformed or over-long input.
+pub fn from_bytes_shared<T: Decode>(bytes: &Bytes) -> Result<T, WireError> {
+    let mut r = Reader::for_shared(bytes);
+    let value = T::decode(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(WireError::TrailingBytes(r.remaining()));
+    }
+    Ok(value)
+}
+
 macro_rules! impl_int {
     ($($ty:ty),*) => {
         $(
             impl Encode for $ty {
                 fn encode(&self, out: &mut Vec<u8>) {
                     out.extend_from_slice(&self.to_le_bytes());
+                }
+
+                fn encoded_len(&self) -> usize {
+                    std::mem::size_of::<$ty>()
                 }
             }
             impl Decode for $ty {
@@ -182,6 +272,10 @@ impl Encode for bool {
     fn encode(&self, out: &mut Vec<u8>) {
         out.push(u8::from(*self));
     }
+
+    fn encoded_len(&self) -> usize {
+        1
+    }
 }
 
 impl Decode for bool {
@@ -197,6 +291,10 @@ impl Decode for bool {
 impl Encode for usize {
     fn encode(&self, out: &mut Vec<u8>) {
         (*self as u64).encode(out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        8
     }
 }
 
@@ -225,11 +323,19 @@ impl Encode for [u8] {
         encode_len(self.len(), out);
         out.extend_from_slice(self);
     }
+
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
+    }
 }
 
 impl Encode for Vec<u8> {
     fn encode(&self, out: &mut Vec<u8>) {
         self.as_slice().encode(out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
     }
 }
 
@@ -240,22 +346,32 @@ impl Decode for Vec<u8> {
     }
 }
 
-impl Encode for bytes::Bytes {
+impl Encode for Bytes {
     fn encode(&self, out: &mut Vec<u8>) {
-        self.as_ref().encode(out);
+        self.as_slice().encode(out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
     }
 }
 
-impl Decode for bytes::Bytes {
+impl Decode for Bytes {
+    /// Decodes a length-prefixed byte string. Zero-copy (a shared view
+    /// of the input buffer) when decoding via [`Reader::for_shared`].
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let len = decode_len(r)?;
-        Ok(bytes::Bytes::copy_from_slice(r.take(len)?))
+        r.take_view(len)
     }
 }
 
 impl Encode for String {
     fn encode(&self, out: &mut Vec<u8>) {
         self.as_bytes().encode(out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
     }
 }
 
@@ -274,6 +390,13 @@ impl<T: Encode> Encode for Option<T> {
                 out.push(1);
                 v.encode(out);
             }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            None => 1,
+            Some(v) => 1 + v.encoded_len(),
         }
     }
 }
@@ -299,6 +422,22 @@ pub fn encode_seq<T: Encode>(items: &[T], out: &mut Vec<u8>) {
     }
 }
 
+/// Exact length of [`encode_seq`]'s output for `items`.
+pub fn seq_encoded_len<T: Encode>(items: &[T]) -> usize {
+    4 + items.iter().map(Encode::encoded_len).sum::<usize>()
+}
+
+/// Splices an already-canonical encoding into an output buffer.
+///
+/// This is the scatter-gather escape hatch for composite encoders: when
+/// a field's canonical bytes are already at hand (e.g. memoized by an
+/// encode-once cache), append them verbatim instead of re-serializing
+/// the structured value. The caller asserts `canonical` is exactly what
+/// the field's `encode` would have produced.
+pub fn splice_canonical(canonical: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(canonical);
+}
+
 /// Decodes a length-prefixed sequence written by [`encode_seq`].
 ///
 /// # Errors
@@ -322,6 +461,10 @@ impl<A: Encode, B: Encode> Encode for (A, B) {
         self.0.encode(out);
         self.1.encode(out);
     }
+
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len() + self.1.encoded_len()
+    }
 }
 
 impl<A: Decode, B: Decode> Decode for (A, B) {
@@ -334,6 +477,10 @@ impl Encode for Hash256 {
     fn encode(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(self.as_bytes());
     }
+
+    fn encoded_len(&self) -> usize {
+        32
+    }
 }
 
 impl Decode for Hash256 {
@@ -345,6 +492,10 @@ impl Decode for Hash256 {
 impl Encode for Signature {
     fn encode(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.to_bytes());
+    }
+
+    fn encoded_len(&self) -> usize {
+        64
     }
 }
 
@@ -464,10 +615,70 @@ mod tests {
 
     #[test]
     fn tuple_and_bytes_type() {
-        let pair = (7u64, bytes::Bytes::from_static(b"abc"));
+        let pair = (7u64, Bytes::from_static(b"abc"));
         let encoded = to_bytes(&pair);
-        let decoded: (u64, bytes::Bytes) = from_bytes(&encoded).unwrap();
+        let decoded: (u64, Bytes) = from_bytes(&encoded).unwrap();
         assert_eq!(decoded, pair);
+    }
+
+    #[test]
+    fn shared_decode_is_zero_copy() {
+        let pair = (7u64, Bytes::from_static(b"payload bytes"));
+        let encoded = Bytes::from(to_bytes(&pair));
+        let decoded: (u64, Bytes) = from_bytes_shared(&encoded).unwrap();
+        assert_eq!(decoded, pair);
+        // The decoded payload is a view of the input buffer, not a copy.
+        assert!(decoded.1.shares_storage_with(&encoded.slice(12..12 + 13)));
+    }
+
+    #[test]
+    fn shared_decode_rejects_truncation_and_bombs() {
+        // Truncated payload inside a shared buffer is EOF, not a panic.
+        let mut truncated = Vec::new();
+        8u32.encode(&mut truncated);
+        truncated.extend_from_slice(&[1, 2, 3]);
+        let shared = Bytes::from(truncated);
+        assert_eq!(from_bytes_shared::<Bytes>(&shared), Err(WireError::UnexpectedEof));
+
+        // A MAX_LEN-busting prefix is rejected before any view is taken.
+        let mut evil = Vec::new();
+        (MAX_LEN + 1).encode(&mut evil);
+        let shared = Bytes::from(evil);
+        assert_eq!(
+            from_bytes_shared::<Bytes>(&shared),
+            Err(WireError::LengthOverflow(MAX_LEN + 1))
+        );
+    }
+
+    #[test]
+    fn encoded_len_matches_encode_for_builtins() {
+        assert_eq!((&7u8).encoded_len(), to_bytes(&7u8).len());
+        assert_eq!((&7u64).encoded_len(), to_bytes(&7u64).len());
+        assert_eq!(true.encoded_len(), 1);
+        let v = vec![1u8, 2, 3];
+        assert_eq!(v.encoded_len(), to_bytes(&v).len());
+        let s = "channel".to_string();
+        assert_eq!(s.encoded_len(), to_bytes(&s).len());
+        let opt = Some(9u64);
+        assert_eq!(opt.encoded_len(), to_bytes(&opt).len());
+        let b = Bytes::from_static(b"xyz");
+        assert_eq!(b.encoded_len(), to_bytes(&b).len());
+        let items = vec![1u64, 2, 3];
+        let mut out = Vec::new();
+        encode_seq(&items, &mut out);
+        assert_eq!(seq_encoded_len(&items), out.len());
+    }
+
+    #[test]
+    fn pooled_encode_recycles_buffers() {
+        let pool = BufferPool::new(8, 1 << 20);
+        let value = (42u64, Bytes::from_static(b"pooled"));
+        let first = to_pooled_bytes(&value, &pool);
+        assert_eq!(from_bytes_shared::<(u64, Bytes)>(&first).unwrap(), value);
+        drop(first);
+        assert_eq!(pool.idle(), 1);
+        let _second = to_pooled_bytes(&value, &pool);
+        assert_eq!(pool.stats().hits, 1);
     }
 
     #[test]
@@ -511,6 +722,76 @@ mod tests {
                 let ab = to_bytes(&(a, b));
                 let cd = to_bytes(&(c, d));
                 prop_assert_eq!(ab == cd, (a, b) == (c, d));
+            }
+
+            #[test]
+            fn bytes_view_roundtrip_at_arbitrary_offsets(
+                prefix in proptest::collection::vec(any::<u8>(), 0..64),
+                payload in proptest::collection::vec(any::<u8>(), 0..1024),
+                suffix in proptest::collection::vec(any::<u8>(), 0..64),
+            ) {
+                // Embed an encoded value at an arbitrary offset of a larger
+                // shared buffer and decode out of a sliced view of it.
+                let mut full = prefix.clone();
+                full.extend_from_slice(&to_bytes(&payload));
+                full.extend_from_slice(&suffix);
+                let shared = Bytes::from(full);
+                let view = shared.slice(prefix.len()..shared.len() - suffix.len());
+                let decoded = from_bytes_shared::<Bytes>(&view).unwrap();
+                prop_assert_eq!(decoded.as_slice(), payload.as_slice());
+                // Zero-copy: non-empty payloads share the outer buffer.
+                if !payload.is_empty() {
+                    let expect_off = prefix.len() + 4;
+                    prop_assert!(decoded
+                        .shares_storage_with(&shared.slice(expect_off..expect_off + payload.len())));
+                }
+            }
+
+            #[test]
+            fn arbitrary_splits_view_the_same_bytes(
+                data in proptest::collection::vec(any::<u8>(), 1..512),
+                a_raw in any::<u16>(),
+                b_raw in any::<u16>(),
+            ) {
+                let shared = Bytes::from(data.clone());
+                let (mut a, mut b) = (a_raw as usize % data.len(), b_raw as usize % data.len());
+                if a > b {
+                    std::mem::swap(&mut a, &mut b);
+                }
+                prop_assert_eq!(shared.slice(a..b).as_slice(), &data[a..b]);
+                // Re-slicing a view composes offsets correctly.
+                let outer = shared.slice(a..);
+                prop_assert_eq!(outer.slice(..b - a).as_slice(), &data[a..b]);
+            }
+
+            #[test]
+            fn truncated_views_are_rejected_not_panicked(
+                payload in proptest::collection::vec(any::<u8>(), 0..512),
+                cut_raw in any::<u16>(),
+            ) {
+                let encoded = to_bytes(&payload);
+                let shared = Bytes::from(encoded);
+                let cut = cut_raw as usize % shared.len();
+                let truncated = shared.slice(..cut);
+                prop_assert!(from_bytes_shared::<Bytes>(&truncated).is_err());
+            }
+
+            #[test]
+            fn length_bombs_rejected_on_sliced_buffers(
+                prefix in proptest::collection::vec(any::<u8>(), 0..32),
+                excess in any::<u32>(),
+            ) {
+                // A length prefix beyond MAX_LEN inside a sliced shared
+                // buffer is rejected before allocating or taking a view.
+                let bomb_len = MAX_LEN.saturating_add(excess.max(1));
+                let mut full = prefix.clone();
+                bomb_len.encode(&mut full);
+                let shared = Bytes::from(full);
+                let view = shared.slice(prefix.len()..);
+                prop_assert_eq!(
+                    from_bytes_shared::<Bytes>(&view),
+                    Err(WireError::LengthOverflow(bomb_len))
+                );
             }
         }
     }

@@ -8,7 +8,7 @@
 //! cargo run --release --example asset_transfer
 //! ```
 
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use hlf_bft::crypto::ecdsa::SigningKey;
 use hlf_bft::fabric::{
     AssetChaincode, EndorsementPolicy, Envelope, Peer, PeerConfig, Proposal,

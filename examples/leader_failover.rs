@@ -6,7 +6,7 @@
 //! cargo run --release --example leader_failover
 //! ```
 
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use hlf_bft::ordering::service::{OrderingService, ServiceOptions};
 use std::time::{Duration, Instant};
 

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use hlf_bft::ordering::service::{OrderingService, ServiceOptions};
 use std::time::Duration;
 

@@ -1,0 +1,89 @@
+//! Allocation-count regression guard for the zero-copy message path.
+//!
+//! Orders a batch end-to-end through an in-process cluster and asserts
+//! the whole pipeline stays under an allocations-per-envelope budget.
+//! The pre-zero-copy pipeline spent ~42 allocations per ordered
+//! envelope on this workload; the pooled/shared-buffer path spends
+//! ~16 (see `BENCH_wire.json`). The budget sits between the two with
+//! headroom for allocator-placement noise, so a change that reverts
+//! the pipeline to copy-per-hop fails this test while honest drift
+//! does not.
+
+use ordering_core::service::{OrderingService, ServiceOptions};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const BUDGET_PER_ENVELOPE: f64 = 30.0;
+
+fn payload(i: usize) -> Vec<u8> {
+    let mut body = vec![0u8; 200];
+    body[..8].copy_from_slice(&(i as u64).to_le_bytes());
+    body
+}
+
+#[test]
+fn ordered_envelope_allocations_stay_under_budget() {
+    let mut service = OrderingService::start(
+        4,
+        ServiceOptions::new(1)
+            .with_block_size(50)
+            .with_signing_threads(1)
+            .with_request_timeout_ms(60_000),
+    );
+    let mut frontend = service.frontend();
+    let timeout = Duration::from_secs(30);
+
+    // Warm-up batch primes the buffer pool, reply caches, and the
+    // signing pool so the measurement sees the steady state.
+    let warm: Vec<_> = (0..100).map(|i| payload(i).into()).collect();
+    let blocks = OrderingService::order_all(&mut frontend, warm, timeout);
+    assert!(!blocks.is_empty(), "warm-up ordered no blocks");
+
+    const MEASURED: usize = 200;
+    let batch: Vec<_> = (0..MEASURED).map(|i| payload(1000 + i).into()).collect();
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let blocks = OrderingService::order_all(&mut frontend, batch, timeout);
+    let after = ALLOCS.load(Ordering::SeqCst);
+    let ordered: usize = blocks.iter().map(|b| b.envelopes.len()).sum();
+    assert!(
+        ordered >= MEASURED,
+        "ordered only {ordered} of {MEASURED} envelopes"
+    );
+    service.shutdown();
+
+    let per_envelope = (after - before) as f64 / ordered as f64;
+    assert!(
+        per_envelope < BUDGET_PER_ENVELOPE,
+        "allocation regression: {per_envelope:.1} allocs per ordered envelope \
+         (budget {BUDGET_PER_ENVELOPE})"
+    );
+}

@@ -1,7 +1,7 @@
 //! Randomized consensus safety sweeps and Byzantine-behaviour tests,
 //! driven through the deterministic cluster harness.
 
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use hlf_bft::consensus::messages::{Batch, ConsensusMsg, Request, Vote, VotePhase};
 use hlf_bft::consensus::testing::{test_keys, Cluster};
 use hlf_bft::wire::{ClientId, NodeId};

@@ -4,7 +4,7 @@
 //! complete six-step protocol of paper §3 with the BFT ordering service
 //! of §5 in the middle.
 
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use hlf_bft::crypto::ecdsa::SigningKey;
 use hlf_bft::fabric::{
     AssetChaincode, Envelope, EndorsementPolicy, KvChaincode, Peer, PeerConfig, Proposal,

@@ -2,7 +2,7 @@
 //! orderers, leader failover mid-stream, message loss, and the WHEAT
 //! configuration end to end.
 
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use hlf_bft::ordering::service::{OrderingService, ServiceOptions};
 use hlf_bft::transport::PeerId;
 use std::time::Duration;

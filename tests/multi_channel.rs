@@ -3,7 +3,7 @@
 //! one independent hash chain per channel, all totally ordered by a
 //! single consensus instance stream.
 
-use bytes::Bytes;
+use hlf_wire::Bytes;
 use hlf_bft::fabric::block::SYSTEM_CHANNEL;
 use hlf_bft::ordering::service::{OrderingService, ServiceOptions};
 use std::collections::HashMap;
@@ -88,7 +88,7 @@ fn per_channel_delivery_api() {
         .next_block_on("only-this", Duration::from_secs(20))
         .expect("block 2");
     assert_eq!(b1.header.channel, "only-this");
-    assert_eq!(b2.header.prev_hash, b1.header.hash());
+    assert_eq!(b2.header.prev_hash, b1.header_hash());
     service.shutdown();
 }
 
