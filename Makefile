@@ -1,6 +1,6 @@
 # Convenience targets for the hlf-bft reproduction.
 
-.PHONY: build test lint figures bench bench-crypto bench-wire obs-report clean-results
+.PHONY: build test lint lint-println figures bench bench-crypto bench-wire obs-report trace-report clean-results
 
 build:
 	cargo build --workspace --release
@@ -8,8 +8,22 @@ build:
 test:
 	cargo test --workspace 2>&1 | tee test_output.txt
 
-lint:
+lint: lint-println
 	cargo clippy --workspace --all-targets -- -D warnings
+
+# Library crates must log through hlf-obs (log!/trace! or metrics), not
+# stdout: a stray println! in a replica hot path is both a perf bug and
+# invisible to the collectors. Bench bins and tests may print freely.
+lint-println:
+	@bad=$$(grep -rn --include='*.rs' 'println!' crates/*/src src \
+		| grep -v 'crates/bench/src' \
+		| grep -v 'eprintln!' \
+		| grep -v ':[0-9]*: *//' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "$$bad"; \
+		echo 'stray println! in library crate (log through hlf-obs)'; \
+		exit 1; \
+	fi
 
 # Regenerate every figure/table of the paper's evaluation.
 figures:
@@ -43,6 +57,14 @@ bench-wire:
 # traffic, print every obs registry and write BENCH_obs.json.
 obs-report:
 	cargo run --release -p bench --bin obs_report
+
+# Traced 4-replica geo sim (f=1, one slowed replica): merges flight
+# dumps into per-transaction timelines, prints the phase-attribution
+# table, checks the straggler detector flagged the slow replica,
+# measures the HLF_TRACE on/off overhead, and writes BENCH_trace.json
+# (overhead delta lands in BENCH_obs.json).
+trace-report:
+	cargo run --release -p bench --bin trace_report
 
 clean-results:
 	rm -f results_*.txt test_output.txt bench_output.txt bench_crypto_output.txt

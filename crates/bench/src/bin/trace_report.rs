@@ -1,0 +1,474 @@
+//! **Trace report**: merges per-node flight-recorder dumps from a
+//! traced 4-replica geo run (f = 1, one deliberately slowed replica)
+//! into causal per-transaction timelines, prints a phase-attribution
+//! table (frontend relay, WRITE quorum, ACCEPT, sign, collect), checks
+//! the slow replica was flagged by the straggler detector, and writes
+//! everything to `BENCH_trace.json`.
+//!
+//! It also measures the tracing overhead on the real threaded service:
+//! the binary re-executes itself twice as a throughput probe — once
+//! with `HLF_TRACE` unset, once set — and records the on/off delta
+//! into `BENCH_obs.json` as a synthetic `trace_overhead` registry
+//! (`HLF_TRACE` is latched process-wide on first read, so A/B needs
+//! two processes).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin trace_report              # writes BENCH_trace.json
+//! cargo run --release -p bench --bin trace_report -- out.json  # custom path
+//! ```
+
+use hlf_obs::flight::EventKind;
+use hlf_obs::{FlightDump, MetricSnapshot, MetricValue, Snapshot};
+use hlf_simnet::SimTime;
+use hlf_wire::Bytes;
+use ordering_core::service::{OrderingService, ServiceOptions};
+use ordering_core::sim::{run_geo_experiment, GeoConfig, Protocol};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Replica slowed in the sim (São Paulo; not the leader).
+const SLOW_NODE: usize = 3;
+/// Extra one-way delay on every link touching the slow replica.
+const SLOW_EXTRA_MS: u64 = 250;
+
+/// One fully-attributed transaction timeline (all times are virtual
+/// microseconds since sim start).
+struct Timeline {
+    trace: u64,
+    client: u32,
+    seq: u64,
+    cid: u64,
+    block: u64,
+    submit_us: u64,
+    deliver_us: u64,
+    /// relay, write, accept, sign, collect — in order.
+    phases: [u64; 5],
+}
+
+const PHASE_NAMES: [&str; 5] = ["relay", "write", "accept", "sign", "collect"];
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    if let Some(first) = args.next() {
+        if first == "--throughput-probe" {
+            throughput_probe();
+            return;
+        }
+        run_report(&first);
+        return;
+    }
+    run_report("BENCH_trace.json");
+}
+
+fn run_report(out_path: &str) {
+    println!("# trace_report: 4-replica BFT-SMaRt geo sim, f=1");
+    println!(
+        "# replica {SLOW_NODE} slowed by {SLOW_EXTRA_MS} ms per link; tracing + health on\n"
+    );
+
+    let mut config = GeoConfig::new(Protocol::BftSmart)
+        .with_obs()
+        .with_trace()
+        .with_slow_replica(SLOW_NODE, SimTime::from_millis(SLOW_EXTRA_MS));
+    config.duration = SimTime::from_secs(10);
+    config.warmup = SimTime::from_secs(2);
+    config.rate_per_frontend = 100.0;
+    let result = run_geo_experiment(&config);
+    let dumps = result.flights.as_deref().expect("trace requested");
+    let obs = result.obs.as_deref().expect("obs requested");
+
+    // Satellite self-check: the dump JSON is byte-stable
+    // (emit → parse → re-emit identical).
+    let json1 = hlf_obs::dumps_to_json(dumps);
+    let reparsed = hlf_obs::dumps_from_json(&json1).expect("own dump JSON parses");
+    assert_eq!(
+        json1,
+        hlf_obs::dumps_to_json(&reparsed),
+        "flight dump JSON must re-emit byte-identically"
+    );
+    println!(
+        "flight dumps: {} recorders, {} events total (JSON round-trip stable)",
+        dumps.len(),
+        dumps.iter().map(|d| d.events.len()).sum::<usize>()
+    );
+
+    let timelines = merge_timelines(dumps);
+    assert!(
+        timelines.len() > 1000,
+        "too few complete timelines: {}",
+        timelines.len()
+    );
+
+    // Acceptance: phase attribution sums to within 5% of measured e2e.
+    let mut worst_rel = 0f64;
+    for t in &timelines {
+        let e2e = (t.deliver_us - t.submit_us) as f64;
+        let sum: u64 = t.phases.iter().sum();
+        let rel = (sum as f64 - e2e).abs() / e2e;
+        worst_rel = worst_rel.max(rel);
+        assert!(
+            rel <= 0.05,
+            "trace {:#x}: phases sum {} vs e2e {} ({}%)",
+            t.trace,
+            sum,
+            e2e,
+            rel * 100.0
+        );
+    }
+    println!(
+        "{} complete timelines; worst |phase sum - e2e| = {:.3}% (limit 5%)\n",
+        timelines.len(),
+        worst_rel * 100.0
+    );
+
+    print_phase_table(&timelines);
+    print_sample_timeline(&timelines);
+
+    // Acceptance: the slow replica is flagged by the health detector on
+    // at least one other replica (every replica measures its own peers;
+    // the slow node never suspects itself).
+    let mut suspected_by = Vec::new();
+    for (i, snap) in obs.iter().enumerate() {
+        if i == SLOW_NODE {
+            continue;
+        }
+        let lag = snap
+            .gauge_value(&format!("consensus.health.peer_lag_us.{SLOW_NODE}"))
+            .unwrap_or(0);
+        let suspected = snap
+            .gauge_value("consensus.health.suspected_peers")
+            .unwrap_or(0);
+        println!(
+            "node {i}: peer_lag_us.{SLOW_NODE} = {lag} µs, suspected_peers = {suspected}"
+        );
+        if suspected > 0 {
+            suspected_by.push(i);
+        }
+    }
+    let suspect_events: usize = dumps
+        .iter()
+        .flat_map(|d| &d.events)
+        .filter(|e| e.kind == EventKind::Suspect && e.a == SLOW_NODE as u64)
+        .count();
+    assert!(
+        !suspected_by.is_empty(),
+        "slow replica {SLOW_NODE} was not suspected by any peer"
+    );
+    assert!(
+        suspect_events > 0,
+        "no Suspect flight events name replica {SLOW_NODE}"
+    );
+    println!(
+        "replica {SLOW_NODE} suspected by nodes {suspected_by:?} ({suspect_events} suspect events)\n"
+    );
+
+    // Satellite: tracing overhead A/B on the threaded service, recorded
+    // into BENCH_obs.json.
+    let overhead = measure_overhead();
+
+    let json = report_json(&config, &timelines, &suspected_by, suspect_events, overhead);
+    match std::fs::write(out_path, &json) {
+        Ok(()) => println!("wrote {} timelines to {out_path}", timelines.len()),
+        Err(error) => {
+            eprintln!("failed to write {out_path}: {error}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Joins the per-recorder dumps into complete per-transaction
+/// timelines. Only the leader's (`geo-node-0`) consensus and signing
+/// events are used for attribution — phase boundaries are defined at
+/// the leader, and deltas of *adjacent* boundaries telescope so the
+/// phase sum equals deliver − submit exactly.
+fn merge_timelines(dumps: &[FlightDump]) -> Vec<Timeline> {
+    let mut tx_cid: HashMap<u64, u64> = HashMap::new();
+    let mut propose_us: HashMap<u64, u64> = HashMap::new();
+    let mut quorum_us: HashMap<u64, u64> = HashMap::new();
+    let mut decide_us: HashMap<u64, u64> = HashMap::new();
+    let mut sign_done_us: HashMap<u64, u64> = HashMap::new();
+    let mut submit_us: HashMap<u64, (u64, u32, u64)> = HashMap::new();
+    let mut deliver_us: HashMap<u64, (u64, u64)> = HashMap::new();
+
+    for dump in dumps {
+        if dump.node == "geo-node-0" {
+            for e in &dump.events {
+                match e.kind {
+                    EventKind::TxInBatch => {
+                        tx_cid.insert(e.a, e.b);
+                    }
+                    EventKind::Propose => {
+                        propose_us.insert(e.a, e.at_us);
+                    }
+                    EventKind::WriteQuorum => {
+                        quorum_us.insert(e.a, e.at_us);
+                    }
+                    EventKind::Decide => {
+                        decide_us.insert(e.a, e.at_us);
+                    }
+                    EventKind::SignDone => {
+                        sign_done_us.insert(e.a, e.at_us);
+                    }
+                    _ => {}
+                }
+            }
+        } else if dump.node.starts_with("geo-frontend-") {
+            for e in &dump.events {
+                match e.kind {
+                    EventKind::Submit => {
+                        submit_us.insert(e.a, (e.at_us, e.b as u32, e.c));
+                    }
+                    EventKind::Deliver => {
+                        deliver_us.insert(e.a, (e.at_us, e.b));
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    let mut timelines = Vec::new();
+    for (&trace, &(submitted, client, seq)) in &submit_us {
+        let Some(&(delivered, block)) = deliver_us.get(&trace) else {
+            continue; // still in flight at run end
+        };
+        let Some(&cid) = tx_cid.get(&trace) else {
+            continue; // evicted from the leader ring
+        };
+        let (Some(&p), Some(&w), Some(&d), Some(&s)) = (
+            propose_us.get(&cid),
+            quorum_us.get(&cid),
+            decide_us.get(&cid),
+            sign_done_us.get(&block),
+        ) else {
+            continue;
+        };
+        timelines.push(Timeline {
+            trace,
+            client,
+            seq,
+            cid,
+            block,
+            submit_us: submitted,
+            deliver_us: delivered,
+            phases: [
+                p.saturating_sub(submitted),
+                w.saturating_sub(p),
+                d.saturating_sub(w),
+                s.saturating_sub(d),
+                delivered.saturating_sub(s),
+            ],
+        });
+    }
+    timelines.sort_by_key(|t| (t.submit_us, t.trace));
+    timelines
+}
+
+fn print_phase_table(timelines: &[Timeline]) {
+    println!("phase attribution over {} transactions (ms):", timelines.len());
+    println!("  {:8} {:>9} {:>9} {:>9} {:>7}", "phase", "mean", "p50", "p90", "share");
+    let e2e_total: u64 = timelines
+        .iter()
+        .map(|t| t.deliver_us - t.submit_us)
+        .sum();
+    for (i, name) in PHASE_NAMES.iter().enumerate() {
+        let mut values: Vec<u64> = timelines.iter().map(|t| t.phases[i]).collect();
+        values.sort_unstable();
+        let total: u64 = values.iter().sum();
+        let mean = total as f64 / values.len() as f64 / 1000.0;
+        let p50 = values[values.len() / 2] as f64 / 1000.0;
+        let p90 = values[values.len() * 9 / 10] as f64 / 1000.0;
+        let share = total as f64 / e2e_total as f64 * 100.0;
+        println!("  {name:8} {mean:>9.2} {p50:>9.2} {p90:>9.2} {share:>6.1}%");
+    }
+    let mean_e2e = e2e_total as f64 / timelines.len() as f64 / 1000.0;
+    println!("  {:8} {:>9.2}\n", "e2e", mean_e2e);
+}
+
+fn print_sample_timeline(timelines: &[Timeline]) {
+    let Some(t) = timelines.get(timelines.len() / 2) else {
+        return;
+    };
+    println!(
+        "sample timeline (trace {:#x}, client {}, seq {}, cid {}, block {}):",
+        t.trace, t.client, t.seq, t.cid, t.block
+    );
+    let mut at = t.submit_us;
+    println!("  submit        @ {:>10} µs", at);
+    let labels = ["propose", "write quorum", "decide", "sign done", "deliver"];
+    for (label, delta) in labels.iter().zip(t.phases.iter()) {
+        at += delta;
+        println!("  {label:13} @ {at:>10} µs  (+{delta} µs)");
+    }
+    println!();
+}
+
+/// Re-executes this binary as `--throughput-probe` — without and with
+/// `HLF_TRACE`, three interleaved pairs, median of each (single runs
+/// swing ~±5% on a loaded box) — and folds the delta into
+/// `BENCH_obs.json`. Returns `(off_tps, on_tps)` when all probes ran.
+fn measure_overhead() -> Option<(f64, f64)> {
+    let exe = std::env::current_exe().ok()?;
+    let run = |trace: bool| -> Option<f64> {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("--throughput-probe").env_remove("HLF_TRACE");
+        if trace {
+            cmd.env("HLF_TRACE", "1");
+        }
+        let output = cmd.output().ok()?;
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        stdout
+            .lines()
+            .find_map(|l| l.strip_prefix("PROBE_TPS "))
+            .and_then(|v| v.trim().parse::<f64>().ok())
+    };
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    let mut offs = Vec::new();
+    let mut ons = Vec::new();
+    for _ in 0..3 {
+        offs.push(run(false)?);
+        ons.push(run(true)?);
+    }
+    let (off, on) = (median(offs), median(ons));
+    let delta_pct = (off - on) / off * 100.0;
+    println!(
+        "tracing overhead probe (median of 3): {off:.0} tx/s off, {on:.0} tx/s on ({delta_pct:+.2}% delta)"
+    );
+
+    // Record the delta as a synthetic registry in BENCH_obs.json
+    // (basis points, so the stable integer-gauge JSON keeps precision).
+    let mut registries = std::fs::read_to_string("BENCH_obs.json")
+        .ok()
+        .and_then(|s| hlf_obs::from_json_many(&s).ok())
+        .unwrap_or_default();
+    registries.retain(|s| s.registry != "trace_overhead");
+    registries.push(Snapshot {
+        registry: "trace_overhead".to_string(),
+        metrics: vec![
+            MetricSnapshot {
+                name: "bench.trace.delta_basis_points".to_string(),
+                value: MetricValue::Gauge((delta_pct * 100.0).round() as i64),
+            },
+            MetricSnapshot {
+                name: "bench.trace.off_tps".to_string(),
+                value: MetricValue::Gauge(off.round() as i64),
+            },
+            MetricSnapshot {
+                name: "bench.trace.on_tps".to_string(),
+                value: MetricValue::Gauge(on.round() as i64),
+            },
+        ],
+    });
+    match std::fs::write("BENCH_obs.json", hlf_obs::to_json_many(&registries)) {
+        Ok(()) => println!("recorded on/off delta in BENCH_obs.json\n"),
+        Err(error) => eprintln!("failed to update BENCH_obs.json: {error}\n"),
+    }
+    Some((off, on))
+}
+
+/// Probe mode: drive the real threaded 4-node service for ~1.5 s and
+/// print the delivered-envelope throughput. Whether traces ride along
+/// is decided by `HLF_TRACE` in the environment.
+fn throughput_probe() {
+    let options = ServiceOptions::new(1)
+        .with_block_size(10)
+        .with_signing_threads(4)
+        .with_tentative(true)
+        .with_request_timeout_ms(60_000);
+    let mut service = OrderingService::start(4, options);
+    let mut frontend = service.frontend();
+
+    let envelope = vec![0x5au8; 1024];
+    let deadline = Instant::now() + Duration::from_millis(1500);
+    let started = Instant::now();
+    let mut delivered = 0u64;
+    let mut in_flight = 0usize;
+    while Instant::now() < deadline {
+        while in_flight < 40 {
+            frontend.submit(Bytes::from(envelope.clone()));
+            in_flight += 1;
+        }
+        if let Some(block) = frontend.next_block(Duration::from_millis(100)) {
+            delivered += block.envelopes.len() as u64;
+            in_flight = in_flight.saturating_sub(block.envelopes.len());
+        }
+    }
+    let tps = delivered as f64 / started.elapsed().as_secs_f64();
+    println!("PROBE_TPS {tps:.1}");
+    service.shutdown();
+}
+
+/// Stable JSON emit for `BENCH_trace.json`: integers only, fixed key
+/// order, no whitespace — parse/re-emit is byte-identical.
+fn report_json(
+    config: &GeoConfig,
+    timelines: &[Timeline],
+    suspected_by: &[usize],
+    suspect_events: usize,
+    overhead: Option<(f64, f64)>,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"config\":{{\"protocol\":\"bftsmart\",\"n\":4,\"f\":1,\"slow_replica\":{SLOW_NODE},\
+\"slow_extra_ms\":{SLOW_EXTRA_MS},\"rate_per_frontend\":{},\"duration_s\":{},\"seed\":{}}}",
+        config.rate_per_frontend as u64,
+        config.duration.as_micros() / 1_000_000,
+        config.seed
+    ));
+    out.push_str(",\"phases\":[");
+    for (i, name) in PHASE_NAMES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let total: u64 = timelines.iter().map(|t| t.phases[i]).sum();
+        out.push_str(&format!(
+            "{{\"name\":\"{name}\",\"total_us\":{total},\"mean_us\":{}}}",
+            total / timelines.len() as u64
+        ));
+    }
+    out.push(']');
+    let suspected_list = suspected_by
+        .iter()
+        .map(|n| n.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    out.push_str(&format!(
+        ",\"suspicion\":{{\"slow_replica\":{SLOW_NODE},\"suspected_by\":[{suspected_list}],\
+\"suspect_events\":{suspect_events}}}"
+    ));
+    if let Some((off, on)) = overhead {
+        out.push_str(&format!(
+            ",\"overhead\":{{\"off_tps\":{},\"on_tps\":{}}}",
+            off.round() as i64,
+            on.round() as i64
+        ));
+    }
+    out.push_str(",\"transactions\":[");
+    for (i, t) in timelines.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"trace\":{},\"client\":{},\"seq\":{},\"cid\":{},\"block\":{},\
+\"submit_us\":{},\"deliver_us\":{},\"relay_us\":{},\"write_us\":{},\"accept_us\":{},\
+\"sign_us\":{},\"collect_us\":{}}}",
+            t.trace,
+            t.client,
+            t.seq,
+            t.cid,
+            t.block,
+            t.submit_us,
+            t.deliver_us,
+            t.phases[0],
+            t.phases[1],
+            t.phases[2],
+            t.phases[3],
+            t.phases[4]
+        ));
+    }
+    out.push_str("]}");
+    out
+}

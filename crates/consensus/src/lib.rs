@@ -36,7 +36,7 @@ pub mod sync;
 pub mod testing;
 
 pub use messages::{Batch, ConsensusMsg, DecisionProof, Request, StopData, Vote, VotePhase};
-pub use obs::ReplicaObs;
+pub use obs::{HealthObs, ReplicaObs};
 pub use quorum::{QuorumError, QuorumSystem};
 pub use replica::{Action, Config, Metrics, Replica};
 

@@ -65,6 +65,42 @@ impl ReplicaObs {
     }
 }
 
+/// Handles to the slow-replica health metrics fed by the replica's
+/// [`hlf_obs::StragglerDetector`]:
+///
+/// | name | kind | meaning |
+/// |------|------|---------|
+/// | `consensus.health.vote_lag_us`      | histogram | per-vote arrival lag across all peers |
+/// | `consensus.health.suspicions`       | counter   | peers newly flagged as stragglers |
+/// | `consensus.health.suspected_peers`  | gauge     | peers currently suspected |
+/// | `consensus.health.peer_lag_us.N`    | gauge     | peer N's EWMA vote-arrival lag |
+#[derive(Clone, Debug)]
+pub struct HealthObs {
+    /// Vote-arrival lag samples (µs) from every peer, every vote.
+    pub vote_lag_us: Arc<Histogram>,
+    /// Peers newly flagged as stragglers (clears not counted).
+    pub suspicions: Arc<Counter>,
+    /// Peers currently under suspicion.
+    pub suspected_peers: Arc<Gauge>,
+    /// Per-peer EWMA vote-arrival lag (µs), indexed by replica id.
+    pub peer_lag_us: Vec<Arc<Gauge>>,
+}
+
+impl HealthObs {
+    /// Resolves (creating on first use) the health metrics for an
+    /// `n`-replica group in `registry`.
+    pub fn new(registry: &Registry, n: usize) -> HealthObs {
+        HealthObs {
+            vote_lag_us: registry.histogram("consensus.health.vote_lag_us"),
+            suspicions: registry.counter("consensus.health.suspicions"),
+            suspected_peers: registry.gauge("consensus.health.suspected_peers"),
+            peer_lag_us: (0..n)
+                .map(|i| registry.gauge(&format!("consensus.health.peer_lag_us.{i}")))
+                .collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +123,20 @@ mod tests {
         let again = ReplicaObs::new(&registry);
         again.decided.inc();
         assert_eq!(obs.decided.get(), 2);
+    }
+
+    #[test]
+    fn health_obs_resolves_per_peer_gauges() {
+        let registry = Registry::new("health-obs-test");
+        let health = HealthObs::new(&registry, 4);
+        assert_eq!(health.peer_lag_us.len(), 4);
+        health.vote_lag_us.record(1_500);
+        health.suspicions.inc();
+        health.suspected_peers.set(1);
+        health.peer_lag_us[3].set(150_000);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("consensus.health.suspicions"), Some(1));
+        assert_eq!(snap.gauge_value("consensus.health.peer_lag_us.3"), Some(150_000));
+        assert_eq!(snap.histogram("consensus.health.vote_lag_us").unwrap().count, 1);
     }
 }

@@ -20,13 +20,16 @@
 //! request forwarding into a STOP / STOP-DATA / SYNC leader change.
 
 use crate::messages::{Batch, ConsensusMsg, DecisionProof, Request, StopData, Vote, VotePhase};
-use crate::obs::ReplicaObs;
+use crate::obs::{HealthObs, ReplicaObs};
 use crate::quorum::QuorumSystem;
 use crate::sync::{select, validate_sync};
 use hlf_crypto::ecdsa::{SigningKey, VerifyingKey};
 use hlf_crypto::sha256::Hash256;
+use hlf_obs::flight::EventKind;
+use hlf_obs::{FlightRecorder, StragglerDetector};
 use hlf_wire::{ClientId, NodeId};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// How many future instances' messages a replica buffers while lagging.
 const FUTURE_HORIZON: u64 = 64;
@@ -292,6 +295,18 @@ pub struct Replica {
     /// Optional per-phase histograms and event counters (attached by
     /// the runtime when a registry exists; `None` costs nothing).
     obs: Option<ReplicaObs>,
+    /// Optional flight recorder for distributed tracing; records
+    /// protocol events and auto-dumps on anomalies (regency change,
+    /// rollback). `None` costs nothing.
+    flight: Option<Arc<FlightRecorder>>,
+    /// Per-peer vote-arrival EWMAs flagging slow replicas.
+    health: StragglerDetector,
+    /// Optional metric handles the health detector reports through.
+    health_obs: Option<HealthObs>,
+    /// Propose times of recently decided instances `(cid, ms)`, so
+    /// WRITE votes that arrive after the instance closed — the
+    /// hallmark of a straggler — still feed the health detector.
+    recent_proposed_at: VecDeque<(u64, u64)>,
 }
 
 impl std::fmt::Debug for Replica {
@@ -310,6 +325,7 @@ impl Replica {
     /// Creates a replica at regency 0, instance 1.
     pub fn new(cfg: Config) -> Replica {
         let timeout = cfg.request_timeout_ms;
+        let n = cfg.quorums.n();
         Replica {
             inst: Instance::new(0),
             cfg,
@@ -337,6 +353,10 @@ impl Replica {
             early_stopdata: Vec::new(),
             metrics: Metrics::default(),
             obs: None,
+            flight: None,
+            health: StragglerDetector::new(n),
+            health_obs: None,
+            recent_proposed_at: VecDeque::new(),
         }
     }
 
@@ -345,6 +365,71 @@ impl Replica {
     /// replica keeps only the plain [`Metrics`] counters.
     pub fn attach_obs(&mut self, obs: ReplicaObs) {
         self.obs = Some(obs);
+    }
+
+    /// Attaches a flight recorder: subsequent protocol steps record
+    /// trace events into it, and anomalies (regency change, tentative
+    /// rollback) snapshot the ring. Event timestamps use the replica's
+    /// own `now_ms` clock (µs-scaled), so simulated runs stay
+    /// deterministic.
+    pub fn attach_flight(&mut self, flight: Arc<FlightRecorder>) {
+        self.flight = Some(flight);
+    }
+
+    /// Attaches metric handles for the slow-replica health detector.
+    pub fn attach_health_obs(&mut self, obs: HealthObs) {
+        self.health_obs = Some(obs);
+    }
+
+    /// The slow-replica health detector's current view.
+    pub fn health(&self) -> &StragglerDetector {
+        &self.health
+    }
+
+    /// Records a flight event stamped with replica time (ms → µs).
+    #[inline]
+    fn flight_record(&self, kind: EventKind, a: u64, b: u64, c: u64) {
+        if let Some(flight) = &self.flight {
+            flight.record(self.now_ms * 1000, kind, a, b, c);
+        }
+    }
+
+    /// Feeds one vote-arrival lag into the health detector, mirroring
+    /// the outcome into metrics and the flight recorder.
+    fn observe_vote_lag(&mut self, peer: NodeId, lag_us: u64) {
+        let transition = self.health.observe(peer.as_usize(), lag_us);
+        if let Some(obs) = &self.health_obs {
+            obs.vote_lag_us.record(lag_us);
+            if let Some(ewma) = self.health.peer_lag_us(peer.as_usize()) {
+                if let Some(gauge) = obs.peer_lag_us.get(peer.as_usize()) {
+                    gauge.set(ewma as i64);
+                }
+            }
+            if let Some(ev) = transition {
+                if ev.suspected {
+                    obs.suspicions.inc();
+                }
+                obs.suspected_peers
+                    .set(self.health.suspected_peers().len() as i64);
+            }
+        }
+        if let Some(ev) = transition {
+            if ev.suspected {
+                hlf_obs::info!(
+                    "replica {} suspects peer {} as slow (ewma {}us vs median {}us)",
+                    self.cfg.node.as_usize(),
+                    ev.peer,
+                    ev.ewma_us,
+                    ev.median_us
+                );
+                self.flight_record(
+                    EventKind::Suspect,
+                    ev.peer as u64,
+                    ev.ewma_us,
+                    ev.median_us,
+                );
+            }
+        }
     }
 
     /// This replica's id.
@@ -713,6 +798,29 @@ impl Replica {
         self.inst.hash = Some(hash);
         self.inst.batch = Some(batch.clone());
         self.inst.proposed_at = Some(self.now_ms);
+        self.recent_proposed_at.push_back((self.next_cid, self.now_ms));
+        if self.recent_proposed_at.len() > 128 {
+            self.recent_proposed_at.pop_front();
+        }
+        if self.flight.is_some() {
+            self.flight_record(
+                EventKind::Propose,
+                self.next_cid,
+                self.regency as u64,
+                batch.len() as u64,
+            );
+            // Link every transaction in the batch to this instance so
+            // the offline merger can attribute consensus phases to
+            // individual traces.
+            for (pos, request) in batch.requests.iter().enumerate() {
+                self.flight_record(
+                    EventKind::TxInBatch,
+                    hlf_obs::trace_id(request.client.0, request.seq),
+                    self.next_cid,
+                    pos as u64,
+                );
+            }
+        }
 
         let vote = Vote::sign(
             &self.cfg.signing_key,
@@ -736,7 +844,16 @@ impl Replica {
             self.buffer_future(from, ConsensusMsg::Write(vote.clone()), vote.cid, actions);
             return;
         }
-        if vote.cid < self.next_cid || vote.phase != VotePhase::Write || vote.node != from {
+        if vote.cid < self.next_cid {
+            // The instance already closed without this vote — the
+            // defining symptom of a straggler. Feed its arrival lag to
+            // the health detector before discarding it.
+            if vote.phase == VotePhase::Write && vote.node == from {
+                self.observe_late_write(from, &vote);
+            }
+            return;
+        }
+        if vote.phase != VotePhase::Write || vote.node != from {
             return;
         }
         if self.syncing || vote.epoch > self.inst.epoch {
@@ -757,7 +874,40 @@ impl Replica {
         self.record_write(vote, actions);
     }
 
+    /// Measures a WRITE vote that arrived after its instance decided,
+    /// against that instance's recorded propose time. Signatures are
+    /// still checked so an attacker cannot smear a healthy peer.
+    fn observe_late_write(&mut self, from: NodeId, vote: &Vote) {
+        if from == self.cfg.node {
+            return;
+        }
+        let Some(&(_, t0)) = self
+            .recent_proposed_at
+            .iter()
+            .rev()
+            .find(|&&(cid, _)| cid == vote.cid)
+        else {
+            return;
+        };
+        let Some(key) = self.cfg.keys.get(from.as_usize()) else {
+            return;
+        };
+        if !vote.verify(key) {
+            return;
+        }
+        let lag_us = self.now_ms.saturating_sub(t0) * 1000;
+        self.flight_record(EventKind::WriteVote, vote.cid, vote.node.0 as u64, lag_us);
+        self.observe_vote_lag(from, lag_us);
+    }
+
     fn record_write(&mut self, vote: Vote, actions: &mut Vec<Action>) {
+        if vote.node != self.cfg.node {
+            if let Some(t0) = self.inst.proposed_at {
+                let lag_us = self.now_ms.saturating_sub(t0) * 1000;
+                self.flight_record(EventKind::WriteVote, vote.cid, vote.node.0 as u64, lag_us);
+                self.observe_vote_lag(vote.node, lag_us);
+            }
+        }
         self.inst.writes.entry(vote.node).or_insert(vote);
         self.check_write_quorum(actions);
     }
@@ -795,6 +945,14 @@ impl Replica {
                 obs.write_quorum_votes
                     .record(self.inst.last_write_cert.len() as u64);
             }
+            self.flight_record(
+                EventKind::WriteQuorum,
+                self.next_cid,
+                self.inst.last_write_cert.len() as u64,
+                self.inst
+                    .proposed_at
+                    .map_or(0, |t0| self.now_ms.saturating_sub(t0) * 1000),
+            );
             let vote = Vote::sign(
                 &self.cfg.signing_key,
                 VotePhase::Accept,
@@ -813,6 +971,7 @@ impl Replica {
                 if let Some(obs) = &self.obs {
                     obs.tentative_deliveries.inc();
                 }
+                self.flight_record(EventKind::TentativeDeliver, self.next_cid, 0, 0);
                 hlf_obs::trace!(
                     "replica {} tentatively delivers cid {}",
                     self.cfg.node.as_usize(),
@@ -853,6 +1012,15 @@ impl Replica {
     }
 
     fn record_accept(&mut self, vote: Vote, actions: &mut Vec<Action>) {
+        if vote.node != self.cfg.node {
+            // Measure ACCEPT lag from the WRITE quorum (when known) so
+            // both phases contribute ~one-message-delay samples.
+            if let Some(t0) = self.inst.write_quorum_at.or(self.inst.proposed_at) {
+                let lag_us = self.now_ms.saturating_sub(t0) * 1000;
+                self.flight_record(EventKind::AcceptVote, vote.cid, vote.node.0 as u64, lag_us);
+                self.observe_vote_lag(vote.node, lag_us);
+            }
+        }
         self.inst.accepts.entry(vote.node).or_insert(vote);
         self.try_decide(actions);
     }
@@ -925,6 +1093,14 @@ impl Replica {
                 obs.decide_ms.record(self.now_ms.saturating_sub(t0));
             }
         }
+        self.flight_record(
+            EventKind::Decide,
+            cid,
+            batch.len() as u64,
+            self.inst
+                .proposed_at
+                .map_or(0, |t0| self.now_ms.saturating_sub(t0) * 1000),
+        );
         hlf_obs::trace!(
             "replica {} decides cid {} ({} requests)",
             self.cfg.node.as_usize(),
@@ -993,6 +1169,17 @@ impl Replica {
         self.metrics.regency_changes += 1;
         if let Some(obs) = &self.obs {
             obs.regency_changes.inc();
+        }
+        self.flight_record(
+            EventKind::RegencyChange,
+            regency as u64,
+            self.leader_of(regency).0 as u64,
+            0,
+        );
+        if let Some(flight) = &self.flight {
+            // A leader change is the canonical anomaly: snapshot the
+            // events that led up to it.
+            flight.anomaly_at(self.now_ms * 1000, "regency_change");
         }
         hlf_obs::info!(
             "replica {} installs regency {} (leader {})",
@@ -1129,6 +1316,15 @@ impl Replica {
             if let Some(obs) = &self.obs {
                 obs.regency_changes.inc();
             }
+            self.flight_record(
+                EventKind::RegencyChange,
+                regency as u64,
+                self.leader_of(regency).0 as u64,
+                1,
+            );
+            if let Some(flight) = &self.flight {
+                flight.anomaly_at(self.now_ms * 1000, "regency_change");
+            }
             hlf_obs::info!(
                 "replica {} adopts regency {} from SYNC",
                 self.cfg.node.as_usize(),
@@ -1183,6 +1379,10 @@ impl Replica {
                 self.metrics.rollbacks += 1;
                 if let Some(obs) = &self.obs {
                     obs.rollbacks.inc();
+                }
+                self.flight_record(EventKind::Rollback, cid, 0, 0);
+                if let Some(flight) = &self.flight {
+                    flight.anomaly_at(self.now_ms * 1000, "rollback");
                 }
                 hlf_obs::debug!(
                     "replica {} rolls back tentative cid {} (sync re-bound)",
@@ -1245,6 +1445,10 @@ impl Replica {
                 self.metrics.rollbacks += 1;
                 if let Some(obs) = &self.obs {
                     obs.rollbacks.inc();
+                }
+                self.flight_record(EventKind::Rollback, cid, 1, 0);
+                if let Some(flight) = &self.flight {
+                    flight.anomaly_at(self.now_ms * 1000, "rollback");
                 }
                 hlf_obs::debug!(
                     "replica {} rolls back tentative cid {} (proven value differs)",
@@ -1651,5 +1855,103 @@ mod tests {
         // tentatively before deciding.
         assert!(tentative >= 1, "no tentative deliveries recorded");
         assert_eq!(snap.counter_value("consensus.replica.decided"), Some(5));
+    }
+
+    /// Acceptance criterion: an induced regency change auto-dumps the
+    /// flight recorder, and the dump contains the protocol events that
+    /// led up to the change.
+    #[test]
+    fn flight_recorder_dumps_on_regency_change() {
+        let mut replicas = make_replicas(4, 1);
+        let flight = Arc::new(FlightRecorder::with_capacity("node-3", 256));
+        replicas[3].attach_flight(Arc::clone(&flight));
+
+        // Normal traffic first so the ring holds pre-anomaly history:
+        // the leader's PROPOSE reaches replica 3.
+        let batch = Batch::new(vec![req(1)]);
+        replicas[3].on_message(
+            0,
+            NodeId(0),
+            ConsensusMsg::Propose {
+                cid: 1,
+                epoch: 0,
+                batch: batch.clone(),
+            },
+        );
+
+        // Two peers demand regency 1; with our amplified STOP that is a
+        // certify quorum, so the regency installs.
+        replicas[3].on_message(10, NodeId(1), ConsensusMsg::Stop { regency: 1 });
+        replicas[3].on_message(20, NodeId(2), ConsensusMsg::Stop { regency: 1 });
+        assert_eq!(replicas[3].regency(), 1);
+
+        let dumps = flight.take_dumps();
+        assert_eq!(dumps.len(), 1, "regency change must dump exactly once");
+        let dump = &dumps[0];
+        assert_eq!(dump.reason, "regency_change");
+        assert_eq!(dump.node, "node-3");
+        // The dump holds the history: the PROPOSE/WRITE activity before
+        // the change, and the change itself.
+        let kinds: Vec<EventKind> = dump.events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::Propose), "missing pre-anomaly propose");
+        assert!(kinds.contains(&EventKind::TxInBatch), "missing tx link event");
+        assert!(
+            kinds.contains(&EventKind::RegencyChange),
+            "missing the regency change itself"
+        );
+        // And it replays through the stable JSON codec byte-identically.
+        let json = dump.to_json();
+        let back = hlf_obs::FlightDump::from_json(&json).unwrap();
+        assert_eq!(back.to_json(), json);
+    }
+
+    /// A persistently slow peer is flagged by the vote-arrival health
+    /// detector, surfaced through metrics and the flight recorder.
+    #[test]
+    fn straggler_detector_flags_slow_peer() {
+        let signing: Vec<SigningKey> = (0..4)
+            .map(|i| SigningKey::from_seed(format!("replica-unit-{i}").as_bytes()))
+            .collect();
+        let registry = hlf_obs::Registry::new("health-test");
+        // Drive the leader (replica 0) by hand: peers 1 and 2 vote
+        // ~10 ms after each PROPOSE, peer 3 consistently ~150 ms late —
+        // a straggler whose WRITE still lands before the quorum closes.
+        let mut replica = make_replicas(4, 1).remove(0);
+        let flight = Arc::new(FlightRecorder::with_capacity("node-0", 4096));
+        replica.attach_flight(Arc::clone(&flight));
+        replica.attach_health_obs(HealthObs::new(&registry, 4));
+        let mut now = 0u64;
+        for round in 1..=30u64 {
+            let request = req(round);
+            let batch = Batch::new(vec![request.clone()]);
+            let hash = batch.digest();
+            replica.on_request(now, request);
+            // WRITE phase: fast peers at +10ms, slow peer at +150ms.
+            let w1 = Vote::sign(&signing[1], VotePhase::Write, NodeId(1), round, 0, hash);
+            replica.on_message(now + 10, NodeId(1), ConsensusMsg::Write(w1));
+            let w3 = Vote::sign(&signing[3], VotePhase::Write, NodeId(3), round, 0, hash);
+            replica.on_message(now + 150, NodeId(3), ConsensusMsg::Write(w3));
+            // ACCEPT phase: the quorum needs 3 matching votes; feed the
+            // slow peer last so its lag is sampled first.
+            let a1 = Vote::sign(&signing[1], VotePhase::Accept, NodeId(1), round, 0, hash);
+            replica.on_message(now + 160, NodeId(1), ConsensusMsg::Accept(a1));
+            let a2 = Vote::sign(&signing[2], VotePhase::Accept, NodeId(2), round, 0, hash);
+            replica.on_message(now + 160, NodeId(2), ConsensusMsg::Accept(a2));
+            now += 1_000;
+        }
+
+        assert!(
+            replica.health().is_suspected(3),
+            "slow peer not suspected: lags {:?}",
+            (0..4).map(|i| replica.health().peer_lag_us(i)).collect::<Vec<_>>()
+        );
+        assert_eq!(replica.health().suspected_peers(), vec![3]);
+        let snap = registry.snapshot();
+        assert!(snap.counter_value("consensus.health.suspicions").unwrap() >= 1);
+        assert!(snap.gauge_value("consensus.health.peer_lag_us.3").unwrap() > 100_000);
+        assert!(
+            flight.events().iter().any(|e| e.kind == EventKind::Suspect && e.a == 3),
+            "suspicion not recorded in flight ring"
+        );
     }
 }

@@ -15,11 +15,13 @@ use hlf_wire::Bytes;
 use hlf_crypto::ecdsa::VerifyingKey;
 use hlf_crypto::sha256::Hash256;
 use hlf_fabric::block::{Block, BlockSignature, SYSTEM_CHANNEL};
-use hlf_obs::Registry;
+use hlf_obs::flight::EventKind;
+use hlf_obs::{FlightRecorder, Registry};
 use hlf_smr::client::{ProxyConfig, ServiceProxy};
 use hlf_transport::Network;
 use hlf_wire::{ClientId, NodeId};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Per-slot bound on the verified-signature dedup cache. A Byzantine
@@ -160,6 +162,9 @@ pub struct Frontend {
     ready: BTreeMap<(String, u64), Block>,
     stats: FrontendStats,
     obs: Option<FrontendObs>,
+    /// Flight recorder for collection-phase events and eviction
+    /// anomaly dumps.
+    flight: Option<Arc<FlightRecorder>>,
     /// Monotonic counter stamping collection-round activity (LRU).
     touch: u64,
     /// Verified-triple entries across all rounds (mirrors the
@@ -193,6 +198,7 @@ impl Frontend {
             ready: BTreeMap::new(),
             stats: FrontendStats::default(),
             obs: None,
+            flight: None,
             touch: 0,
             verify_cache_entries: 0,
         }
@@ -201,6 +207,12 @@ impl Frontend {
     /// Starts recording `core.frontend.*` metrics into `registry`.
     pub fn attach_obs(&mut self, registry: &Registry) {
         self.obs = Some(FrontendObs::new(registry));
+    }
+
+    /// Starts recording collection-phase flight events (and eviction
+    /// anomaly dumps) into `flight`.
+    pub fn attach_flight(&mut self, flight: Arc<FlightRecorder>) {
+        self.flight = Some(flight);
     }
 
     /// This frontend's client id.
@@ -227,7 +239,11 @@ impl Frontend {
             obs.submitted.inc();
         }
         let tagged = tag_envelope(channel, &envelope.into());
-        self.proxy.invoke_async(tagged);
+        let seq = self.proxy.invoke_async(tagged);
+        if let Some(flight) = &self.flight {
+            let id = hlf_obs::trace_id(self.config.id.0, seq);
+            flight.record_now(EventKind::Submit, id, self.config.id.0 as u64, seq);
+        }
     }
 
     /// Counts one rejected block copy in both counter sets.
@@ -239,10 +255,13 @@ impl Frontend {
     }
 
     /// Counts one in-order block delivery in both counter sets.
-    fn count_delivery(&mut self) {
+    fn count_delivery(&mut self, number: u64) {
         self.stats.delivered_blocks += 1;
         if let Some(obs) = &self.obs {
             obs.delivered_blocks.inc();
+        }
+        if let Some(flight) = &self.flight {
+            flight.record_now(EventKind::Deliver, number, 0, 0);
         }
     }
 
@@ -309,8 +328,14 @@ impl Frontend {
             self.evict_stalest_round();
         }
         let touch = self.touch;
+        let is_new_round = !self.collecting.contains_key(&slot);
         let entry = self.collecting.entry(slot.clone()).or_insert_with(Collecting::new);
         entry.last_touch = touch;
+        if is_new_round {
+            if let Some(flight) = &self.flight {
+                flight.record_now(EventKind::CollectFirst, slot.1, from.0 as u64, 0);
+            }
+        }
         if let Some(triple) = newly_verified {
             self.verify_cache_entries += entry.insert_verified(triple);
         }
@@ -329,13 +354,17 @@ impl Frontend {
             }
         }
         if nodes.len() >= threshold {
+            let copies = nodes.len() as u64;
             let mut complete = stored.clone();
             complete.signatures = signatures.clone();
             if let Some(round) = self.collecting.remove(&slot) {
                 self.verify_cache_entries -= round.verified.len() as i64;
+                let round_us = round.first_seen.elapsed().as_micros() as u64;
                 if let Some(obs) = &self.obs {
-                    obs.collect_round_us
-                        .record(round.first_seen.elapsed().as_micros() as u64);
+                    obs.collect_round_us.record(round_us);
+                }
+                if let Some(flight) = &self.flight {
+                    flight.record_now(EventKind::CollectDone, slot.1, copies, round_us);
                 }
             }
             self.ready.insert(slot, complete);
@@ -364,6 +393,10 @@ impl Frontend {
         if let Some(obs) = &self.obs {
             obs.evicted_rounds.inc();
         }
+        if let Some(flight) = &self.flight {
+            flight.record_now(EventKind::CollectEvict, slot.1, 0, 0);
+            flight.anomaly("collect_evict");
+        }
     }
 
     /// Pops the next in-order ready block for any channel, preferring
@@ -375,8 +408,9 @@ impl Frontend {
             .find(|(channel, number)| *number == self.next_deliver_on(channel))
             .cloned()?;
         let block = self.ready.remove(&slot).expect("key just seen");
+        let number = slot.1;
         self.next_deliver.insert(slot.0, slot.1 + 1);
-        self.count_delivery();
+        self.count_delivery(number);
         Some(block)
     }
 
@@ -409,8 +443,9 @@ impl Frontend {
         loop {
             let slot = (channel.to_string(), self.next_deliver_on(channel));
             if let Some(block) = self.ready.remove(&slot) {
+                let number = slot.1;
                 self.next_deliver.insert(slot.0, slot.1 + 1);
-                self.count_delivery();
+                self.count_delivery(number);
                 return Some(block);
             }
             let now = Instant::now();

@@ -66,6 +66,9 @@ pub struct OrderingNodeConfig {
     /// Registry to record blockcutter and signing-pool metrics into
     /// (`core.cutter.*`, `core.signing.*`). `None` disables recording.
     pub registry: Option<Arc<Registry>>,
+    /// Flight recorder receiving `SignStart`/`SignDone` events from the
+    /// signing pool. `None` disables recording.
+    pub flight: Option<Arc<hlf_obs::FlightRecorder>>,
 }
 
 impl std::fmt::Debug for OrderingNodeConfig {
@@ -91,6 +94,7 @@ impl OrderingNodeConfig {
             double_sign: false,
             flush_on_batch_end: false,
             registry: None,
+            flight: None,
         }
     }
 
@@ -121,6 +125,12 @@ impl OrderingNodeConfig {
     /// Records cutter and signing metrics into `registry`.
     pub fn with_registry(mut self, registry: Arc<Registry>) -> OrderingNodeConfig {
         self.registry = Some(registry);
+        self
+    }
+
+    /// Records signing-phase flight events into `flight`.
+    pub fn with_flight(mut self, flight: Arc<hlf_obs::FlightRecorder>) -> OrderingNodeConfig {
+        self.flight = Some(flight);
         self
     }
 }
@@ -185,11 +195,12 @@ impl OrderingNodeApp {
         let double_sign = config.double_sign;
         let context_key = config.signing_key.clone();
         let node = config.node;
-        let pool = SigningPool::with_registry(
+        let pool = SigningPool::with_observers(
             config.signing_threads,
             config.node,
             config.signing_key.clone(),
             config.registry.as_deref(),
+            config.flight.clone(),
             move |block: Block| {
                 if double_sign {
                     // Footnote 10: a second signature attaches the block

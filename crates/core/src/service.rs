@@ -121,6 +121,9 @@ pub struct OrderingService {
     /// Shared registry for every frontend created via
     /// [`OrderingService::frontend`].
     frontend_registry: Arc<Registry>,
+    /// Shared flight recorder for every frontend (submit, collect and
+    /// deliver events); populated only while `HLF_TRACE` is on.
+    frontend_flight: Arc<hlf_obs::FlightRecorder>,
 }
 
 impl std::fmt::Debug for OrderingService {
@@ -155,14 +158,17 @@ impl OrderingService {
         let runtime = ClusterRuntime::start_custom(
             n,
             runtime_options,
-            move |i, push, registry| {
-                let config =
+            move |i, push, registry, flight| {
+                let mut config =
                     OrderingNodeConfig::new(i as u32, keys.signing[i].clone())
                         .with_block_size(app_options.block_size)
                         .with_signing_threads(app_options.signing_threads)
                         .with_double_sign(app_options.double_sign)
                         .with_flush_on_batch_end(app_options.flush_on_batch_end)
                         .with_registry(registry);
+                if let Some(flight) = flight {
+                    config = config.with_flight(flight);
+                }
                 Box::new(OrderingNodeApp::new(config, push))
             },
             |_| Box::new(MemoryLog::new()),
@@ -174,6 +180,7 @@ impl OrderingService {
             orderer_keys,
             next_frontend: 1000,
             frontend_registry: Registry::new("frontends"),
+            frontend_flight: Arc::new(hlf_obs::FlightRecorder::new("frontends")),
         }
     }
 
@@ -225,7 +232,29 @@ impl OrderingService {
         }
         let mut frontend = Frontend::connect(self.runtime.network(), config);
         frontend.attach_obs(&self.frontend_registry);
+        if hlf_obs::trace_enabled() {
+            frontend.attach_flight(Arc::clone(&self.frontend_flight));
+        }
         frontend
+    }
+
+    /// Node `i`'s flight recorder (populated only under `HLF_TRACE`).
+    pub fn flight(&self, i: usize) -> Arc<hlf_obs::FlightRecorder> {
+        self.runtime.flight(i)
+    }
+
+    /// The flight recorder shared by every frontend from
+    /// [`OrderingService::frontend`].
+    pub fn frontend_flight(&self) -> Arc<hlf_obs::FlightRecorder> {
+        Arc::clone(&self.frontend_flight)
+    }
+
+    /// Drains pending anomaly dumps from every node recorder and the
+    /// shared frontend recorder.
+    pub fn take_flight_dumps(&self) -> Vec<hlf_obs::FlightDump> {
+        let mut dumps = self.runtime.take_flight_dumps();
+        dumps.extend(self.frontend_flight.take_dumps());
+        dumps
     }
 
     /// Node `i`'s obs registry (consensus, SMR, cutter and signing

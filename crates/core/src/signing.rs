@@ -10,7 +10,8 @@ use crate::obs::SigningObs;
 use crossbeam::channel::{self, Receiver, Sender};
 use hlf_crypto::ecdsa::SigningKey;
 use hlf_fabric::block::Block;
-use hlf_obs::Registry;
+use hlf_obs::flight::EventKind;
+use hlf_obs::{FlightRecorder, Registry};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -71,6 +72,7 @@ pub struct SigningPool {
     workers: Vec<JoinHandle<()>>,
     stats: Arc<SigningStats>,
     obs: Option<SigningObs>,
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl std::fmt::Debug for SigningPool {
@@ -111,6 +113,24 @@ impl SigningPool {
         registry: Option<&Registry>,
         deliver: impl Fn(Block) + Send + Sync + 'static,
     ) -> SigningPool {
+        SigningPool::with_observers(threads, node, key, registry, None, deliver)
+    }
+
+    /// Like [`SigningPool::with_registry`], additionally recording
+    /// `SignStart`/`SignDone` flight events into `flight` when one is
+    /// given (the sign-phase edges of the distributed trace timeline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_observers(
+        threads: usize,
+        node: u32,
+        key: SigningKey,
+        registry: Option<&Registry>,
+        flight: Option<Arc<FlightRecorder>>,
+        deliver: impl Fn(Block) + Send + Sync + 'static,
+    ) -> SigningPool {
         assert!(threads > 0, "signing pool needs at least one thread");
         // Bounded queue: when signing cannot keep up, `submit` blocks
         // the node thread — the CPU "tug of war" between the
@@ -129,6 +149,7 @@ impl SigningPool {
                 let deliver = Arc::clone(&deliver);
                 let stats = Arc::clone(&stats);
                 let obs = obs.clone();
+                let flight = flight.clone();
                 std::thread::Builder::new()
                     .name(format!("signer-{node}-{w}"))
                     .spawn(move || {
@@ -144,6 +165,14 @@ impl SigningPool {
                                     .record(dequeued_at.elapsed().as_micros() as u64);
                                 obs.signed.inc();
                             }
+                            if let Some(flight) = &flight {
+                                flight.record_now(
+                                    EventKind::SignDone,
+                                    block.header.number,
+                                    dequeued_at.elapsed().as_micros() as u64,
+                                    (dequeued_at - enqueued_at).as_micros() as u64,
+                                );
+                            }
                             deliver(block);
                         }
                     })
@@ -155,6 +184,7 @@ impl SigningPool {
             workers,
             stats,
             obs,
+            flight,
         }
     }
 
@@ -164,6 +194,9 @@ impl SigningPool {
         self.stats.submitted.fetch_add(1, Ordering::Release);
         if let Some(obs) = &self.obs {
             obs.queue_depth.set(self.jobs.len() as i64);
+        }
+        if let Some(flight) = &self.flight {
+            flight.record_now(EventKind::SignStart, block.header.number, self.jobs.len() as u64, 0);
         }
         // The pool only shuts down on drop, after the node thread; a
         // send failure means teardown is racing us and the block is

@@ -16,13 +16,14 @@
 
 use hlf_wire::Bytes;
 use hlf_consensus::messages::{Batch, ConsensusMsg, Request};
-use hlf_consensus::obs::ReplicaObs;
+use hlf_consensus::obs::{HealthObs, ReplicaObs};
 use hlf_consensus::quorum::QuorumSystem;
 use hlf_consensus::replica::{Action, Config as ConsensusConfig, Replica};
 use hlf_crypto::ecdsa::{SigningKey, VerifyingKey};
 use hlf_crypto::sha256::Hash256;
 use hlf_fabric::block::Block;
-use hlf_obs::{Registry, Snapshot};
+use hlf_obs::flight::EventKind;
+use hlf_obs::{FlightDump, FlightRecorder, Registry, Snapshot};
 use hlf_simnet::regions::{Region, RegionMatrix};
 use hlf_simnet::{percentile, Actor, Ctx, LatencyModel, SimMessage, SimTime, Simulation};
 use hlf_wire::{ClientId, NodeId};
@@ -89,6 +90,11 @@ struct ReplicaActor {
     /// Cutter metrics (recording never feeds back into behaviour, so
     /// determinism is preserved).
     cutter_obs: Option<CutterObs>,
+    /// Flight recorder for sign-phase events ([`EventKind::SignStart`]
+    /// and [`EventKind::SignDone`]); the consensus-phase events are
+    /// recorded by the replica itself. Timestamps are virtual-time
+    /// microseconds, so recording is deterministic.
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl ReplicaActor {
@@ -150,6 +156,15 @@ impl ReplicaActor {
                     Block::build(self.next_number, self.prev_hash, cut.into_envelopes());
                 self.prev_hash = block.header_hash();
                 self.next_number += 1;
+                if let Some(flight) = &self.flight {
+                    flight.record(
+                        ctx.now().as_micros(),
+                        EventKind::SignStart,
+                        block.header.number,
+                        0,
+                        0,
+                    );
+                }
                 // Model the ECDSA signing delay, then transmit.
                 let token = self.next_sign_token;
                 self.next_sign_token += 1;
@@ -187,6 +202,15 @@ impl Actor<GeoMsg> for ReplicaActor {
             self.apply(actions, ctx);
             ctx.set_timer(self.tick_every, TICK_TOKEN);
         } else if let Some(block) = self.signing.remove(&token) {
+            if let Some(flight) = &self.flight {
+                flight.record(
+                    ctx.now().as_micros(),
+                    EventKind::SignDone,
+                    block.header.number,
+                    0,
+                    0,
+                );
+            }
             for &frontend in &self.frontends.clone() {
                 ctx.send(frontend, GeoMsg::Block(block.clone()));
             }
@@ -213,6 +237,8 @@ struct FrontendActor {
     warmup: SimTime,
     stop_at: SimTime,
     delivered_envelopes: u64,
+    /// Flight recorder for submission, collection and delivery events.
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl FrontendActor {
@@ -226,6 +252,15 @@ impl FrontendActor {
         payload.resize(self.envelope_size.max(12), 0xee);
         let request = Request::new(self.client, seq, payload);
         self.submit_times.insert(seq, ctx.now());
+        if let Some(flight) = &self.flight {
+            flight.record(
+                ctx.now().as_micros(),
+                EventKind::Submit,
+                hlf_obs::trace_id(self.client.0, seq),
+                self.client.0 as u64,
+                seq,
+            );
+        }
         for &replica in &self.replicas {
             ctx.send(replica, GeoMsg::Envelope(request.clone()));
         }
@@ -237,6 +272,17 @@ impl FrontendActor {
             return;
         }
         let hash = block.header_hash();
+        if !self.collecting.contains_key(&number) {
+            if let Some(flight) = &self.flight {
+                flight.record(
+                    ctx.now().as_micros(),
+                    EventKind::CollectFirst,
+                    number,
+                    from as u64,
+                    0,
+                );
+            }
+        }
         let entry = self.collecting.entry(number).or_default();
         let (stored, senders) = match entry.get_mut(&hash) {
             Some((stored, senders)) => (stored, senders),
@@ -251,9 +297,13 @@ impl FrontendActor {
         }
         // Block accepted: sample the latency of our own envelopes.
         let envelopes: Vec<Bytes> = stored.envelopes.clone();
+        let copies = senders.len() as u64;
         self.accepted.insert(number);
         self.collecting.remove(&number);
         let now = ctx.now();
+        if let Some(flight) = &self.flight {
+            flight.record(now.as_micros(), EventKind::CollectDone, number, copies, 0);
+        }
         for envelope in envelopes {
             if envelope.len() < 12 {
                 continue;
@@ -265,6 +315,15 @@ impl FrontendActor {
             let seq = u64::from_le_bytes(envelope[4..12].try_into().expect("8 bytes"));
             if let Some(submitted) = self.submit_times.remove(&seq) {
                 self.delivered_envelopes += 1;
+                if let Some(flight) = &self.flight {
+                    flight.record(
+                        now.as_micros(),
+                        EventKind::Deliver,
+                        hlf_obs::trace_id(self.client.0, seq),
+                        number,
+                        0,
+                    );
+                }
                 if now >= self.warmup {
                     ctx.sample("latency_ms", (now - submitted).as_millis_f64());
                 }
@@ -319,6 +378,15 @@ pub struct GeoConfig {
     /// Collect per-replica obs registries (consensus phase timings and
     /// cutter metrics) and return their snapshots in the result.
     pub collect_obs: bool,
+    /// Record distributed-trace flight events on every replica and
+    /// frontend and return the per-node flight dumps in the result.
+    /// Event timestamps are virtual-time microseconds, so a traced run
+    /// is still deterministic.
+    pub trace: bool,
+    /// Degrade one replica: `(node index, extra one-way delay)` added to
+    /// every link touching that node (the "slow replica" the health
+    /// detector should flag).
+    pub slow_replica: Option<(usize, SimTime)>,
 }
 
 impl GeoConfig {
@@ -336,12 +404,26 @@ impl GeoConfig {
             weights_override: None,
             tentative_override: None,
             collect_obs: false,
+            trace: false,
+            slow_replica: None,
         }
     }
 
     /// Enables per-replica obs snapshot collection.
     pub fn with_obs(mut self) -> GeoConfig {
         self.collect_obs = true;
+        self
+    }
+
+    /// Enables flight recording on every replica and frontend.
+    pub fn with_trace(mut self) -> GeoConfig {
+        self.trace = true;
+        self
+    }
+
+    /// Adds `extra` one-way delay to every link touching replica `node`.
+    pub fn with_slow_replica(mut self, node: usize, extra: SimTime) -> GeoConfig {
+        self.slow_replica = Some((node, extra));
         self
     }
 }
@@ -369,6 +451,11 @@ pub struct GeoResult {
     /// Per-replica obs snapshots (replica order), when
     /// [`GeoConfig::collect_obs`] was set.
     pub obs: Option<Vec<Snapshot>>,
+    /// Flight dumps from every replica (`geo-node-{i}`) then frontend
+    /// (`geo-frontend-{slot}`) recorder, when [`GeoConfig::trace`] was
+    /// set: any anomaly dumps that fired during the run, plus one final
+    /// `"run_end"` dump per recorder capturing its ring.
+    pub flights: Option<Vec<FlightDump>>,
 }
 
 /// Replica placement for a protocol (paper §6.3).
@@ -450,15 +537,44 @@ pub fn run_geo_experiment(config: &GeoConfig) -> GeoResult {
     let mut placement: Vec<Region> = replicas.clone();
     placement.extend(frontends.iter().copied());
     let matrix = RegionMatrix::aws();
-    let model = LatencyModel::from_fn(matrix.delay_fn(placement))
-        .with_bandwidth_bps(125_000_000)
-        .with_jitter(SimTime::from_millis(2));
+    let base_delay = matrix.delay_fn(placement);
+    let slow_replica = config.slow_replica;
+    let model = LatencyModel::from_fn(move |from, to| {
+        let mut delay = base_delay(from, to);
+        if let Some((node, extra)) = slow_replica {
+            if from == node || to == node {
+                delay = delay.saturating_add(extra);
+            }
+        }
+        delay
+    })
+    .with_bandwidth_bps(125_000_000)
+    .with_jitter(SimTime::from_millis(2));
 
     let mut sim: Simulation<GeoMsg> = Simulation::new(model, config.seed);
     let frontend_indices: Vec<usize> = (n..n + frontends.len()).collect();
     let registries: Vec<Arc<Registry>> = if config.collect_obs {
         (0..n)
             .map(|i| Registry::new(format!("geo-node-{i}")))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    // Rings sized so a full run's events survive to the end-of-run dump
+    // (replicas log ~10 events per consensus instance plus one per
+    // transaction; frontends ~4 per transaction).
+    let replica_flights: Vec<Arc<FlightRecorder>> = if config.trace {
+        (0..n)
+            .map(|i| Arc::new(FlightRecorder::with_capacity(format!("geo-node-{i}"), 1 << 17)))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let frontend_flights: Vec<Arc<FlightRecorder>> = if config.trace {
+        (0..frontends.len())
+            .map(|slot| {
+                Arc::new(FlightRecorder::with_capacity(format!("geo-frontend-{slot}"), 1 << 15))
+            })
             .collect()
     } else {
         Vec::new()
@@ -476,8 +592,12 @@ pub fn run_geo_experiment(config: &GeoConfig) -> GeoResult {
         let mut replica = Replica::new(consensus);
         let cutter_obs = registries.get(i).map(|registry| {
             replica.attach_obs(ReplicaObs::new(registry));
+            replica.attach_health_obs(HealthObs::new(registry, n));
             CutterObs::new(registry)
         });
+        if let Some(flight) = replica_flights.get(i) {
+            replica.attach_flight(Arc::clone(flight));
+        }
         sim.add_actor(Box::new(ReplicaActor {
             replica,
             n,
@@ -493,6 +613,7 @@ pub fn run_geo_experiment(config: &GeoConfig) -> GeoResult {
             signing: HashMap::new(),
             tick_every: SimTime::from_millis(500),
             cutter_obs,
+            flight: replica_flights.get(i).map(Arc::clone),
         }));
     }
     let gap = SimTime::from_micros((1_000_000.0 / config.rate_per_frontend) as u64);
@@ -510,6 +631,7 @@ pub fn run_geo_experiment(config: &GeoConfig) -> GeoResult {
             warmup: config.warmup,
             stop_at: config.duration,
             delivered_envelopes: 0,
+            flight: frontend_flights.get(slot).map(Arc::clone),
         }));
     }
 
@@ -543,10 +665,26 @@ pub fn run_geo_experiment(config: &GeoConfig) -> GeoResult {
         None
     };
 
+    let flights = if config.trace {
+        let end_us = config
+            .duration
+            .saturating_add(SimTime::from_secs(10))
+            .as_micros();
+        let mut dumps = Vec::new();
+        for recorder in replica_flights.iter().chain(frontend_flights.iter()) {
+            recorder.anomaly_at(end_us, "run_end");
+            dumps.extend(recorder.take_dumps());
+        }
+        Some(dumps)
+    } else {
+        None
+    };
+
     GeoResult {
         frontends: per_frontend,
         throughput,
         obs,
+        flights,
     }
 }
 
@@ -649,6 +787,54 @@ mod tests {
         for (x, y) in plain.frontends.iter().zip(&with_obs.frontends) {
             assert_eq!(x.median_ms, y.median_ms);
             assert_eq!(x.samples, y.samples);
+        }
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_the_run() {
+        let plain = run_geo_experiment(&quick_config(Protocol::BftSmart));
+        let traced = run_geo_experiment(&quick_config(Protocol::BftSmart).with_trace());
+        for (x, y) in plain.frontends.iter().zip(&traced.frontends) {
+            assert_eq!(x.median_ms, y.median_ms);
+            assert_eq!(x.samples, y.samples);
+        }
+        let dumps = traced.flights.expect("trace requested");
+        // Four replicas + four frontends each dump their ring at run end.
+        assert_eq!(dumps.len(), 8);
+        assert!(dumps.iter().all(|d| d.reason == "run_end"));
+        let kinds: HashSet<EventKind> = dumps
+            .iter()
+            .flat_map(|d| d.events.iter().map(|e| e.kind))
+            .collect();
+        for kind in [
+            EventKind::Submit,
+            EventKind::SignStart,
+            EventKind::SignDone,
+            EventKind::CollectFirst,
+            EventKind::CollectDone,
+            EventKind::Deliver,
+        ] {
+            assert!(kinds.contains(&kind), "missing {kind:?}");
+        }
+    }
+
+    #[test]
+    fn slow_replica_slows_its_own_frontend_only() {
+        let fast = run_geo_experiment(&quick_config(Protocol::BftSmart));
+        let mut config = quick_config(Protocol::BftSmart);
+        // Node 3 (Sao Paulo in the BFT-SMaRt placement) gets an extra
+        // 250 ms on every link; it is not the leader, so consensus
+        // proceeds at normal speed without its votes.
+        config.slow_replica = Some((3, SimTime::from_millis(250)));
+        let slowed = run_geo_experiment(&config);
+        let avg = |r: &GeoResult| {
+            r.frontends.iter().map(|f| f.median_ms).sum::<f64>() / r.frontends.len() as f64
+        };
+        // 2f+1 fast replicas still form quorums: medians stay in the
+        // same regime rather than absorbing the full 500 ms RTT.
+        assert!(avg(&slowed) < avg(&fast) + 250.0);
+        for fl in &slowed.frontends {
+            assert!(fl.samples > 100, "{}: {} samples", fl.region, fl.samples);
         }
     }
 

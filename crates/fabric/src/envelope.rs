@@ -357,6 +357,15 @@ impl Envelope {
         *self.cached_tx_id.get_or_init(|| self.proposal.tx_id())
     }
 
+    /// A compact distributed-tracing id: the first 8 bytes of the
+    /// transaction id, little-endian. Deterministic, so every node that
+    /// sees this envelope derives the same id without coordination, and
+    /// the offline trace merger can join per-node flight-recorder
+    /// events back to the transaction.
+    pub fn trace_id(&self) -> u64 {
+        u64::from_le_bytes(self.tx_id().as_bytes()[..8].try_into().expect("8 bytes"))
+    }
+
     /// Verifies the client signature.
     pub fn verify_client(&self, key: &VerifyingKey) -> bool {
         key.verify_digest(&self.client_digest(), &self.client_signature)
@@ -513,6 +522,24 @@ mod tests {
         p3.args.push(Bytes::from_static(b"extra"));
         assert_ne!(p1.tx_id(), p3.tx_id());
         assert_eq!(p1.tx_id(), proposal().tx_id());
+    }
+
+    #[test]
+    fn trace_id_is_deterministic_and_survives_the_wire() {
+        let (envelope, _, _) = assembled(2);
+        let id = envelope.trace_id();
+        assert_eq!(
+            id,
+            u64::from_le_bytes(envelope.tx_id().as_bytes()[..8].try_into().unwrap())
+        );
+        // A node that decodes the envelope off the wire derives the
+        // same trace id as the client that built it.
+        let parsed = Envelope::from_bytes(&envelope.to_bytes()).unwrap();
+        assert_eq!(parsed.trace_id(), id);
+
+        let mut p2 = proposal();
+        p2.nonce = 77;
+        assert_ne!(p2.tx_id(), envelope.tx_id());
     }
 
     #[test]

@@ -17,6 +17,13 @@
 //!   ([`Snapshot::to_json`] / [`Snapshot::from_json`]).
 //! - [`log!`] and friends — leveled stderr logging, off by default,
 //!   gated by the `HLF_LOG` environment variable.
+//! - [`TraceContext`] — compact per-transaction trace identity carried
+//!   inside wire messages, gated by `HLF_TRACE` ([`trace_enabled`]).
+//! - [`FlightRecorder`] — per-node lock-free ring buffer of recent
+//!   protocol events that auto-dumps stable JSON ([`FlightDump`]) on
+//!   anomalies (regency change, rollback, state transfer, eviction).
+//! - [`StragglerDetector`] — per-peer vote-arrival EWMAs flagging slow
+//!   replicas relative to the median peer.
 //!
 //! Metric names follow `crate.subsystem.metric`, e.g.
 //! `consensus.replica.write_phase_ms` (see DESIGN.md §Observability).
@@ -43,13 +50,20 @@
 //! assert_eq!(back.counter_value("smr.node.decided"), Some(1));
 //! ```
 
+pub mod flight;
+pub mod health;
 pub mod histogram;
 pub mod logging;
 pub mod metrics;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
+pub use flight::{
+    dumps_from_json, dumps_to_json, EventKind, FlightDump, FlightEvent, FlightRecorder,
+};
+pub use health::{StragglerDetector, SuspicionEvent};
 pub use histogram::Histogram;
 pub use logging::Level;
 pub use metrics::{Counter, Gauge};
@@ -58,3 +72,4 @@ pub use snapshot::{
     from_json_many, to_json_many, HistogramSnapshot, MetricSnapshot, MetricValue, Snapshot,
 };
 pub use span::SpanTimer;
+pub use trace::{set_trace_enabled, trace_enabled, trace_id, trace_id_parts, TraceContext};

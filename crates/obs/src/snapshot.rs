@@ -379,7 +379,7 @@ fn snapshot_from_value(value: &json::Value) -> Result<Snapshot, String> {
     Ok(Snapshot { registry, metrics })
 }
 
-fn json_string(out: &mut String, s: &str) {
+pub(crate) fn json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -399,7 +399,7 @@ fn json_string(out: &mut String, s: &str) {
 /// snapshot schema back (objects, arrays, strings, integers, bools,
 /// null). Numbers are kept as `i128` so the full `u64` and `i64`
 /// ranges round-trip exactly.
-mod json {
+pub(crate) mod json {
     #[derive(Debug, Clone, PartialEq)]
     pub enum Value {
         Null,

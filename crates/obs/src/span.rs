@@ -92,4 +92,17 @@ mod tests {
         h.span().discard();
         assert_eq!(h.count(), 0);
     }
+
+    #[test]
+    fn unwind_still_records_span() {
+        // A panic inside the timed scope must not lose the sample: the
+        // armed Drop impl runs during unwind.
+        let h = Histogram::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _span = h.span();
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        assert_eq!(h.count(), 1);
+    }
 }

@@ -63,6 +63,50 @@ proptest! {
         );
     }
 
+    /// Bucket-wise merge is associative (and agrees with recording all
+    /// values into one histogram), so cross-replica aggregation order
+    /// never changes a report.
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(any::<u64>(), 0..50),
+        b in proptest::collection::vec(any::<u64>(), 0..50),
+        c in proptest::collection::vec(any::<u64>(), 0..50),
+    ) {
+        let snap = |values: &[u64]| {
+            let h = Histogram::new();
+            for &v in values {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let (sa, sb, sc) = (snap(&a), snap(&b), snap(&c));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        // Both equal the histogram of the concatenation (sum wraps on
+        // overflow in both paths).
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        let mut direct = snap(&all);
+        direct.sum = left.sum; // u64 counter sum wraps identically
+        prop_assert_eq!(&left.count, &direct.count);
+        prop_assert_eq!(&left.buckets, &direct.buckets);
+        if !all.is_empty() {
+            prop_assert_eq!(left.min, direct.min);
+            prop_assert_eq!(left.max, direct.max);
+        }
+    }
+
     /// Snapshot totals equal what was recorded, and the JSON form
     /// round-trips exactly for arbitrary recorded data.
     #[test]

@@ -8,10 +8,10 @@
 //! frontends use the asynchronous path plus the push stream.
 
 use crate::obs::ProxyObs;
-use crate::wire::SmrMsg;
+use crate::wire::{Framed, SmrMsg};
 use hlf_wire::Bytes;
 use hlf_consensus::messages::Request;
-use hlf_obs::Registry;
+use hlf_obs::{Registry, TraceContext};
 use hlf_transport::{Endpoint, Network, PeerId, TransportError};
 use hlf_wire::{from_bytes_shared, to_bytes, ClientId, NodeId};
 use std::collections::HashMap;
@@ -99,6 +99,8 @@ pub struct ServiceProxy {
     /// Push messages received while waiting for replies.
     pushes: VecDeque<Push>,
     obs: Option<ProxyObs>,
+    /// Time base for trace-context origin timestamps.
+    origin: Instant,
 }
 
 impl fmt::Debug for ServiceProxy {
@@ -120,6 +122,7 @@ impl ServiceProxy {
             next_seq: 1,
             pushes: VecDeque::new(),
             obs: None,
+            origin: Instant::now(),
         }
     }
 
@@ -151,10 +154,21 @@ impl ServiceProxy {
         seq
     }
 
-    /// (Re)transmits request `seq` to every replica.
+    /// (Re)transmits request `seq` to every replica. When `HLF_TRACE` is
+    /// on, the request carries a trace context derived from
+    /// `(client, seq)` as a trailing wire field; otherwise the encoding
+    /// is byte-identical to the traceless format, so traceless replicas
+    /// interoperate.
     fn transmit(&self, seq: u64, payload: Bytes) {
         let request = Request::new(self.config.id, seq, payload);
-        let bytes = Bytes::from(to_bytes(&SmrMsg::Request(request)));
+        let msg = SmrMsg::Request(request);
+        let framed = if hlf_obs::trace_enabled() {
+            let origin_us = self.origin.elapsed().as_micros() as u64;
+            Framed::traced(msg, TraceContext::for_request(self.config.id.0, seq, origin_us))
+        } else {
+            Framed::bare(msg)
+        };
+        let bytes = Bytes::from(to_bytes(&framed));
         for replica in 0..self.config.n {
             let _ = self
                 .endpoint

@@ -4,12 +4,13 @@
 use crate::app::{Application, Dest};
 use crate::obs::NodeObs;
 use crate::storage::LogStore;
-use crate::wire::{LogEntry, SmrMsg};
+use crate::wire::{Framed, LogEntry, SmrMsg};
 use hlf_wire::Bytes;
 use hlf_consensus::messages::ConsensusMsg;
 use hlf_consensus::replica::{Action, Config as ConsensusConfig, Replica};
-use hlf_consensus::ReplicaObs;
-use hlf_obs::Registry;
+use hlf_consensus::{HealthObs, ReplicaObs};
+use hlf_obs::flight::EventKind;
+use hlf_obs::{FlightRecorder, Registry};
 use hlf_transport::{Endpoint, Network, PeerId, SenderHandle};
 use hlf_wire::{from_bytes_shared, to_pooled_bytes, BufferPool, ClientId, NodeId};
 use parking_lot::RwLock;
@@ -91,8 +92,14 @@ pub struct NodeConfig {
     /// Granularity of the internal clock.
     pub tick_interval: Duration,
     /// Metrics registry for this node; when set, the node attaches
-    /// consensus ([`ReplicaObs`]) and SMR ([`NodeObs`]) metrics to it.
+    /// consensus ([`ReplicaObs`]), SMR ([`NodeObs`]) and slow-replica
+    /// health ([`HealthObs`]) metrics to it.
     pub registry: Option<Arc<Registry>>,
+    /// Flight recorder for this node; when set, consensus-phase and
+    /// state-transfer events are recorded into its ring, and protocol
+    /// anomalies (regency change, rollback, state transfer) snapshot the
+    /// ring as [`hlf_obs::FlightDump`]s.
+    pub flight: Option<Arc<FlightRecorder>>,
 }
 
 impl NodeConfig {
@@ -104,12 +111,19 @@ impl NodeConfig {
             checkpoint_interval: 256,
             tick_interval: Duration::from_millis(20),
             registry: None,
+            flight: None,
         }
     }
 
     /// Attaches a metrics registry.
     pub fn with_registry(mut self, registry: Arc<Registry>) -> NodeConfig {
         self.registry = Some(registry);
+        self
+    }
+
+    /// Attaches a flight recorder.
+    pub fn with_flight(mut self, flight: Arc<FlightRecorder>) -> NodeConfig {
+        self.flight = Some(flight);
         self
     }
 }
@@ -238,7 +252,10 @@ pub fn spawn_replica_with(
 ) -> NodeHandle {
     let node = config.consensus.node;
     let registry = config.registry.clone();
-    let endpoint = network.join(PeerId::Replica(node.0));
+    let mut endpoint = network.join(PeerId::Replica(node.0));
+    if let Some(flight) = &config.flight {
+        endpoint.attach_flight(Arc::clone(flight));
+    }
     let shutdown = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(NodeStats::default());
     let clients: Arc<RwLock<HashSet<ClientId>>> = Arc::new(RwLock::new(HashSet::new()));
@@ -304,10 +321,15 @@ impl NodeWorker {
         clients: Arc<RwLock<HashSet<ClientId>>>,
     ) -> NodeWorker {
         let mut replica = Replica::new(config.consensus.clone());
+        let n = config.consensus.quorums.n();
         let obs = config.registry.as_deref().map(|registry| {
             replica.attach_obs(ReplicaObs::new(registry));
+            replica.attach_health_obs(HealthObs::new(registry, n));
             NodeObs::new(registry)
         });
+        if let Some(flight) = &config.flight {
+            replica.attach_flight(Arc::clone(flight));
+        }
         NodeWorker {
             config,
             endpoint,
@@ -379,7 +401,9 @@ impl NodeWorker {
     fn on_transport(&mut self, from: PeerId, payload: &Bytes) {
         // Decode as views into the transport buffer: the request/reply
         // payload inside becomes a refcounted slice, not a fresh copy.
-        let Ok(msg) = from_bytes_shared::<SmrMsg>(payload) else {
+        // `Framed` accepts both bare (traceless-peer) frames and frames
+        // carrying a trailing trace context.
+        let Ok(Framed { msg, trace }) = from_bytes_shared::<Framed>(payload) else {
             return;
         };
         let now = self.now_ms();
@@ -388,6 +412,10 @@ impl NodeWorker {
                 // Clients may only submit under their own identity.
                 if request.client != ClientId(cid) {
                     return;
+                }
+                if let (Some(flight), Some(ctx)) = (&self.config.flight, trace) {
+                    // Arrival of a traced submission at this replica.
+                    flight.record(now * 1000, EventKind::Submit, ctx.id, cid as u64, request.seq);
                 }
                 self.clients.write().insert(request.client);
                 // Retransmission of an already-answered request: replay
@@ -567,6 +595,11 @@ impl NodeWorker {
             "node {} behind: starting state transfer towards cid {target_cid}",
             self.replica.node().0
         );
+        if let Some(flight) = &self.config.flight {
+            let at = self.now_ms() * 1000;
+            flight.record(at, EventKind::StateTransfer, target_cid, 0, 0);
+            flight.anomaly_at(at, "state_transfer");
+        }
         self.transfer = Some(Transfer {
             target_cid,
             checkpoints: HashMap::new(),
@@ -692,6 +725,9 @@ impl NodeWorker {
         self.stats.state_transfers.fetch_add(1, Ordering::Relaxed);
         if let Some(obs) = &self.obs {
             obs.state_transfers.inc();
+        }
+        if let Some(flight) = &self.config.flight {
+            flight.record(self.now_ms() * 1000, EventKind::StateTransfer, reached, 1, 0);
         }
         hlf_obs::info!(
             "node {} finished state transfer at cid {reached}",

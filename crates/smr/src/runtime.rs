@@ -7,7 +7,7 @@ use crate::storage::{LogStore, MemoryLog};
 use hlf_consensus::quorum::QuorumSystem;
 use hlf_consensus::replica::Config as ConsensusConfig;
 use hlf_crypto::ecdsa::{SigningKey, VerifyingKey};
-use hlf_obs::{Registry, Snapshot};
+use hlf_obs::{FlightRecorder, Registry, Snapshot};
 use hlf_transport::{Network, PeerId};
 use hlf_wire::{ClientId, NodeId};
 use std::sync::Arc;
@@ -94,6 +94,11 @@ pub struct ClusterRuntime {
     /// up front and reused across [`ClusterRuntime::restart`] so
     /// counters survive a crash/recover cycle.
     registries: Vec<Arc<Registry>>,
+    /// Per-node flight recorders (`node-0` .. `node-{n-1}`), created up
+    /// front like the registries. Nodes only *write* to them when
+    /// `HLF_TRACE` is on, but the handles always exist so callers can
+    /// drain anomaly dumps after a run.
+    flights: Vec<Arc<FlightRecorder>>,
     /// Shared registry for proxies created via [`ClusterRuntime::proxy`].
     client_registry: Arc<Registry>,
 }
@@ -132,7 +137,12 @@ impl ClusterRuntime {
     pub fn start_custom(
         n: usize,
         options: RuntimeOptions,
-        app_builder: impl Fn(usize, crate::node::PushHandle, Arc<Registry>) -> Box<dyn Application>
+        app_builder: impl Fn(
+                usize,
+                crate::node::PushHandle,
+                Arc<Registry>,
+                Option<Arc<FlightRecorder>>,
+            ) -> Box<dyn Application>
             + Send
             + Sync
             + 'static,
@@ -145,13 +155,17 @@ impl ClusterRuntime {
             let mut node_config = NodeConfig::new(consensus);
             node_config.checkpoint_interval = runtime.options.checkpoint_interval;
             node_config.registry = Some(Arc::clone(&runtime.registries[i]));
+            // Flight recording costs a ring write per protocol event;
+            // only arm it when tracing was requested.
+            let flight = hlf_obs::trace_enabled().then(|| Arc::clone(&runtime.flights[i]));
+            node_config.flight = flight.clone();
             let builder = Arc::clone(&app_builder);
             let registry = Arc::clone(&runtime.registries[i]);
             let handle = crate::node::spawn_replica_with(
                 node_config,
                 &runtime.network,
                 log_factory(i),
-                move |push| builder(i, push, registry),
+                move |push| builder(i, push, registry, flight),
             );
             runtime.handles.push(Some(handle));
         }
@@ -186,6 +200,9 @@ impl ClusterRuntime {
         };
         let keys = ClusterKeys::derive("runtime", n);
         let registries = (0..n).map(|i| Registry::new(format!("node-{i}"))).collect();
+        let flights = (0..n)
+            .map(|i| Arc::new(FlightRecorder::new(format!("node-{i}"))))
+            .collect();
         ClusterRuntime {
             network: Network::new(),
             handles: Vec::new(),
@@ -194,6 +211,7 @@ impl ClusterRuntime {
             options,
             next_client: 0,
             registries,
+            flights,
             client_registry: Registry::new("clients"),
         }
     }
@@ -219,6 +237,9 @@ impl ClusterRuntime {
         let mut node_config = NodeConfig::new(self.consensus_config(i));
         node_config.checkpoint_interval = self.options.checkpoint_interval;
         node_config.registry = Some(Arc::clone(&self.registries[i]));
+        if hlf_obs::trace_enabled() {
+            node_config.flight = Some(Arc::clone(&self.flights[i]));
+        }
         spawn_replica(node_config, &self.network, app, log)
     }
 
@@ -252,6 +273,18 @@ impl ClusterRuntime {
     /// The registry shared by all proxies from [`ClusterRuntime::proxy`].
     pub fn client_obs_registry(&self) -> Arc<Registry> {
         Arc::clone(&self.client_registry)
+    }
+
+    /// Node `i`'s flight recorder. Only populated while `HLF_TRACE` is
+    /// on, but the handle always exists (like the registries, it
+    /// survives crash/restart cycles).
+    pub fn flight(&self, i: usize) -> Arc<FlightRecorder> {
+        Arc::clone(&self.flights[i])
+    }
+
+    /// Drains every node's pending anomaly dumps, in node order.
+    pub fn take_flight_dumps(&self) -> Vec<hlf_obs::FlightDump> {
+        self.flights.iter().flat_map(|f| f.take_dumps()).collect()
     }
 
     /// Snapshots every node registry plus the client registry, in node

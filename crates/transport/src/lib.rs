@@ -28,6 +28,8 @@
 use hlf_wire::{BufferPool, Bytes};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use hlf_crypto::hmac::hmac_sha256_multi;
+use hlf_obs::flight::EventKind;
+use hlf_obs::FlightRecorder;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::error::Error;
@@ -63,6 +65,15 @@ impl PeerId {
     /// Returns `true` for replica ids.
     pub fn is_replica(&self) -> bool {
         matches!(self, PeerId::Replica(_))
+    }
+
+    /// Compact form used in flight-recorder events: replicas map to
+    /// their id, clients to `id | 1 << 32`.
+    pub fn flight_code(&self) -> u64 {
+        match self {
+            PeerId::Replica(id) => *id as u64,
+            PeerId::Client(id) => *id as u64 | (1 << 32),
+        }
     }
 }
 
@@ -222,6 +233,7 @@ impl Network {
             hub: Arc::clone(&self.hub),
             incoming: rx,
             stats: Arc::new(TrafficStats::default()),
+            flight: None,
         }
     }
 
@@ -280,6 +292,10 @@ pub struct Endpoint {
     hub: Arc<Hub>,
     incoming: Receiver<(PeerId, Bytes)>,
     stats: Arc<TrafficStats>,
+    /// Optional flight recorder: every received frame is logged as an
+    /// [`EventKind::Frame`] event so anomaly dumps show the message
+    /// arrivals leading up to the anomaly. `None` costs nothing.
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl fmt::Debug for Endpoint {
@@ -365,6 +381,13 @@ impl Endpoint {
         Arc::clone(&self.stats)
     }
 
+    /// Attaches a flight recorder; every subsequently received frame is
+    /// logged as an [`EventKind::Frame`] event (`a` = sender's
+    /// [`PeerId::flight_code`], `b` = payload bytes).
+    pub fn attach_flight(&mut self, flight: Arc<FlightRecorder>) {
+        self.flight = Some(flight);
+    }
+
     /// Sends `payload` to `to`.
     ///
     /// # Errors
@@ -406,7 +429,7 @@ impl Endpoint {
             .incoming
             .recv()
             .map_err(|_| TransportError::Disconnected(self.id))?;
-        self.note_received(&payload);
+        self.note_received(from, &payload);
         Ok((from, payload))
     }
 
@@ -418,7 +441,7 @@ impl Endpoint {
     pub fn recv_timeout(&self, timeout: Duration) -> Result<(PeerId, Bytes), TransportError> {
         match self.incoming.recv_timeout(timeout) {
             Ok((from, payload)) => {
-                self.note_received(&payload);
+                self.note_received(from, &payload);
                 Ok((from, payload))
             }
             Err(RecvTimeoutError::Timeout) => Err(TransportError::Timeout),
@@ -430,7 +453,7 @@ impl Endpoint {
     pub fn try_recv(&self) -> Option<(PeerId, Bytes)> {
         match self.incoming.try_recv() {
             Ok((from, payload)) => {
-                self.note_received(&payload);
+                self.note_received(from, &payload);
                 Some((from, payload))
             }
             Err(_) => None,
@@ -442,11 +465,19 @@ impl Endpoint {
         self.incoming.len()
     }
 
-    fn note_received(&self, payload: &Bytes) {
+    fn note_received(&self, from: PeerId, payload: &Bytes) {
         self.stats.messages_received.fetch_add(1, Ordering::Relaxed);
         self.stats
             .bytes_received
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        if let Some(flight) = &self.flight {
+            flight.record_now(
+                EventKind::Frame,
+                from.flight_code(),
+                payload.len() as u64,
+                0,
+            );
+        }
     }
 }
 
@@ -784,5 +815,27 @@ mod tests {
         assert_eq!(PeerId::client(3).to_string(), "client-3");
         assert!(PeerId::replica(0).is_replica());
         assert!(!PeerId::client(0).is_replica());
+    }
+
+    #[test]
+    fn attached_flight_logs_received_frames() {
+        let network = Network::new();
+        let a = network.join(PeerId::replica(0));
+        let mut b = network.join(PeerId::replica(1));
+        let flight = Arc::new(FlightRecorder::new("replica-1"));
+        b.attach_flight(Arc::clone(&flight));
+        a.send(PeerId::replica(1), Bytes::from_static(b"hello")).unwrap();
+        let (from, _) = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(from, PeerId::replica(0));
+        let events = flight.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::Frame);
+        assert_eq!(events[0].a, PeerId::replica(0).flight_code());
+        assert_eq!(events[0].b, 5);
+        // Clients land in a distinct code space.
+        assert_ne!(
+            PeerId::client(0).flight_code(),
+            PeerId::replica(0).flight_code()
+        );
     }
 }

@@ -44,9 +44,14 @@
 
 pub mod bytes;
 pub mod ids;
+pub mod trace;
 
 pub use bytes::{BufferPool, Bytes, PoolStats};
 pub use ids::{ClientId, NodeId};
+pub use trace::{
+    decode_trailing_trace, encode_trailing_trace, trailing_trace_len, TRACE_MARKER,
+    TRACE_WIRE_LEN,
+};
 
 use hlf_crypto::ecdsa::Signature;
 use hlf_crypto::sha256::Hash256;
