@@ -604,7 +604,7 @@ impl Replica {
             let set = self.delivered.entry(id.0).or_default();
             set.insert(id.1);
             while set.len() > DEDUP_WINDOW {
-                let min = *set.iter().next().expect("non-empty set");
+                let Some(&min) = set.iter().next() else { break };
                 set.remove(&min);
             }
         }
@@ -1149,8 +1149,11 @@ impl Replica {
     }
 
     fn note_stop_vote(&mut self, from: NodeId, regency: u32, actions: &mut Vec<Action>) {
-        self.stop_votes.entry(regency).or_default().insert(from);
-        let votes = self.stop_votes[&regency].len();
+        let votes = {
+            let set = self.stop_votes.entry(regency).or_default();
+            set.insert(from);
+            set.len()
+        };
         // Amplification: join once f+1 distinct replicas demand the
         // change (at least one of them is correct).
         if votes >= self.cfg.quorums.one_correct_count() && self.stop_sent_for < regency {

@@ -145,7 +145,11 @@ pub fn select(
     // replica claims an instance >= this value.
     let mut cids: Vec<u64> = valid.iter().map(|sd| sd.cid).collect();
     cids.sort_unstable_by(|a, b| b.cmp(a));
-    let kth = cids[quorums.f().min(cids.len() - 1)];
+    let kth = cids
+        .get(quorums.f())
+        .or_else(|| cids.last())
+        .copied()
+        .unwrap_or(0);
 
     let target = proven.max(kth);
 

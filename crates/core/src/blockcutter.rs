@@ -10,7 +10,7 @@
 //! reference implementation routes through consensus; see DESIGN.md.)
 
 use hlf_wire::Bytes;
-use hlf_wire::{decode_seq, encode_seq, Encode, Reader, WireError};
+use hlf_wire::{decode_seq, encode_seq, seq_encoded_len, Encode, Reader, WireError};
 
 /// Why a block was cut — a property of the ordered stream itself, so
 /// every replica attributes each cut identically.
@@ -178,9 +178,16 @@ impl BlockCutter {
     }
 }
 
+// lint:allow(codec): snapshot-only encoding — the decode direction is
+// `restore()`, which rebuilds `buffered_bytes` in place instead of
+// constructing a fresh value.
 impl Encode for BlockCutter {
     fn encode(&self, out: &mut Vec<u8>) {
         encode_seq(&self.buffer, out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        seq_encoded_len(&self.buffer)
     }
 }
 

@@ -119,6 +119,7 @@ impl Collecting {
     }
 
     /// Caches a verified triple; returns the net change in entry count.
+    // lint:allow(panic): `pop_front` runs only after the length check proved the deque non-empty
     fn insert_verified(&mut self, triple: (u32, Hash256, hlf_crypto::ecdsa::Signature)) -> i64 {
         if !self.verified.insert(triple) {
             return 0;
@@ -339,7 +340,7 @@ impl Frontend {
         if let Some(triple) = newly_verified {
             self.verify_cache_entries += entry.insert_verified(triple);
         }
-        let entry = self.collecting.get_mut(&slot).expect("just inserted");
+        let entry = self.collecting.get_mut(&slot).expect("just inserted"); // lint:allow(panic): the entry was inserted earlier in this call
         let key = block.header_hash();
         let (stored, signatures, nodes) = entry
             .candidates
@@ -407,7 +408,7 @@ impl Frontend {
             .keys()
             .find(|(channel, number)| *number == self.next_deliver_on(channel))
             .cloned()?;
-        let block = self.ready.remove(&slot).expect("key just seen");
+        let block = self.ready.remove(&slot).expect("key just seen"); // lint:allow(panic): the key was produced by iterating this map
         let number = slot.1;
         self.next_deliver.insert(slot.0, slot.1 + 1);
         self.count_delivery(number);

@@ -322,7 +322,7 @@ impl Application for OrderingNodeApp {
                 .map(|(channel, _)| channel.clone())
                 .collect();
             for channel in channels {
-                let chain = self.chains.get_mut(&channel).expect("channel exists");
+                let chain = self.chains.get_mut(&channel).expect("channel exists"); // lint:allow(panic): `channels` was collected from this map's own keys
                 let envelopes = chain.cutter.drain();
                 if let Some(obs) = &self.cutter_obs {
                     obs.record_cut(
@@ -375,6 +375,7 @@ impl Application for OrderingNodeApp {
         Bytes::from(out)
     }
 
+    // lint:allow(panic): a snapshot that fails to decode was certified by consensus yet is corrupt — halting beats running with unknown state
     fn restore(&mut self, snapshot: &[u8]) {
         let mut reader = Reader::new(snapshot);
         let count = u32::decode(&mut reader).expect("valid snapshot");

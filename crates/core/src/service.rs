@@ -160,7 +160,7 @@ impl OrderingService {
             runtime_options,
             move |i, push, registry, flight| {
                 let mut config =
-                    OrderingNodeConfig::new(i as u32, keys.signing[i].clone())
+                    OrderingNodeConfig::new(i as u32, keys.signing[i].clone()) // lint:allow(panic): builder invokes with `i < n`, the key count
                         .with_block_size(app_options.block_size)
                         .with_signing_threads(app_options.signing_threads)
                         .with_double_sign(app_options.double_sign)

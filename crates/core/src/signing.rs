@@ -176,7 +176,7 @@ impl SigningPool {
                             deliver(block);
                         }
                     })
-                    .expect("spawn signer thread")
+                    .expect("spawn signer thread") // lint:allow(panic): OS thread-spawn failure at pool construction is unrecoverable
             })
             .collect();
         SigningPool {

@@ -288,7 +288,7 @@ impl FrontendActor {
             Some((stored, senders)) => (stored, senders),
             None => {
                 entry.insert(hash, (block, HashSet::new()));
-                let (stored, senders) = entry.get_mut(&hash).expect("just inserted");
+                let (stored, senders) = entry.get_mut(&hash).expect("just inserted"); // lint:allow(panic): inserted on the line above
                 (stored, senders)
             }
         };
@@ -308,11 +308,11 @@ impl FrontendActor {
             if envelope.len() < 12 {
                 continue;
             }
-            let client = u32::from_le_bytes(envelope[0..4].try_into().expect("4 bytes"));
+            let client = u32::from_le_bytes(envelope[0..4].try_into().expect("4 bytes")); // lint:allow(panic): guarded by the `len() < 12` check above
             if client != self.client.0 {
                 continue;
             }
-            let seq = u64::from_le_bytes(envelope[4..12].try_into().expect("8 bytes"));
+            let seq = u64::from_le_bytes(envelope[4..12].try_into().expect("8 bytes")); // lint:allow(panic): guarded by the `len() < 12` check above
             if let Some(submitted) = self.submit_times.remove(&seq) {
                 self.delivered_envelopes += 1;
                 if let Some(flight) = &self.flight {
@@ -511,9 +511,9 @@ pub fn run_geo_experiment(config: &GeoConfig) -> GeoResult {
     let weighted = config.weights_override.unwrap_or(default_weights);
     let tentative = config.tentative_override.unwrap_or(default_tentative);
     let quorums = if weighted {
-        QuorumSystem::wheat_binary(n, f).expect("valid weighted configuration")
+        QuorumSystem::wheat_binary(n, f).expect("valid weighted configuration") // lint:allow(panic): scenario parameters are validated at simulation setup
     } else {
-        QuorumSystem::classic(n, f).expect("valid classic configuration")
+        QuorumSystem::classic(n, f).expect("valid classic configuration") // lint:allow(panic): scenario parameters are validated at simulation setup
     };
     // Frontend copy threshold: 2f+1 for final deliveries; under
     // tentative execution clients wait for ⌈(n+f+1)/2⌉ copies

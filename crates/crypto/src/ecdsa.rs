@@ -284,6 +284,9 @@ impl SigningKey {
     }
 
     fn sign_digest_with(&self, digest: &Hash256, mul_base: impl Fn(&U256) -> Point) -> Signature {
+        // lint:secret-scope(k, k_inv, rd, z_plus_rd) — the nonce and every
+        // private-scalar product must not steer control flow or memory
+        // addressing; `r` and `s` are public signature components.
         let sf = scalar_field();
         let n = order();
         let z = digest_to_scalar(digest);
@@ -291,7 +294,7 @@ impl SigningKey {
         loop {
             let k = nonce_gen.next_nonce();
             let point = mul_base(&k);
-            let (x, _) = point.to_affine().expect("k in [1, n-1] gives finite kG");
+            let (x, _) = point.to_affine().expect("k in [1, n-1] gives finite kG"); // lint:allow(panic): RFC 6979 nonces are in `[1, n-1]`, so `kG` is never the identity
             let r = x.reduce_once(n);
             if r.is_zero() {
                 continue;
@@ -350,6 +353,8 @@ impl Rfc6979 {
     }
 
     fn next_nonce(&mut self) -> U256 {
+        // lint:secret-scope(candidate) — HMAC-DRBG outputs become signing
+        // nonces.
         let n = order();
         loop {
             if self.primed {
@@ -359,8 +364,8 @@ impl Rfc6979 {
             self.primed = true;
             self.v = *hmac_sha256_multi(self.k.as_bytes(), &[&self.v]).as_bytes();
             let candidate = U256::from_be_bytes(&self.v);
-            if !candidate.is_zero() && &candidate < n {
-                return candidate;
+            if !candidate.is_zero() && &candidate < n { // lint:allow(consttime): RFC 6979 rejection sampling — a rejected candidate is discarded forever, and acceptance leaks only that the sample was below `n` (true for all but ~2⁻³² of draws)
+                return candidate; // lint:allow(consttime): the timing of this exit reveals the rejection count, never the accepted value
             }
         }
     }

@@ -8,6 +8,7 @@
 /// ```
 /// assert_eq!(hlf_crypto::hex::encode(&[0xde, 0xad, 0x01]), "dead01");
 /// ```
+// lint:allow(panic): nibble values are `< 16`, the exact alphabet length
 pub fn encode(bytes: &[u8]) -> String {
     const ALPHABET: &[u8; 16] = b"0123456789abcdef";
     let mut out = String::with_capacity(bytes.len() * 2);

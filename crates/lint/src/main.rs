@@ -1,0 +1,127 @@
+//! `hlf-lint` command-line driver.
+//!
+//! ```text
+//! hlf-lint --workspace                 # scan the whole workspace, strict
+//! hlf-lint --warn crates/bench         # advisory scan of one path
+//! hlf-lint --workspace --json out.json # also write the stable report
+//! hlf-lint --root /repo --workspace    # run from elsewhere
+//! ```
+//!
+//! Exit status: 0 when no error findings (or `--warn`), 1 when
+//! findings remain, 2 on usage or I/O errors.
+
+use hlf_lint::walk::{discover_path, discover_workspace};
+use hlf_lint::{analyze, Severity, SourceFile};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    workspace: bool,
+    warn: bool,
+    json: Option<PathBuf>,
+    paths: Vec<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: hlf-lint [--root DIR] [--json FILE] [--warn] (--workspace | PATH...)\n\
+     \n\
+     Runs the six invariant passes (panic, unsafe, lock-order, consttime,\n\
+     codec, println) over the workspace's library crates, plus the unsafe\n\
+     audit over benches/tests/examples. --warn downgrades findings to\n\
+     advisories (exit 0). --json writes the stable machine-readable report."
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        workspace: false,
+        warn: false,
+        json: None,
+        paths: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => opts.workspace = true,
+            "--warn" => opts.warn = true,
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root needs a directory")?);
+            }
+            "--json" => {
+                opts.json = Some(PathBuf::from(args.next().ok_or("--json needs a file path")?));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag '{other}'"));
+            }
+            path => opts.paths.push(PathBuf::from(path)),
+        }
+    }
+    if !opts.workspace && opts.paths.is_empty() {
+        return Err("pass --workspace or at least one path".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("hlf-lint: {msg}");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut files: Vec<SourceFile> = Vec::new();
+    let collected: Result<(), std::io::Error> = (|| {
+        if opts.workspace {
+            files.extend(discover_workspace(&opts.root)?);
+        }
+        for p in &opts.paths {
+            files.extend(discover_path(&opts.root, p)?);
+        }
+        Ok(())
+    })();
+    if let Err(e) = collected {
+        eprintln!("hlf-lint: {e}");
+        return ExitCode::from(2);
+    }
+
+    let mut report = analyze(&files);
+    if opts.warn {
+        for f in &mut report.findings {
+            f.severity = Severity::Warn;
+        }
+    }
+
+    for f in &report.findings {
+        eprintln!("{}", f.render());
+    }
+    let counts = report.counts();
+    let summary: Vec<String> = counts.iter().map(|(p, n)| format!("{p}: {n}")).collect();
+    eprintln!(
+        "hlf-lint: {} file(s), {} finding(s){}{}, {} suppression(s) honored",
+        report.files_scanned,
+        report.findings.len(),
+        if summary.is_empty() { "" } else { " — " },
+        summary.join(", "),
+        report.suppressions_used,
+    );
+
+    if let Some(json_path) = &opts.json {
+        if let Err(e) = std::fs::write(json_path, report.to_json()) {
+            eprintln!("hlf-lint: cannot write {}: {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if report.findings.is_empty() || opts.warn {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

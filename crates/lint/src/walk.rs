@@ -1,0 +1,153 @@
+//! Workspace discovery: finds the `.rs` files to scan and classifies
+//! them into [`FileClass`]es.
+
+use crate::passes::{FileClass, SourceFile};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into (fixture corpora contain
+/// deliberately-violating sources).
+const SKIP_DIRS: &[&str] = &["fixtures", "target", ".git"];
+
+/// Collects every workspace source file under `root`, classified.
+///
+/// Layout knowledge: `crates/*/src` and the top-level `src/` are
+/// library code; `crates/bench` is the bench harness; `crates/*/tests`,
+/// the top-level `tests/`, and `examples/` are test/example code.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory traversal or file reads.
+pub fn discover_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            let is_bench = dir.file_name().is_some_and(|n| n == "bench");
+            collect(root, &dir.join("src"), if is_bench { FileClass::Bench } else { FileClass::Lib }, &mut files)?;
+            collect(root, &dir.join("tests"), FileClass::Test, &mut files)?;
+            collect(root, &dir.join("examples"), FileClass::Example, &mut files)?;
+            collect(root, &dir.join("benches"), FileClass::Bench, &mut files)?;
+        }
+    }
+    collect(root, &root.join("src"), FileClass::Lib, &mut files)?;
+    collect(root, &root.join("tests"), FileClass::Test, &mut files)?;
+    collect(root, &root.join("examples"), FileClass::Example, &mut files)?;
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(files)
+}
+
+/// Collects the `.rs` files under an explicitly named file or
+/// directory, classified by its path (`…/tests/…` → test, `…/bench…` →
+/// bench, else library).
+///
+/// # Errors
+///
+/// Propagates I/O errors; a nonexistent path is an error here (explicit
+/// arguments should not silently scan nothing).
+pub fn discover_path(root: &Path, arg: &Path) -> io::Result<Vec<SourceFile>> {
+    let full = if arg.is_absolute() {
+        arg.to_path_buf()
+    } else {
+        root.join(arg)
+    };
+    if !full.exists() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no such file or directory: {}", full.display()),
+        ));
+    }
+    let mut files = Vec::new();
+    if full.is_file() {
+        push_file(root, &full, classify(&full), &mut files)?;
+    } else {
+        collect(root, &full, classify(&full), &mut files)?;
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(files)
+}
+
+fn classify(path: &Path) -> FileClass {
+    let s = path.to_string_lossy();
+    if s.contains("/tests/") || s.ends_with("/tests") {
+        FileClass::Test
+    } else if s.contains("/examples/") || s.ends_with("/examples") {
+        FileClass::Example
+    } else if s.contains("/bench/") || s.contains("/benches/") || s.ends_with("/bench") {
+        FileClass::Bench
+    } else {
+        FileClass::Lib
+    }
+}
+
+/// Recursively gathers `.rs` files under `dir` (silently skips a
+/// missing dir — not every crate has every layout directory).
+fn collect(
+    root: &Path,
+    dir: &Path,
+    class: FileClass,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            // `src/bin/` under the bench crate stays Bench; under a
+            // library crate binaries are still library-rule code.
+            collect(root, &path, class, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            push_file(root, &path, class, out)?;
+        }
+    }
+    Ok(())
+}
+
+fn push_file(
+    root: &Path,
+    path: &Path,
+    class: FileClass,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    let text = fs::read_to_string(path)?;
+    let rel = path
+        .strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .into_owned();
+    out.push(SourceFile {
+        path: rel,
+        class,
+        text,
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_by_path_shape() {
+        assert_eq!(classify(Path::new("/r/crates/wire/tests/x.rs")), FileClass::Test);
+        assert_eq!(classify(Path::new("/r/examples/demo.rs")), FileClass::Example);
+        assert_eq!(classify(Path::new("/r/crates/bench/src/bin/fig7.rs")), FileClass::Bench);
+        assert_eq!(classify(Path::new("/r/crates/wire/src/lib.rs")), FileClass::Lib);
+    }
+}

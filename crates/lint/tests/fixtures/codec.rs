@@ -1,0 +1,72 @@
+//! Fixture: codec-completeness pass.
+
+pub struct Reader;
+
+pub trait Encode {
+    fn encode(&self, out: &mut Vec<u8>);
+    fn encoded_len(&self) -> usize;
+}
+
+pub trait Decode: Sized {
+    fn decode(r: &mut Reader) -> Option<Self>;
+}
+
+pub struct Missing(u8);
+
+impl Encode for Missing {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.0);
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+pub struct NoLen(u8);
+
+impl Encode for NoLen {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.0);
+    }
+}
+
+impl Decode for NoLen {
+    fn decode(_r: &mut Reader) -> Option<Self> {
+        Some(NoLen(0))
+    }
+}
+
+pub enum Tagged {
+    A,
+    B,
+}
+
+impl Encode for Tagged {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Tagged::A => out.push(7),
+            Tagged::B => out.push(7),
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Decode for Tagged {
+    fn decode(_r: &mut Reader) -> Option<Self> {
+        Some(Tagged::A)
+    }
+}
+
+pub struct OneWay(u8);
+
+// lint:allow(codec): fixture — snapshot-only encoding; restore happens out of band
+impl Encode for OneWay {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.0);
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture: lock-order pass — the same seeded cycle, suppressed at the
+//! reported edge site.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock(); // lint:allow(lock-order): fixture — the reverse order is documented as unreachable here
+        drop(b);
+        drop(a);
+    }
+
+    pub fn backward(&self) {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        drop(a);
+        drop(b);
+    }
+}

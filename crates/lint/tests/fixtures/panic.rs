@@ -1,0 +1,9 @@
+//! Fixture: panic-discipline pass.
+
+pub fn flagged(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+pub fn suppressed(x: Option<u8>) -> u8 {
+    x.unwrap() // lint:allow(panic): fixture — the value is always Some in this demo
+}

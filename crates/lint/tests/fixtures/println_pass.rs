@@ -1,0 +1,9 @@
+//! Fixture: println-discipline pass.
+
+pub fn flagged() {
+    println!("debug spew");
+}
+
+pub fn justified() {
+    println!("operator-facing summary"); // lint:allow(println): fixture — CLI-facing output
+}

@@ -1,0 +1,10 @@
+//! Fixture: unsafe-audit pass.
+
+pub fn flagged(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn documented(p: *const u8) -> u8 {
+    // SAFETY: fixture — the caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}

@@ -1,0 +1,135 @@
+//! Fixture-driven integration tests: one detection case and one
+//! suppression case per analyzer pass.
+//!
+//! The fixtures live under `tests/fixtures/` (a directory the workspace
+//! walker skips, so the seeded violations never count against the real
+//! scan) and are embedded with `include_str!`, keeping the tests free of
+//! filesystem dependencies.
+
+use hlf_lint::{analyze, FileClass, Finding, SourceFile};
+
+fn run(name: &str, text: &str) -> Vec<Finding> {
+    let file = SourceFile {
+        path: format!("fixtures/{name}"),
+        class: FileClass::Lib,
+        text: text.into(),
+    };
+    analyze(&[file]).findings
+}
+
+/// (line, message) pairs for one pass, sorted by line.
+fn by_pass(findings: &[Finding], pass: &str) -> Vec<(u32, String)> {
+    let mut out: Vec<(u32, String)> = findings
+        .iter()
+        .filter(|f| f.pass == pass)
+        .map(|f| (f.line, f.message.clone()))
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn panic_pass_detects_and_suppresses() {
+    let findings = run("panic.rs", include_str!("fixtures/panic.rs"));
+    let hits = by_pass(&findings, "panic");
+    assert_eq!(hits.len(), 1, "{findings:?}");
+    assert_eq!(hits[0].0, 4, "the unsuppressed unwrap is on line 4");
+    assert!(hits[0].1.contains("unwrap"));
+    // The suppression on line 8 was honored, so it is not "unused".
+    assert!(by_pass(&findings, "lint").is_empty(), "{findings:?}");
+}
+
+#[test]
+fn unsafe_pass_requires_safety_comment() {
+    let findings = run("unsafe_audit.rs", include_str!("fixtures/unsafe_audit.rs"));
+    let hits = by_pass(&findings, "unsafe");
+    assert_eq!(hits.len(), 1, "{findings:?}");
+    assert_eq!(hits[0].0, 4, "only the undocumented unsafe block is flagged");
+    assert!(hits[0].1.contains("SAFETY"));
+}
+
+#[test]
+fn lock_order_pass_catches_seeded_cycle() {
+    let findings = run("lock_order.rs", include_str!("fixtures/lock_order.rs"));
+    let hits = by_pass(&findings, "lock-order");
+    assert_eq!(hits.len(), 1, "{findings:?}");
+    assert!(
+        hits[0].1.contains("alpha -> beta -> alpha"),
+        "cycle names both locks: {}",
+        hits[0].1
+    );
+    assert!(hits[0].1.contains("deadlock"), "{}", hits[0].1);
+}
+
+#[test]
+fn lock_order_suppression_silences_the_edge_site() {
+    let findings = run(
+        "lock_order_suppressed.rs",
+        include_str!("fixtures/lock_order_suppressed.rs"),
+    );
+    assert!(
+        by_pass(&findings, "lock-order").is_empty(),
+        "{findings:?}"
+    );
+    // The suppression was consumed by the cycle site, not left dangling.
+    assert!(by_pass(&findings, "lint").is_empty(), "{findings:?}");
+}
+
+#[test]
+fn codec_pass_flags_missing_decode_missing_len_and_dup_tags() {
+    let findings = run("codec.rs", include_str!("fixtures/codec.rs"));
+    let hits = by_pass(&findings, "codec");
+    assert_eq!(hits.len(), 3, "{findings:?}");
+    assert_eq!(hits[0].0, 16, "Missing has no Decode");
+    assert!(hits[0].1.contains("no matching `impl Decode`"), "{}", hits[0].1);
+    assert_eq!(hits[1].0, 27, "NoLen does not override encoded_len");
+    assert!(hits[1].1.contains("encoded_len"), "{}", hits[1].1);
+    assert_eq!(hits[2].0, 48, "second push(7) reuses the tag");
+    assert!(hits[2].1.contains("duplicate message tag 7"), "{}", hits[2].1);
+    // OneWay's reasoned allow above the impl is honored.
+    assert!(by_pass(&findings, "lint").is_empty(), "{findings:?}");
+}
+
+#[test]
+fn consttime_pass_catches_seeded_secret_branch() {
+    let findings = run("consttime.rs", include_str!("fixtures/consttime.rs"));
+    let hits = by_pass(&findings, "consttime");
+    assert_eq!(hits.len(), 2, "{findings:?}");
+    assert_eq!(hits[0].0, 7, "the secret-dependent `if` is on line 7");
+    assert!(hits[0].1.contains("secret `secret`"), "{}", hits[0].1);
+    assert_eq!(hits[1].0, 10, "the secret-indexed lookup is on line 10");
+    assert!(hits[1].1.contains("table lookup"), "{}", hits[1].1);
+    // The justified branch in `justified()` stays silent, and both the
+    // consttime and panic suppressions are consumed.
+    assert!(by_pass(&findings, "lint").is_empty(), "{findings:?}");
+    assert!(by_pass(&findings, "panic").is_empty(), "{findings:?}");
+}
+
+#[test]
+fn println_pass_detects_and_suppresses() {
+    let findings = run("println_pass.rs", include_str!("fixtures/println_pass.rs"));
+    let hits = by_pass(&findings, "println");
+    assert_eq!(hits.len(), 1, "{findings:?}");
+    assert_eq!(hits[0].0, 4);
+    assert!(by_pass(&findings, "lint").is_empty(), "{findings:?}");
+}
+
+#[test]
+fn json_report_shape_is_stable() {
+    let file = SourceFile {
+        path: "fixtures/panic.rs".into(),
+        class: FileClass::Lib,
+        text: include_str!("fixtures/panic.rs").into(),
+    };
+    let mut report = analyze(&[file]);
+    report.sort();
+    let json = report.to_json();
+    assert!(json.contains("\"version\": 1"), "{json}");
+    assert!(json.contains("\"files_scanned\": 1"), "{json}");
+    assert!(json.contains("\"suppressions_used\": 1"), "{json}");
+    assert!(json.contains("\"counts\": {\"panic\": 1}"), "{json}");
+    assert!(
+        json.contains("\"file\": \"fixtures/panic.rs\", \"line\": 4, \"pass\": \"panic\""),
+        "{json}"
+    );
+}

@@ -370,6 +370,7 @@ impl FlightRecorder {
 
     /// Records an event with an explicit timestamp (deterministic
     /// simulations pass virtual time). Wait-free, allocation-free.
+    // lint:allow(panic): the ring size is a power of two, so `ticket & (len - 1)` is always in bounds
     pub fn record(&self, at_us: u64, kind: EventKind, a: u64, b: u64, c: u64) {
         let ticket = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(ticket as usize) & (self.slots.len() - 1)];

@@ -56,8 +56,12 @@ impl Registry {
     /// # Panics
     ///
     /// Panics if the name is registered as a different metric kind.
+    // lint:allow(panic): documented API contract — registering one name as two metric kinds is a programming bug caught at first use
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut metrics = self.metrics.lock().unwrap();
+        let mut metrics = match self.metrics.lock() {
+            Ok(m) => m,
+            Err(poisoned) => poisoned.into_inner(),
+        };
         let entry = metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())));
@@ -72,8 +76,12 @@ impl Registry {
     /// # Panics
     ///
     /// Panics if the name is registered as a different metric kind.
+    // lint:allow(panic): documented API contract — registering one name as two metric kinds is a programming bug caught at first use
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut metrics = self.metrics.lock().unwrap();
+        let mut metrics = match self.metrics.lock() {
+            Ok(m) => m,
+            Err(poisoned) => poisoned.into_inner(),
+        };
         let entry = metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())));
@@ -88,8 +96,12 @@ impl Registry {
     /// # Panics
     ///
     /// Panics if the name is registered as a different metric kind.
+    // lint:allow(panic): documented API contract — registering one name as two metric kinds is a programming bug caught at first use
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut metrics = self.metrics.lock().unwrap();
+        let mut metrics = match self.metrics.lock() {
+            Ok(m) => m,
+            Err(poisoned) => poisoned.into_inner(),
+        };
         let entry = metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())));
@@ -103,15 +115,19 @@ impl Registry {
     /// any previous registration. Lets components expose counters they
     /// already keep (e.g. `SigningStats`) without double bookkeeping.
     pub fn register(&self, name: &str, metric: Metric) {
-        self.metrics
-            .lock()
-            .unwrap()
-            .insert(name.to_string(), metric);
+        match self.metrics.lock() {
+            Ok(mut m) => m,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+        .insert(name.to_string(), metric);
     }
 
     /// Point-in-time copy of every metric, sorted by name.
     pub fn snapshot(&self) -> Snapshot {
-        let metrics = self.metrics.lock().unwrap();
+        let metrics = match self.metrics.lock() {
+            Ok(m) => m,
+            Err(poisoned) => poisoned.into_inner(),
+        };
         Snapshot {
             registry: self.name.clone(),
             metrics: metrics

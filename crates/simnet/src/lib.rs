@@ -492,6 +492,7 @@ impl<M: SimMessage> Simulation<M> {
     }
 
     /// Immutable access to an actor (for post-run inspection).
+    // lint:allow(panic): an out-of-range actor index is harness misuse and must fail the test loudly
     pub fn actor(&self, index: usize) -> &dyn Actor<M> {
         self.actors[index].as_ref()
     }
@@ -546,7 +547,7 @@ impl<M: SimMessage> Simulation<M> {
                 samples: &mut self.samples,
                 rng: &mut self.rng,
             };
-            let actor = &mut self.actors[actor_index];
+            let actor = &mut self.actors[actor_index]; // lint:allow(panic): the event queue only holds indices of registered actors
             match payload {
                 None => actor.on_start(&mut ctx),
                 Some(Payload::Message { from, msg }) => actor.on_message(from, msg, &mut ctx),
@@ -557,7 +558,7 @@ impl<M: SimMessage> Simulation<M> {
             match effect {
                 Effect::Send { to, msg } => {
                     if to >= self.actors.len() {
-                        panic!("send to unknown actor {to}");
+                        panic!("send to unknown actor {to}"); // lint:allow(panic): actor misuse must fail the simulation loudly
                     }
                     if self.faults.drops(actor_index, to, self.now, &mut self.rng) {
                         continue;
@@ -596,6 +597,7 @@ impl<M: SimMessage> Simulation<M> {
 
 /// Computes a percentile (0-100) of `values` using nearest-rank on a
 /// sorted copy. Returns `None` for empty input.
+// lint:allow(panic): samples are finite durations (no NaN), and the rank is clamped to `len - 1` after the empty check
 pub fn percentile(values: &[f64], pct: f64) -> Option<f64> {
     if values.is_empty() {
         return None;

@@ -273,6 +273,7 @@ pub fn spawn_replica_with(
             let mut worker = NodeWorker::new(config, endpoint, app, log, thread_stats, clients);
             worker.run(&thread_shutdown);
         })
+        // lint:allow(panic): OS thread-spawn failure at boot is unrecoverable — the replica cannot exist without its worker thread
         .expect("spawn replica thread");
 
     NodeHandle {
@@ -499,10 +500,12 @@ impl NodeWorker {
                                 .get(&request.client)
                                 .is_some_and(|(seq, _)| *seq == request.seq);
                             if matches {
-                                let (_, seen) =
-                                    self.request_seen.remove(&request.client).unwrap();
-                                obs.request_decide_us
-                                    .record(seen.elapsed().as_micros() as u64);
+                                if let Some((_, seen)) =
+                                    self.request_seen.remove(&request.client)
+                                {
+                                    obs.request_decide_us
+                                        .record(seen.elapsed().as_micros() as u64);
+                                }
                             }
                         }
                     }
@@ -665,6 +668,7 @@ impl NodeWorker {
         self.try_complete_transfer();
     }
 
+    // lint:allow(panic): map lookups run only after `contiguous`/`rest_ok` proved every cid in the range is present
     fn try_complete_transfer(&mut self) {
         let Some(transfer) = &self.transfer else {
             return;

@@ -134,6 +134,7 @@ impl ClusterRuntime {
     /// # Panics
     ///
     /// Panics on invalid `(n, f)` combinations.
+    // lint:allow(panic): cluster test-runtime harness — node indices come from the caller's own `0..n` loop and misuse must fail tests loudly
     pub fn start_custom(
         n: usize,
         options: RuntimeOptions,
@@ -192,6 +193,7 @@ impl ClusterRuntime {
         runtime
     }
 
+    // lint:allow(panic): cluster test-runtime harness — node indices come from the caller's own `0..n` loop and misuse must fail tests loudly
     fn prepare(n: usize, options: RuntimeOptions) -> ClusterRuntime {
         let quorums = if options.wheat_weights {
             QuorumSystem::wheat_binary(n, options.f).expect("valid WHEAT configuration")
@@ -216,6 +218,7 @@ impl ClusterRuntime {
         }
     }
 
+    // lint:allow(panic): cluster test-runtime harness — node indices come from the caller's own `0..n` loop and misuse must fail tests loudly
     fn consensus_config(&self, i: usize) -> ConsensusConfig {
         ConsensusConfig::new(
             NodeId(i as u32),
@@ -228,6 +231,7 @@ impl ClusterRuntime {
         .with_request_timeout_ms(self.options.request_timeout_ms)
     }
 
+    // lint:allow(panic): cluster test-runtime harness — node indices come from the caller's own `0..n` loop and misuse must fail tests loudly
     fn spawn_node(
         &self,
         i: usize,
@@ -254,11 +258,13 @@ impl ClusterRuntime {
     }
 
     /// Node statistics handle (panics if the node was crashed).
+    // lint:allow(panic): cluster test-runtime harness — node indices come from the caller's own `0..n` loop and misuse must fail tests loudly
     pub fn stats(&self, i: usize) -> &crate::node::NodeStats {
         self.handles[i].as_ref().expect("node running").stats()
     }
 
     /// Shared statistics handle for node `i` (panics if crashed).
+    // lint:allow(panic): cluster test-runtime harness — node indices come from the caller's own `0..n` loop and misuse must fail tests loudly
     pub fn stats_arc(&self, i: usize) -> std::sync::Arc<crate::node::NodeStats> {
         self.handles[i].as_ref().expect("node running").stats_arc()
     }
@@ -266,6 +272,7 @@ impl ClusterRuntime {
     /// Node `i`'s metrics registry. Unlike [`ClusterRuntime::stats`],
     /// this works while the node is crashed (the registry is owned by
     /// the runtime and survives restarts).
+    // lint:allow(panic): cluster test-runtime harness — node indices come from the caller's own `0..n` loop and misuse must fail tests loudly
     pub fn obs_registry(&self, i: usize) -> Arc<Registry> {
         Arc::clone(&self.registries[i])
     }
@@ -278,6 +285,7 @@ impl ClusterRuntime {
     /// Node `i`'s flight recorder. Only populated while `HLF_TRACE` is
     /// on, but the handle always exists (like the registries, it
     /// survives crash/restart cycles).
+    // lint:allow(panic): cluster test-runtime harness — node indices come from the caller's own `0..n` loop and misuse must fail tests loudly
     pub fn flight(&self, i: usize) -> Arc<FlightRecorder> {
         Arc::clone(&self.flights[i])
     }
@@ -317,6 +325,7 @@ impl ClusterRuntime {
     }
 
     /// Crashes node `i`: its thread stops and its mailbox disappears.
+    // lint:allow(panic): cluster test-runtime harness — node indices come from the caller's own `0..n` loop and misuse must fail tests loudly
     pub fn crash(&mut self, i: usize) {
         if let Some(handle) = self.handles[i].take() {
             self.network.part(PeerId::replica(i as u32));
@@ -332,6 +341,7 @@ impl ClusterRuntime {
     /// # Panics
     ///
     /// Panics if the node is still running.
+    // lint:allow(panic): cluster test-runtime harness — node indices come from the caller's own `0..n` loop and misuse must fail tests loudly
     pub fn restart(&mut self, i: usize, app: Box<dyn Application>, log: Box<dyn LogStore>) {
         assert!(self.handles[i].is_none(), "node {i} still running");
         let handle = self.spawn_node(i, app, log);

@@ -107,6 +107,13 @@ impl Encode for FileRecord {
             }
         }
     }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            FileRecord::Entry(entry) => entry.encoded_len(),
+            FileRecord::Checkpoint { cid, snapshot } => cid.encoded_len() + snapshot.encoded_len(),
+        }
+    }
 }
 
 impl Decode for FileRecord {
@@ -151,6 +158,7 @@ impl FileLog {
     /// # Errors
     ///
     /// Returns any I/O error opening or reading the file.
+    // lint:allow(panic): the `offset + 4 + len ≤ bytes.len()` guards make every slice range in-bounds; the 4-byte conversion is exact
     pub fn open(path: PathBuf) -> std::io::Result<FileLog> {
         let bytes = match fs::read(&path) {
             Ok(bytes) => bytes,
@@ -199,6 +207,7 @@ impl FileLog {
         &self.path
     }
 
+    // lint:allow(panic): losing durable agreement history is worse than crashing — a replica that cannot write its log must stop
     fn write_record(&mut self, record: &FileRecord) {
         let body = to_bytes(record);
         let mut framed = Vec::with_capacity(4 + body.len());

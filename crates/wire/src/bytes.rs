@@ -100,6 +100,7 @@ impl Bytes {
     }
 
     /// The viewed bytes as a slice.
+    // lint:allow(panic): `off + len` was bounds-checked against the backing buffer at construction
     pub fn as_slice(&self) -> &[u8] {
         match &self.repr {
             Repr::Static(s) => &s[self.off..self.off + self.len],
@@ -319,7 +320,7 @@ impl PoolInner {
             return;
         }
         buf.clear();
-        let mut free = self.free.lock().expect("pool lock");
+        let mut free = self.free.lock().expect("pool lock"); // lint:allow(panic): the pool mutex is held only for push/pop, never across a panic site
         if free.len() < self.max_idle {
             free.push(buf);
             self.recycled.fetch_add(1, Ordering::Relaxed);
@@ -377,7 +378,7 @@ impl BufferPool {
     /// Takes a cleared buffer with at least `capacity` bytes reserved,
     /// reusing a recycled one when available.
     pub fn take(&self, capacity: usize) -> Vec<u8> {
-        let reused = self.inner.free.lock().expect("pool lock").pop();
+        let reused = self.inner.free.lock().expect("pool lock").pop(); // lint:allow(panic): the pool mutex is held only for push/pop, never across a panic site
         match reused {
             Some(mut buf) => {
                 self.inner.hits.fetch_add(1, Ordering::Relaxed);
@@ -407,7 +408,7 @@ impl BufferPool {
 
     /// Number of buffers currently idle in the free list.
     pub fn idle(&self) -> usize {
-        self.inner.free.lock().expect("pool lock").len()
+        self.inner.free.lock().expect("pool lock").len() // lint:allow(panic): the pool mutex is held only for push/pop, never across a panic site
     }
 
     /// Cumulative pool counters.

@@ -143,13 +143,13 @@ impl<'a> Reader<'a> {
         if self.remaining() < n {
             return Err(WireError::UnexpectedEof);
         }
-        let out = &self.input[self.pos..self.pos + n];
+        let out = &self.input[self.pos..self.pos + n]; // lint:allow(panic): guarded by the `remaining() < n` check above
         self.pos += n;
         Ok(out)
     }
 
     fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
-        Ok(self.take(N)?.try_into().expect("take returned N bytes"))
+        Ok(self.take(N)?.try_into().expect("take returned N bytes")) // lint:allow(panic): `take(N)` returns exactly `N` bytes on success
     }
 
     /// Takes `n` bytes as a [`Bytes`] value: a zero-copy view when the
@@ -311,7 +311,7 @@ impl Decode for usize {
 }
 
 fn encode_len(len: usize, out: &mut Vec<u8>) {
-    let len = u32::try_from(len).expect("value length fits in u32");
+    let len = u32::try_from(len).expect("value length fits in u32"); // lint:allow(panic): the wire format caps every value at u32 length; encoding more is a caller bug
     len.encode(out);
 }
 
@@ -323,6 +323,8 @@ fn decode_len(r: &mut Reader<'_>) -> Result<usize, WireError> {
     Ok(len as usize)
 }
 
+// lint:allow(codec): `[u8]` is unsized, so it cannot implement
+// `Decode`; the decode direction lives on `Vec<u8>` and `Bytes`.
 impl Encode for [u8] {
     fn encode(&self, out: &mut Vec<u8>) {
         encode_len(self.len(), out);

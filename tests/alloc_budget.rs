@@ -18,21 +18,31 @@ static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
 struct CountingAlloc;
 
+// SAFETY: pure pass-through to `System`; the atomic counter allocates
+// nothing, so `GlobalAlloc`'s no-reentrancy and layout contracts are
+// exactly `System`'s own.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract; forwarded
+    // unchanged to `System`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: `ptr`/`layout` come from a prior `System` allocation via
+    // this allocator, so forwarding to `System.dealloc` is sound.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: same pass-through contract as `alloc`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         System.alloc_zeroed(layout)
     }
 
+    // SAFETY: `ptr`/`layout` describe a live `System` block; `new_size`
+    // is forwarded unchanged, so `System.realloc`'s contract holds.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
