@@ -1,6 +1,6 @@
 # Convenience targets for the hlf-bft reproduction.
 
-.PHONY: build test lint figures bench bench-crypto bench-wire obs-report trace-report clean-results
+.PHONY: build test lint figures bench bench-crypto bench-wire bench-pipeline obs-report trace-report clean-results
 
 build:
 	cargo build --workspace --release
@@ -45,6 +45,14 @@ bench-crypto:
 # doc comment for the two-step recipe).
 bench-wire:
 	cargo run --release -p bench --bin bench_wire -- --out bench_wire_raw.json
+
+# Pipelined-consensus headline: the BENCH_trace geo topology (4
+# replicas, f=1, one slowed by 250 ms) driven past the single-slot
+# saturation point at window depths k = 1/2/4. Asserts k=4 orders at
+# least 2x the k=1 throughput at an equal-or-better p50 and writes
+# BENCH_pipeline.json.
+bench-pipeline:
+	cargo run --release -p bench --bin bench_pipeline
 
 # Boot a 4-node cluster with tentative execution, drive ~2 s of
 # traffic, print every obs registry and write BENCH_obs.json.

@@ -1,0 +1,180 @@
+//! **Pipelined-consensus benchmark**: the headline number for the
+//! sliding-window tentpole. Runs the 4-replica BFT-SMaRt geo sim
+//! (f = 1, replica 3 slowed by 250 ms per link — the exact topology of
+//! `BENCH_trace.json`) at an offered load high enough to saturate the
+//! classic one-slot-at-a-time protocol, then repeats the identical run
+//! with the consensus window opened to k = 2 and k = 4 in-flight slots.
+//!
+//! With k = 1 the leader cannot propose slot s+1 until slot s decides,
+//! so throughput is capped at one `batch_max` per WAN round trip and
+//! the backlog (hence end-to-end latency) grows for the whole run. With
+//! k = 4 the WRITE/ACCEPT rounds of four slots overlap on the wire, the
+//! cluster absorbs the same load with headroom, and the median latency
+//! falls back to the uncongested figure.
+//!
+//! Acceptance (asserted here, recorded in `BENCH_pipeline.json`):
+//! ordered throughput at k = 4 is **≥ 2×** the k = 1 baseline, at an
+//! aggregate p50 end-to-end latency **no worse** than the baseline.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin bench_pipeline              # writes BENCH_pipeline.json
+//! cargo run --release -p bench --bin bench_pipeline -- out.json  # custom path
+//! ```
+
+use hlf_simnet::SimTime;
+use ordering_core::sim::{run_geo_experiment, GeoConfig, Protocol};
+
+/// Replica slowed in the sim (São Paulo; not the leader) — same as
+/// `trace_report` / `BENCH_trace.json`.
+const SLOW_NODE: usize = 3;
+/// Extra one-way delay on every link touching the slow replica.
+const SLOW_EXTRA_MS: u64 = 250;
+/// Offered load per frontend (envelopes/s). Chosen so the k = 1
+/// single-slot protocol saturates (one batch per WAN round trip falls
+/// short of the aggregate rate) while k = 4 keeps up with headroom.
+const RATE_PER_FRONTEND: f64 = 2500.0;
+/// Simulated run length and measurement warm-up.
+const DURATION_S: u64 = 10;
+const WARMUP_S: u64 = 2;
+/// Window depths measured; index 0 is the baseline, the last is the
+/// headline configuration.
+const DEPTHS: [usize; 3] = [1, 2, 4];
+
+/// One run's summary: ordered throughput plus aggregate latency.
+struct RunSummary {
+    depth: usize,
+    tx_s: f64,
+    p50_ms: f64,
+    p90_ms: f64,
+    samples: usize,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+
+    println!("# bench_pipeline: 4-replica BFT-SMaRt geo sim, f=1");
+    println!(
+        "# replica {SLOW_NODE} slowed by {SLOW_EXTRA_MS} ms/link, \
+         {RATE_PER_FRONTEND} env/s per frontend, {DURATION_S} s run \
+         ({WARMUP_S} s warm-up)\n"
+    );
+
+    let runs: Vec<RunSummary> = DEPTHS.iter().map(|&depth| run_depth(depth)).collect();
+
+    println!("{:>5} {:>12} {:>10} {:>10} {:>9}", "depth", "ordered/s", "p50 ms", "p90 ms", "samples");
+    for run in &runs {
+        println!(
+            "{:>5} {:>12.1} {:>10.1} {:>10.1} {:>9}",
+            run.depth, run.tx_s, run.p50_ms, run.p90_ms, run.samples
+        );
+    }
+
+    let baseline = &runs[0];
+    let pipelined = &runs[runs.len() - 1];
+    let speedup = pipelined.tx_s / baseline.tx_s;
+    println!(
+        "\nk={} vs k={}: {:.2}x throughput, p50 {:.1} ms -> {:.1} ms",
+        baseline.depth, pipelined.depth, speedup, baseline.p50_ms, pipelined.p50_ms
+    );
+
+    assert!(
+        speedup >= 2.0,
+        "pipelining must at least double saturated geo throughput \
+         (k={} {:.1}/s vs k={} {:.1}/s = {:.2}x)",
+        baseline.depth,
+        baseline.tx_s,
+        pipelined.depth,
+        pipelined.tx_s,
+        speedup
+    );
+    assert!(
+        pipelined.p50_ms <= baseline.p50_ms,
+        "pipelined p50 must be no worse than the saturated baseline \
+         ({:.1} ms vs {:.1} ms)",
+        pipelined.p50_ms,
+        baseline.p50_ms
+    );
+
+    let json = to_json(&runs, speedup);
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(err) => println!("could not write {out_path}: {err}"),
+    }
+}
+
+/// Runs the geo experiment at one window depth and summarises it.
+fn run_depth(depth: usize) -> RunSummary {
+    let mut config = GeoConfig::new(Protocol::BftSmart)
+        .with_slow_replica(SLOW_NODE, SimTime::from_millis(SLOW_EXTRA_MS))
+        .with_pipeline_depth(depth);
+    config.duration = SimTime::from_secs(DURATION_S);
+    config.warmup = SimTime::from_secs(WARMUP_S);
+    config.rate_per_frontend = RATE_PER_FRONTEND;
+    let result = run_geo_experiment(&config);
+
+    // Aggregate p50/p90 across frontends, weighted by sample count:
+    // the per-frontend medians are close (same backlog dominates), so
+    // the weighted mean of medians is a faithful aggregate.
+    let total: usize = result.frontends.iter().map(|f| f.samples).sum();
+    assert!(total > 0, "depth {depth}: no latency samples after warm-up");
+    let p50_ms = result
+        .frontends
+        .iter()
+        .map(|f| f.median_ms * f.samples as f64)
+        .sum::<f64>()
+        / total as f64;
+    let p90_ms = result
+        .frontends
+        .iter()
+        .map(|f| f.p90_ms * f.samples as f64)
+        .sum::<f64>()
+        / total as f64;
+    RunSummary {
+        depth,
+        tx_s: result.throughput,
+        p50_ms,
+        p90_ms,
+        samples: total,
+    }
+}
+
+/// Hand-rolled JSON (no serde in-tree), matching the other BENCH_*.json
+/// emitters.
+fn to_json(runs: &[RunSummary], speedup: f64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"config\": {");
+    out.push_str(&format!(
+        "\"protocol\": \"bftsmart\", \"n\": 4, \"f\": 1, \
+         \"slow_replica\": {SLOW_NODE}, \"slow_extra_ms\": {SLOW_EXTRA_MS}, \
+         \"rate_per_frontend\": {RATE_PER_FRONTEND}, \
+         \"duration_s\": {DURATION_S}, \"warmup_s\": {WARMUP_S}"
+    ));
+    out.push_str("},\n  \"runs\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"pipeline_depth\": {}, \"ordered_tx_s\": {:.1}, \
+             \"p50_ms\": {:.1}, \"p90_ms\": {:.1}, \"samples\": {}}}{}\n",
+            run.depth,
+            run.tx_s,
+            run.p50_ms,
+            run.p90_ms,
+            run.samples,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    let baseline = &runs[0];
+    let pipelined = &runs[runs.len() - 1];
+    out.push_str(&format!(
+        "  \"baseline\": {{\"pipeline_depth\": {}, \"ordered_tx_s\": {:.1}, \"p50_ms\": {:.1}}},\n",
+        baseline.depth, baseline.tx_s, baseline.p50_ms
+    ));
+    out.push_str(&format!(
+        "  \"pipelined\": {{\"pipeline_depth\": {}, \"ordered_tx_s\": {:.1}, \"p50_ms\": {:.1}}},\n",
+        pipelined.depth, pipelined.tx_s, pipelined.p50_ms
+    ));
+    out.push_str(&format!("  \"speedup\": {speedup:.2}\n}}\n"));
+    out
+}

@@ -321,13 +321,75 @@ impl Decode for DecisionProof {
     }
 }
 
+/// One in-flight slot *above* the sender's frontier in a pipelined
+/// window: the slot id plus the sender's WRITE state for it, reported
+/// inside [`StopData`] so the new regent can re-bind every live slot
+/// (an ACCEPT quorum may exist for a slot whose predecessors are still
+/// undecided — dropping such a slot's certificate would fork).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlotReport {
+    /// The in-flight consensus instance being reported.
+    pub cid: u64,
+    /// `(epoch, hash)` of the sender's most recent WRITE vote for `cid`.
+    pub last_write: Option<(u32, Hash256)>,
+    /// The batch behind `last_write`, if known.
+    pub value: Option<Batch>,
+    /// WRITE votes collected for `last_write` (a certificate when they
+    /// reach quorum weight).
+    pub write_cert: Vec<Vote>,
+}
+
+impl SlotReport {
+    /// Folds this report into a signing preimage (values are hashed,
+    /// not embedded, exactly like the frontier value in [`StopData`]).
+    fn fold_digest(&self, bytes: &mut Vec<u8>) {
+        self.cid.encode(bytes);
+        self.last_write.encode(bytes);
+        match &self.value {
+            None => bytes.push(0),
+            Some(batch) => {
+                bytes.push(1);
+                batch.digest().encode(bytes);
+            }
+        }
+        encode_seq(&self.write_cert, bytes);
+    }
+}
+
+impl Encode for SlotReport {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.cid.encode(out);
+        self.last_write.encode(out);
+        self.value.encode(out);
+        encode_seq(&self.write_cert, out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        8 + self.last_write.encoded_len()
+            + self.value.encoded_len()
+            + seq_encoded_len(&self.write_cert)
+    }
+}
+
+impl Decode for SlotReport {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SlotReport {
+            cid: Decode::decode(r)?,
+            last_write: Decode::decode(r)?,
+            value: Decode::decode(r)?,
+            write_cert: decode_seq(r)?,
+        })
+    }
+}
+
 /// A replica's signed contribution to the synchronization phase: its
 /// view of the current instance when regency `regency` was installed.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StopData {
     /// The regency being installed.
     pub regency: u32,
-    /// The sender's current (undecided) consensus instance.
+    /// The sender's current (undecided) consensus instance — the
+    /// frontier of its pipelined window.
     pub cid: u64,
     /// `(epoch, hash)` of the sender's most recent WRITE vote for `cid`,
     /// if it cast one.
@@ -337,6 +399,9 @@ pub struct StopData {
     /// WRITE votes collected for `last_write` (a certificate when they
     /// reach quorum weight).
     pub write_cert: Vec<Vote>,
+    /// In-flight slots above `cid` (pipelined window), in ascending slot
+    /// order. Empty whenever the window depth is 1.
+    pub extra_slots: Vec<SlotReport>,
     /// Proof of the sender's most recent decision (`cid - 1`), when it
     /// has decided anything.
     pub decision: Option<DecisionProof>,
@@ -347,17 +412,19 @@ pub struct StopData {
 }
 
 impl StopData {
+    #[allow(clippy::too_many_arguments)]
     fn signing_digest(
         regency: u32,
         cid: u64,
         last_write: &Option<(u32, Hash256)>,
         value: &Option<Batch>,
         write_cert: &[Vote],
+        extra_slots: &[SlotReport],
         decision: &Option<DecisionProof>,
         node: NodeId,
     ) -> Hash256 {
         let mut bytes = Vec::with_capacity(256);
-        bytes.extend_from_slice(b"hlfbft/stop-data/v1");
+        bytes.extend_from_slice(b"hlfbft/stop-data/v2");
         regency.encode(&mut bytes);
         cid.encode(&mut bytes);
         last_write.encode(&mut bytes);
@@ -371,12 +438,17 @@ impl StopData {
             }
         }
         encode_seq(write_cert, &mut bytes);
+        (extra_slots.len() as u32).encode(&mut bytes);
+        for report in extra_slots {
+            report.fold_digest(&mut bytes);
+        }
         decision.encode(&mut bytes);
         node.encode(&mut bytes);
         sha256(&bytes)
     }
 
-    /// Builds and signs a stop-data record.
+    /// Builds and signs a stop-data record with an empty window report
+    /// (the window-depth-1 case).
     #[allow(clippy::too_many_arguments)]
     pub fn sign(
         key: &SigningKey,
@@ -388,12 +460,32 @@ impl StopData {
         write_cert: Vec<Vote>,
         decision: Option<DecisionProof>,
     ) -> StopData {
+        StopData::sign_with_slots(
+            key, node, regency, cid, last_write, value, write_cert, vec![], decision,
+        )
+    }
+
+    /// Builds and signs a stop-data record carrying per-slot reports for
+    /// in-flight slots above the frontier.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sign_with_slots(
+        key: &SigningKey,
+        node: NodeId,
+        regency: u32,
+        cid: u64,
+        last_write: Option<(u32, Hash256)>,
+        value: Option<Batch>,
+        write_cert: Vec<Vote>,
+        extra_slots: Vec<SlotReport>,
+        decision: Option<DecisionProof>,
+    ) -> StopData {
         let digest = StopData::signing_digest(
             regency,
             cid,
             &last_write,
             &value,
             &write_cert,
+            &extra_slots,
             &decision,
             node,
         );
@@ -403,6 +495,7 @@ impl StopData {
             last_write,
             value,
             write_cert,
+            extra_slots,
             decision,
             node,
             signature: key.sign_digest(&digest),
@@ -418,6 +511,7 @@ impl StopData {
             &self.last_write,
             &self.value,
             &self.write_cert,
+            &self.extra_slots,
             &self.decision,
             self.node,
         );
@@ -432,6 +526,7 @@ impl Encode for StopData {
         self.last_write.encode(out);
         self.value.encode(out);
         encode_seq(&self.write_cert, out);
+        encode_seq(&self.extra_slots, out);
         self.decision.encode(out);
         self.node.encode(out);
         self.signature.encode(out);
@@ -442,6 +537,7 @@ impl Encode for StopData {
             + self.last_write.encoded_len()
             + self.value.encoded_len()
             + seq_encoded_len(&self.write_cert)
+            + seq_encoded_len(&self.extra_slots)
             + self.decision.encoded_len()
             + 4
             + 64
@@ -456,9 +552,42 @@ impl Decode for StopData {
             last_write: Decode::decode(r)?,
             value: Decode::decode(r)?,
             write_cert: decode_seq(r)?,
+            extra_slots: decode_seq(r)?,
             decision: Decode::decode(r)?,
             node: Decode::decode(r)?,
             signature: Decode::decode(r)?,
+        })
+    }
+}
+
+/// One slot re-proposal inside a [`ConsensusMsg::Sync`]: the new regent
+/// re-binds every live window slot above the resume frontier in one
+/// atomic message, so followers adopt the whole window (or none of it).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlotRebind {
+    /// The slot being re-proposed.
+    pub cid: u64,
+    /// The value the slot resumes with: the certified bound value when
+    /// one exists in the collect set, or an empty gap-filler batch.
+    pub batch: Batch,
+}
+
+impl Encode for SlotRebind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.cid.encode(out);
+        self.batch.encode(out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        8 + self.batch.encoded_len()
+    }
+}
+
+impl Decode for SlotRebind {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SlotRebind {
+            cid: Decode::decode(r)?,
+            batch: Decode::decode(r)?,
         })
     }
 }
@@ -497,6 +626,11 @@ pub enum ConsensusMsg {
         cid: u64,
         /// The value re-proposed for `cid`.
         batch: Batch,
+        /// Re-proposals for in-flight window slots above `cid`, in
+        /// contiguous ascending order up to the highest bound slot.
+        /// Empty whenever the window depth is 1 or no later slot was
+        /// bound.
+        rebinds: Vec<SlotRebind>,
     },
     /// A client request forwarded to the current leader (sent after the
     /// first timeout stage).
@@ -534,10 +668,26 @@ impl ConsensusMsg {
             ConsensusMsg::StopData(sd) => {
                 200 + sd.value.as_ref().map_or(0, |b| b.payload_bytes())
                     + 128 * sd.write_cert.len()
+                    + sd.extra_slots
+                        .iter()
+                        .map(|s| {
+                            32 + s.value.as_ref().map_or(0, |b| b.payload_bytes())
+                                + 128 * s.write_cert.len()
+                        })
+                        .sum::<usize>()
                     + sd.decision.as_ref().map_or(0, |d| 128 * d.votes.len())
             }
-            ConsensusMsg::Sync { collect, batch, .. } => {
+            ConsensusMsg::Sync {
+                collect,
+                batch,
+                rebinds,
+                ..
+            } => {
                 64 + batch.payload_bytes()
+                    + rebinds
+                        .iter()
+                        .map(|r| 16 + r.batch.payload_bytes() + 16 * r.batch.len())
+                        .sum::<usize>()
                     + collect
                         .iter()
                         .map(|sd| 200 + sd.value.as_ref().map_or(0, |b| b.payload_bytes()))
@@ -582,12 +732,14 @@ impl Encode for ConsensusMsg {
                 collect,
                 cid,
                 batch,
+                rebinds,
             } => {
                 out.push(5);
                 regency.encode(out);
                 encode_seq(collect, out);
                 cid.encode(out);
                 batch.encode(out);
+                encode_seq(rebinds, out);
             }
             ConsensusMsg::Forward { request } => {
                 out.push(6);
@@ -613,8 +765,11 @@ impl Encode for ConsensusMsg {
             ConsensusMsg::Stop { .. } => 4,
             ConsensusMsg::StopData(sd) => sd.encoded_len(),
             ConsensusMsg::Sync {
-                collect, batch, ..
-            } => 4 + seq_encoded_len(collect) + 8 + batch.encoded_len(),
+                collect,
+                batch,
+                rebinds,
+                ..
+            } => 4 + seq_encoded_len(collect) + 8 + batch.encoded_len() + seq_encoded_len(rebinds),
             ConsensusMsg::Forward { request } => request.encoded_len(),
             ConsensusMsg::ValueRequest { .. } => 8,
             ConsensusMsg::ValueReply { cid: _, batch, proof } => {
@@ -643,6 +798,7 @@ impl Decode for ConsensusMsg {
                 collect: decode_seq(r)?,
                 cid: Decode::decode(r)?,
                 batch: Decode::decode(r)?,
+                rebinds: decode_seq(r)?,
             },
             6 => ConsensusMsg::Forward {
                 request: Decode::decode(r)?,
@@ -790,13 +946,65 @@ mod tests {
     }
 
     #[test]
+    fn stop_data_signature_covers_extra_slots() {
+        let (sk, vk) = keys(1);
+        let batch = sample_batch();
+        let report = SlotReport {
+            cid: 12,
+            last_write: Some((0, batch.digest())),
+            value: Some(batch.clone()),
+            write_cert: vec![],
+        };
+        let sd = StopData::sign_with_slots(
+            &sk[0],
+            NodeId(0),
+            3,
+            11,
+            None,
+            None,
+            vec![],
+            vec![report],
+            None,
+        );
+        assert!(sd.verify_signature(&vk[0]));
+
+        // Dropping, retargeting, or value-swapping a slot report breaks
+        // the signature.
+        let mut dropped = sd.clone();
+        dropped.extra_slots.clear();
+        assert!(!dropped.verify_signature(&vk[0]));
+        let mut moved = sd.clone();
+        moved.extra_slots[0].cid = 13;
+        assert!(!moved.verify_signature(&vk[0]));
+        let mut swapped = sd.clone();
+        swapped.extra_slots[0].value = Some(Batch::empty());
+        assert!(!swapped.verify_signature(&vk[0]));
+    }
+
+    #[test]
     fn all_messages_roundtrip() {
         let (sk, _) = keys(1);
         let batch = sample_batch();
         let h = batch.digest();
         let vote = Vote::sign(&sk[0], VotePhase::Write, NodeId(0), 1, 0, h);
         let accept = Vote::sign(&sk[0], VotePhase::Accept, NodeId(0), 1, 0, h);
-        let sd = StopData::sign(&sk[0], NodeId(0), 1, 1, None, None, vec![], None);
+        let report = SlotReport {
+            cid: 2,
+            last_write: Some((0, h)),
+            value: Some(batch.clone()),
+            write_cert: vec![vote.clone()],
+        };
+        let sd = StopData::sign_with_slots(
+            &sk[0],
+            NodeId(0),
+            1,
+            1,
+            None,
+            None,
+            vec![],
+            vec![report],
+            None,
+        );
         let proof = DecisionProof {
             cid: 1,
             hash: h,
@@ -817,6 +1025,10 @@ mod tests {
                 collect: vec![sd],
                 cid: 1,
                 batch: batch.clone(),
+                rebinds: vec![SlotRebind {
+                    cid: 2,
+                    batch: batch.clone(),
+                }],
             },
             ConsensusMsg::Forward {
                 request: batch.requests[0].clone(),

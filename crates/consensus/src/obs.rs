@@ -16,6 +16,9 @@
 //! | `consensus.replica.rollbacks`            | counter | tentative deliveries undone |
 //! | `consensus.replica.regency_changes`      | counter | leader changes installed |
 //! | `consensus.replica.pending_requests`     | gauge   | requests waiting to be ordered |
+//! | `consensus.pipeline.window`      | gauge     | in-flight slots with an installed proposal |
+//! | `consensus.pipeline.ooo_votes`   | histogram | vote slot depth above the frontier (out-of-order) |
+//! | `consensus.pipeline.reproposals` | counter   | in-flight slots re-proposed by a new regent |
 
 use hlf_obs::{Counter, Gauge, Histogram, Registry};
 use std::sync::Arc;
@@ -44,6 +47,12 @@ pub struct ReplicaObs {
     pub regency_changes: Arc<Counter>,
     /// Requests currently waiting to be ordered.
     pub pending_requests: Arc<Gauge>,
+    /// In-flight window occupancy: slots holding an installed proposal.
+    pub pipeline_window: Arc<Gauge>,
+    /// Depth above the frontier of each accepted out-of-order vote.
+    pub pipeline_ooo_votes: Arc<Histogram>,
+    /// In-flight slots re-proposed (rebound) by a new regent's SYNC.
+    pub pipeline_reproposals: Arc<Counter>,
 }
 
 impl ReplicaObs {
@@ -61,6 +70,9 @@ impl ReplicaObs {
             rollbacks: registry.counter("consensus.replica.rollbacks"),
             regency_changes: registry.counter("consensus.replica.regency_changes"),
             pending_requests: registry.gauge("consensus.replica.pending_requests"),
+            pipeline_window: registry.gauge("consensus.pipeline.window"),
+            pipeline_ooo_votes: registry.histogram("consensus.pipeline.ooo_votes"),
+            pipeline_reproposals: registry.counter("consensus.pipeline.reproposals"),
         }
     }
 }
@@ -112,8 +124,14 @@ mod tests {
         obs.decided.inc();
         obs.write_phase_ms.record(3);
         obs.pending_requests.set(7);
+        obs.pipeline_window.set(3);
+        obs.pipeline_ooo_votes.record(2);
+        obs.pipeline_reproposals.inc();
         let snap = registry.snapshot();
         assert_eq!(snap.counter_value("consensus.replica.decided"), Some(1));
+        assert_eq!(snap.gauge_value("consensus.pipeline.window"), Some(3));
+        assert_eq!(snap.counter_value("consensus.pipeline.reproposals"), Some(1));
+        assert_eq!(snap.histogram("consensus.pipeline.ooo_votes").unwrap().count, 1);
         assert_eq!(
             snap.histogram("consensus.replica.write_phase_ms").unwrap().count,
             1

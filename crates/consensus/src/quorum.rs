@@ -11,7 +11,10 @@
 //! already form a quorum — the mechanism that lets the fastest replicas
 //! drive latency.
 
+use crate::messages::Vote;
+use hlf_crypto::sha256::Hash256;
 use hlf_wire::NodeId;
+use std::collections::HashMap;
 
 /// Vote-weight assignment across a replica group.
 ///
@@ -195,6 +198,88 @@ impl QuorumSystem {
     }
 }
 
+/// Per-slot vote collection: one tracker per consensus slot and phase,
+/// so votes arriving out of order across a pipelined window accumulate
+/// independently and quorum detection stays a pure function of the
+/// votes seen for *that* slot.
+///
+/// At most one vote per node is kept (a newer vote from the same node
+/// replaces the old one, matching the single-instance behaviour);
+/// equivocation between *slots* therefore cannot leak weight from one
+/// tracker into another.
+#[derive(Clone, Debug, Default)]
+pub struct QuorumTracker {
+    votes: HashMap<NodeId, Vote>,
+}
+
+impl QuorumTracker {
+    /// An empty tracker.
+    pub fn new() -> QuorumTracker {
+        QuorumTracker {
+            votes: HashMap::new(),
+        }
+    }
+
+    /// Number of distinct voters seen.
+    pub fn len(&self) -> usize {
+        self.votes.len()
+    }
+
+    /// `true` when no votes were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.votes.is_empty()
+    }
+
+    /// `true` if `node` already voted on this slot/phase.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.votes.contains_key(&node)
+    }
+
+    /// Records `vote` under its signer, replacing any earlier vote from
+    /// the same node.
+    pub fn insert(&mut self, vote: Vote) {
+        self.votes.insert(vote.node, vote);
+    }
+
+    /// The value hash backed by a quorum of recorded voters, if any.
+    ///
+    /// Votes are grouped by hash; voters are distinct by construction,
+    /// so the group weights feed [`QuorumSystem::is_quorum`] directly.
+    pub fn quorum_hash(&self, quorums: &QuorumSystem) -> Option<Hash256> {
+        let mut by_hash: HashMap<Hash256, Vec<NodeId>> = HashMap::new();
+        for vote in self.votes.values() {
+            by_hash.entry(vote.hash).or_default().push(vote.node);
+        }
+        by_hash
+            .into_iter()
+            .find(|(_, voters)| quorums.is_quorum(voters.iter().copied()))
+            .map(|(hash, _)| hash)
+    }
+
+    /// The votes matching `hash`, sorted by node id — a certificate
+    /// usable in decision proofs and view-change collect messages.
+    pub fn votes_for(&self, hash: Hash256) -> Vec<Vote> {
+        let mut cert: Vec<Vote> = self
+            .votes
+            .values()
+            .filter(|v| v.hash == hash)
+            .cloned()
+            .collect();
+        cert.sort_by_key(|v| v.node.0);
+        cert
+    }
+
+    /// Iterates over all recorded votes.
+    pub fn iter(&self) -> impl Iterator<Item = &Vote> {
+        self.votes.values()
+    }
+
+    /// Forgets all votes (epoch bump on a slot).
+    pub fn clear(&mut self) {
+        self.votes.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +397,49 @@ mod tests {
         let sys = QuorumSystem::classic(4, 1).unwrap();
         let nodes: Vec<NodeId> = sys.nodes().collect();
         assert_eq!(nodes, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn tracker_detects_quorum_per_hash() {
+        use crate::messages::VotePhase;
+        use hlf_crypto::ecdsa::SigningKey;
+        let sys = QuorumSystem::classic(4, 1).unwrap();
+        let keys: Vec<SigningKey> = (0..4)
+            .map(|i| SigningKey::from_seed(format!("tracker-{i}").as_bytes()))
+            .collect();
+        let hash_a = hlf_crypto::sha256::sha256(b"value-a");
+        let hash_b = hlf_crypto::sha256::sha256(b"value-b");
+        let mut tracker = QuorumTracker::new();
+        tracker.insert(Vote::sign(&keys[0], VotePhase::Write, NodeId(0), 7, 0, hash_a));
+        tracker.insert(Vote::sign(&keys[1], VotePhase::Write, NodeId(1), 7, 0, hash_b));
+        assert_eq!(tracker.quorum_hash(&sys), None);
+        tracker.insert(Vote::sign(&keys[2], VotePhase::Write, NodeId(2), 7, 0, hash_a));
+        assert_eq!(tracker.quorum_hash(&sys), None);
+        tracker.insert(Vote::sign(&keys[3], VotePhase::Write, NodeId(3), 7, 0, hash_a));
+        assert_eq!(tracker.quorum_hash(&sys), Some(hash_a));
+        // The certificate holds only matching votes, in node order.
+        let cert = tracker.votes_for(hash_a);
+        assert_eq!(cert.len(), 3);
+        assert!(cert.windows(2).all(|w| w[0].node.0 < w[1].node.0));
+        assert!(cert.iter().all(|v| v.hash == hash_a));
+    }
+
+    #[test]
+    fn tracker_replaces_duplicate_voter() {
+        use crate::messages::VotePhase;
+        use hlf_crypto::ecdsa::SigningKey;
+        let sys = QuorumSystem::classic(4, 1).unwrap();
+        let key = SigningKey::from_seed(b"tracker-dup");
+        let hash = hlf_crypto::sha256::sha256(b"value");
+        let mut tracker = QuorumTracker::new();
+        for _ in 0..5 {
+            tracker.insert(Vote::sign(&key, VotePhase::Write, NodeId(0), 1, 0, hash));
+        }
+        assert_eq!(tracker.len(), 1);
+        assert!(tracker.contains(NodeId(0)));
+        assert_eq!(tracker.quorum_hash(&sys), None);
+        tracker.clear();
+        assert!(tracker.is_empty());
     }
 
     mod properties {

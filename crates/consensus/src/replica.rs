@@ -19,10 +19,12 @@
 //! the batch right after the WRITE quorum. Timeouts escalate through
 //! request forwarding into a STOP / STOP-DATA / SYNC leader change.
 
-use crate::messages::{Batch, ConsensusMsg, DecisionProof, Request, StopData, Vote, VotePhase};
+use crate::messages::{
+    Batch, ConsensusMsg, DecisionProof, Request, SlotRebind, SlotReport, StopData, Vote, VotePhase,
+};
 use crate::obs::{HealthObs, ReplicaObs};
-use crate::quorum::QuorumSystem;
-use crate::sync::{select, validate_sync};
+use crate::quorum::{QuorumSystem, QuorumTracker};
+use crate::sync::{select_window, validate_sync_window, MAX_WINDOW};
 use hlf_crypto::ecdsa::{SigningKey, VerifyingKey};
 use hlf_crypto::sha256::Hash256;
 use hlf_obs::flight::EventKind;
@@ -60,6 +62,10 @@ pub struct Config {
     pub request_timeout_ms: u64,
     /// Cap on the pending request pool.
     pub max_pending: usize,
+    /// Sliding-window depth: how many consensus slots may run agreement
+    /// at once. `1` reproduces classic one-at-a-time operation; larger
+    /// values keep the WAN pipe full (decides still release in order).
+    pub pipeline_depth: usize,
 }
 
 impl std::fmt::Debug for Config {
@@ -70,6 +76,7 @@ impl std::fmt::Debug for Config {
             .field("f", &self.quorums.f())
             .field("tentative_execution", &self.tentative_execution)
             .field("batch_max", &self.batch_max)
+            .field("pipeline_depth", &self.pipeline_depth)
             .finish()
     }
 }
@@ -99,6 +106,7 @@ impl Config {
             max_batch_bytes: 8 * 1024 * 1024,
             request_timeout_ms: 2_000,
             max_pending: 100_000,
+            pipeline_depth: 1,
         }
     }
 
@@ -117,6 +125,13 @@ impl Config {
     /// Overrides the request timeout.
     pub fn with_request_timeout_ms(mut self, ms: u64) -> Config {
         self.request_timeout_ms = ms;
+        self
+    }
+
+    /// Sets the in-flight consensus window depth, clamped to
+    /// `1..=`[`MAX_WINDOW`] (the view-change protocol's horizon).
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Config {
+        self.pipeline_depth = depth.clamp(1, MAX_WINDOW as usize);
         self
     }
 }
@@ -170,6 +185,8 @@ pub struct Metrics {
     pub regency_changes: u64,
     /// Tentative deliveries rolled back.
     pub rollbacks: u64,
+    /// In-flight slots re-proposed by a new regent's SYNC.
+    pub reproposals: u64,
 }
 
 /// Per-instance consensus state.
@@ -179,12 +196,16 @@ struct Instance {
     epoch: u32,
     batch: Option<Batch>,
     hash: Option<Hash256>,
-    writes: HashMap<NodeId, Vote>,
-    accepts: HashMap<NodeId, Vote>,
+    writes: QuorumTracker,
+    accepts: QuorumTracker,
     write_sent: bool,
     accept_sent: bool,
     /// Digest delivered tentatively (WHEAT), if any.
     tentative: Option<Hash256>,
+    /// The slot's irrevocable decision (accept quorum reached), held
+    /// until every lower slot has committed: decides release strictly
+    /// in order even when quorums complete out of order.
+    decided: Option<(Batch, DecisionProof)>,
     /// Sticky across epoch bumps: our most recent WRITE in this
     /// instance, its value, and supporting votes (the potential
     /// certificate reported in STOP-DATA).
@@ -204,11 +225,12 @@ impl Instance {
             epoch,
             batch: None,
             hash: None,
-            writes: HashMap::new(),
-            accepts: HashMap::new(),
+            writes: QuorumTracker::new(),
+            accepts: QuorumTracker::new(),
             write_sent: false,
             accept_sent: false,
             tentative: None,
+            decided: None,
             last_write: None,
             last_write_value: None,
             last_write_cert: Vec::new(),
@@ -230,7 +252,8 @@ impl Instance {
         self.proposed_at = None;
         self.write_quorum_at = None;
         // `tentative` is kept: a rollback is only emitted if the new
-        // epoch binds a different value.
+        // epoch binds a different value. `decided` is kept too — an
+        // accept quorum is irrevocable across regencies.
     }
 }
 
@@ -258,7 +281,10 @@ pub struct Replica {
     regency: u32,
     /// Current undecided instance id (instances start at 1).
     next_cid: u64,
-    inst: Instance,
+    /// Live agreement slots, keyed by instance id. All keys lie in
+    /// `next_cid .. next_cid + pipeline_depth` (the sliding window);
+    /// entries are created lazily and removed when the slot commits.
+    insts: BTreeMap<u64, Instance>,
     /// FIFO pool of requests not yet decided.
     pending: VecDeque<Request>,
     pending_ids: HashSet<(ClientId, u64)>,
@@ -278,8 +304,9 @@ pub struct Replica {
     syncing: bool,
     sync_started_at: u64,
     collect: HashMap<NodeId, StopData>,
-    /// SYNC accepted while behind, adopted after state transfer.
-    pending_sync: Option<(u32, u64, Batch)>,
+    /// SYNC accepted while behind, adopted after state transfer
+    /// (regency, frontier cid, frontier batch, window rebinds).
+    pending_sync: Option<(u32, u64, Batch, Vec<SlotRebind>)>,
     // Catch-up.
     future: BTreeMap<u64, Vec<(NodeId, ConsensusMsg)>>,
     fetching_value: bool,
@@ -307,6 +334,12 @@ pub struct Replica {
     /// WRITE votes that arrive after the instance closed — the
     /// hallmark of a straggler — still feed the health detector.
     recent_proposed_at: VecDeque<(u64, u64)>,
+    /// Replica clock when the frontier last advanced; a higher slot
+    /// deciding while this sits still for a full timeout is a pipeline
+    /// stall (auto-dumped to the flight recorder once per stall).
+    frontier_since: u64,
+    /// Whether the current stall already dumped the flight ring.
+    stall_dumped: bool,
 }
 
 impl std::fmt::Debug for Replica {
@@ -327,7 +360,7 @@ impl Replica {
         let timeout = cfg.request_timeout_ms;
         let n = cfg.quorums.n();
         Replica {
-            inst: Instance::new(0),
+            insts: BTreeMap::new(),
             cfg,
             regency: 0,
             next_cid: 1,
@@ -357,6 +390,8 @@ impl Replica {
             health: StragglerDetector::new(n),
             health_obs: None,
             recent_proposed_at: VecDeque::new(),
+            frontier_since: 0,
+            stall_dumped: false,
         }
     }
 
@@ -477,6 +512,54 @@ impl Replica {
         self.syncing
     }
 
+    /// Configured sliding-window depth (1 = unpipelined).
+    pub fn pipeline_depth(&self) -> usize {
+        self.cfg.pipeline_depth
+    }
+
+    /// Window slots currently holding an installed proposal.
+    pub fn window_occupancy(&self) -> usize {
+        self.insts.values().filter(|i| i.batch.is_some()).count()
+    }
+
+    // ------------------------------------------------------------------
+    // Window bookkeeping
+    // ------------------------------------------------------------------
+
+    /// One past the highest slot the window admits.
+    fn window_end(&self) -> u64 {
+        self.next_cid + self.cfg.pipeline_depth as u64
+    }
+
+    /// Epoch a vote for `cid` must carry: the slot's live epoch, or the
+    /// current regency for a slot with no state yet.
+    fn slot_epoch(&self, cid: u64) -> u32 {
+        self.insts.get(&cid).map_or(self.regency, |i| i.epoch)
+    }
+
+    /// The live slot for `cid`, created lazily at the current regency.
+    fn inst_mut(&mut self, cid: u64) -> &mut Instance {
+        let regency = self.regency;
+        self.insts.entry(cid).or_insert_with(|| Instance::new(regency))
+    }
+
+    /// Request ids proposed in any live slot. Excluded from new batches
+    /// so the pipeline never orders the same request in two slots.
+    fn in_flight_ids(&self) -> HashSet<(ClientId, u64)> {
+        self.insts
+            .values()
+            .filter_map(|i| i.batch.as_ref())
+            .flat_map(|b| b.requests.iter().map(|r| r.id()))
+            .collect()
+    }
+
+    /// Mirrors window occupancy into the pipeline gauge.
+    fn update_window_gauge(&self) {
+        if let Some(obs) = &self.obs {
+            obs.pipeline_window.set(self.window_occupancy() as i64);
+        }
+    }
+
     // ------------------------------------------------------------------
     // Inputs
     // ------------------------------------------------------------------
@@ -515,6 +598,26 @@ impl Replica {
                 self.sync_started_at = self.now_ms;
             }
             return actions;
+        }
+        // Pipeline stall: a higher slot already decided while the
+        // frontier sat unresolved for a full timeout. Snapshot the
+        // flight ring once per stall so the blockage is diagnosable.
+        if !self.stall_dumped
+            && self.now_ms.saturating_sub(self.frontier_since) > self.timeout_ms
+            && self
+                .insts
+                .range(self.next_cid + 1..)
+                .any(|(_, slot)| slot.decided.is_some())
+        {
+            self.stall_dumped = true;
+            hlf_obs::info!(
+                "replica {} pipeline stalled at cid {} (higher slot decided)",
+                self.cfg.node.as_usize(),
+                self.next_cid
+            );
+            if let Some(flight) = &self.flight {
+                flight.anomaly_at(self.now_ms * 1000, "pipeline_stall");
+            }
         }
         if let Some(t0) = self.oldest_pending_since {
             let age = self.now_ms.saturating_sub(t0);
@@ -557,11 +660,14 @@ impl Replica {
             return actions;
         }
         self.next_cid = last_decided + 1;
-        self.inst = Instance::new(self.regency);
+        self.insts.clear();
         self.fetching_value = false;
-        if let Some((regency, cid, batch)) = self.pending_sync.take() {
+        self.frontier_since = self.now_ms;
+        self.stall_dumped = false;
+        self.update_window_gauge();
+        if let Some((regency, cid, batch, rebinds)) = self.pending_sync.take() {
             if regency == self.regency && cid == self.next_cid {
-                self.adopt_proposal(cid, batch, &mut actions);
+                self.adopt_window(cid, batch, rebinds, &mut actions);
             }
         }
         self.drain_future(&mut actions);
@@ -616,33 +722,49 @@ impl Replica {
     // Proposing
     // ------------------------------------------------------------------
 
+    /// Fills the window in slot order: the leader opens slot `s + 1`
+    /// while slot `s` is still in its WRITE phase, as long as
+    /// unproposed requests remain.
     fn try_propose(&mut self, actions: &mut Vec<Action>) {
-        if !self.is_leader()
-            || self.syncing
-            || self.inst.batch.is_some()
-            || self.pending.is_empty()
-        {
+        if !self.is_leader() || self.syncing {
             return;
         }
-        let batch = self.build_batch();
-        if batch.is_empty() {
-            return;
+        loop {
+            let Some(cid) = (self.next_cid..self.window_end())
+                .find(|cid| !self.insts.get(cid).is_some_and(|i| i.batch.is_some()))
+            else {
+                return; // window full
+            };
+            if self.pending.is_empty() {
+                return;
+            }
+            let batch = self.build_batch();
+            if batch.is_empty() {
+                return; // everything pending is already in flight
+            }
+            let msg = ConsensusMsg::Propose {
+                cid,
+                epoch: self.regency,
+                batch,
+            };
+            actions.push(Action::Broadcast(msg.clone()));
+            self.handle(self.cfg.node, msg, actions);
+            if cid >= self.next_cid && !self.insts.get(&cid).is_some_and(|i| i.batch.is_some()) {
+                return; // own proposal not installed; avoid spinning
+            }
         }
-        let msg = ConsensusMsg::Propose {
-            cid: self.next_cid,
-            epoch: self.regency,
-            batch,
-        };
-        actions.push(Action::Broadcast(msg.clone()));
-        self.handle(self.cfg.node, msg, actions);
     }
 
     fn build_batch(&self) -> Batch {
+        let in_flight = self.in_flight_ids();
         let mut requests = Vec::new();
         let mut bytes = 0usize;
         for request in &self.pending {
             if requests.len() >= self.cfg.batch_max {
                 break;
+            }
+            if in_flight.contains(&request.id()) {
+                continue;
             }
             bytes += request.payload.len();
             if !requests.is_empty() && bytes > self.cfg.max_batch_bytes {
@@ -671,7 +793,8 @@ impl Replica {
                 collect,
                 cid,
                 batch,
-            } => self.handle_sync(from, regency, collect, cid, batch, actions),
+                rebinds,
+            } => self.handle_sync(from, regency, collect, cid, batch, rebinds, actions),
             ConsensusMsg::Forward { request } => {
                 self.enqueue_request(request);
                 self.try_propose(actions);
@@ -703,8 +826,8 @@ impl Replica {
         }
     }
 
-    /// Buffers a message for a future instance; triggers value fetch if
-    /// enough distinct peers are demonstrably ahead.
+    /// Buffers a message beyond the live window; triggers value fetch
+    /// if enough distinct peers are demonstrably ahead.
     fn buffer_future(&mut self, from: NodeId, msg: ConsensusMsg, cid: u64, actions: &mut Vec<Action>) {
         if cid > self.next_cid + FUTURE_HORIZON {
             return;
@@ -737,19 +860,19 @@ impl Replica {
     }
 
     fn drain_future(&mut self, actions: &mut Vec<Action>) {
-        // Process buffered messages for the (new) current instance.
+        // Process buffered messages for every slot the window now
+        // admits; commits widen the window further, so loop.
         self.future.retain(|&cid, _| cid >= self.next_cid);
-        while let Some(msgs) = self.future.remove(&self.next_cid) {
-            let before = self.next_cid;
+        loop {
+            let Some((&cid, _)) = self.future.range(self.next_cid..self.window_end()).next()
+            else {
+                return;
+            };
+            let Some(msgs) = self.future.remove(&cid) else {
+                return;
+            };
             for (from, msg) in msgs {
                 self.handle(from, msg, actions);
-                if self.next_cid != before {
-                    // Decided while draining; outer loop re-checks.
-                    break;
-                }
-            }
-            if self.next_cid == before {
-                break;
             }
         }
     }
@@ -766,46 +889,70 @@ impl Replica {
         batch: Batch,
         actions: &mut Vec<Action>,
     ) {
-        if cid > self.next_cid {
+        if cid >= self.window_end() {
             self.buffer_future(from, ConsensusMsg::Propose { cid, epoch, batch }, cid, actions);
             return;
         }
         if cid < self.next_cid {
             return;
         }
-        if self.syncing || epoch > self.inst.epoch {
+        if self.syncing || epoch > self.slot_epoch(cid) {
             self.buffer_for_after_sync(from, ConsensusMsg::Propose { cid, epoch, batch });
             return;
         }
-        if epoch != self.regency || from != self.leader() || self.inst.batch.is_some() {
-            return;
-        }
-        // Validate the batch: non-empty (normal path), within limits,
-        // and free of already-delivered requests.
-        if batch.is_empty()
-            || batch.len() > self.cfg.batch_max
-            || batch.payload_bytes() > self.cfg.max_batch_bytes
-            || batch.requests.iter().any(|r| self.was_delivered(&r.id()))
+        if epoch != self.regency
+            || from != self.leader()
+            || self.insts.get(&cid).is_some_and(|i| i.batch.is_some())
         {
             return;
         }
-        self.accept_proposal(batch, actions);
+        // Validate the batch: non-empty (normal path), within limits,
+        // free of already-delivered requests, and disjoint from every
+        // other live slot (a leader must not order a request twice
+        // inside the window).
+        let in_flight = self.in_flight_ids();
+        if batch.is_empty()
+            || batch.len() > self.cfg.batch_max
+            || batch.payload_bytes() > self.cfg.max_batch_bytes
+            || batch.requests.iter().any(|r| {
+                let id = r.id();
+                self.was_delivered(&id) || in_flight.contains(&id)
+            })
+        {
+            return;
+        }
+        self.accept_proposal(cid, batch, actions);
     }
 
-    /// Installs a batch as the current proposal and casts our WRITE.
-    fn accept_proposal(&mut self, batch: Batch, actions: &mut Vec<Action>) {
+    /// Installs a batch as slot `cid`'s proposal and casts our WRITE.
+    fn accept_proposal(&mut self, cid: u64, batch: Batch, actions: &mut Vec<Action>) {
         let hash = batch.digest();
-        self.inst.hash = Some(hash);
-        self.inst.batch = Some(batch.clone());
-        self.inst.proposed_at = Some(self.now_ms);
-        self.recent_proposed_at.push_back((self.next_cid, self.now_ms));
+        // A conflicting tentative delivery (the slot re-bound to a
+        // different value) is undone before the slot re-runs, and every
+        // tentative slot above cascades with it.
+        if self
+            .insts
+            .get(&cid)
+            .is_some_and(|i| i.tentative.is_some() && i.tentative != Some(hash))
+        {
+            self.rollback_from(cid, actions);
+        }
+        let now = self.now_ms;
+        let epoch = {
+            let slot = self.inst_mut(cid);
+            slot.hash = Some(hash);
+            slot.batch = Some(batch.clone());
+            slot.proposed_at = Some(now);
+            slot.epoch
+        };
+        self.recent_proposed_at.push_back((cid, now));
         if self.recent_proposed_at.len() > 128 {
             self.recent_proposed_at.pop_front();
         }
         if self.flight.is_some() {
             self.flight_record(
                 EventKind::Propose,
-                self.next_cid,
+                cid,
                 self.regency as u64,
                 batch.len() as u64,
             );
@@ -816,7 +963,7 @@ impl Replica {
                 self.flight_record(
                     EventKind::TxInBatch,
                     hlf_obs::trace_id(request.client.0, request.seq),
-                    self.next_cid,
+                    cid,
                     pos as u64,
                 );
             }
@@ -826,21 +973,26 @@ impl Replica {
             &self.cfg.signing_key,
             VotePhase::Write,
             self.cfg.node,
-            self.next_cid,
-            self.inst.epoch,
+            cid,
+            epoch,
             hash,
         );
-        self.inst.write_sent = true;
-        self.inst.last_write = Some((self.inst.epoch, hash));
-        self.inst.last_write_value = Some(batch);
-        self.inst.last_write_cert = vec![vote.clone()];
+        let slot = self.inst_mut(cid);
+        slot.write_sent = true;
+        slot.last_write = Some((epoch, hash));
+        slot.last_write_value = Some(batch);
+        slot.last_write_cert = vec![vote.clone()];
+        self.update_window_gauge();
 
         actions.push(Action::Broadcast(ConsensusMsg::Write(vote.clone())));
         self.record_write(vote, actions);
+        // Votes can outrun the proposal: the slot may already hold an
+        // accept quorum whose value just became locally known.
+        self.try_decide(cid, actions);
     }
 
     fn handle_write(&mut self, from: NodeId, vote: Vote, actions: &mut Vec<Action>) {
-        if vote.cid > self.next_cid {
+        if vote.cid >= self.window_end() {
             self.buffer_future(from, ConsensusMsg::Write(vote.clone()), vote.cid, actions);
             return;
         }
@@ -856,11 +1008,11 @@ impl Replica {
         if vote.phase != VotePhase::Write || vote.node != from {
             return;
         }
-        if self.syncing || vote.epoch > self.inst.epoch {
+        if self.syncing || vote.epoch > self.slot_epoch(vote.cid) {
             self.buffer_for_after_sync(from, ConsensusMsg::Write(vote));
             return;
         }
-        if vote.epoch != self.inst.epoch {
+        if vote.epoch != self.slot_epoch(vote.cid) {
             return;
         }
         if from != self.cfg.node {
@@ -871,7 +1023,17 @@ impl Replica {
                 return;
             }
         }
+        self.record_ooo_depth(&vote);
         self.record_write(vote, actions);
+    }
+
+    /// Records how far above the frontier an accepted vote landed.
+    fn record_ooo_depth(&self, vote: &Vote) {
+        if vote.cid > self.next_cid {
+            if let Some(obs) = &self.obs {
+                obs.pipeline_ooo_votes.record(vote.cid - self.next_cid);
+            }
+        }
     }
 
     /// Measures a WRITE vote that arrived after its instance decided,
@@ -901,103 +1063,125 @@ impl Replica {
     }
 
     fn record_write(&mut self, vote: Vote, actions: &mut Vec<Action>) {
+        let cid = vote.cid;
         if vote.node != self.cfg.node {
-            if let Some(t0) = self.inst.proposed_at {
+            // Attribute the lag to the vote's *own* slot: with several
+            // slots live, a vote for an older slot measured against a
+            // newer slot's proposal time would smear a healthy peer.
+            if let Some(t0) = self.insts.get(&cid).and_then(|i| i.proposed_at) {
                 let lag_us = self.now_ms.saturating_sub(t0) * 1000;
-                self.flight_record(EventKind::WriteVote, vote.cid, vote.node.0 as u64, lag_us);
+                self.flight_record(EventKind::WriteVote, cid, vote.node.0 as u64, lag_us);
                 self.observe_vote_lag(vote.node, lag_us);
             }
         }
-        self.inst.writes.entry(vote.node).or_insert(vote);
-        self.check_write_quorum(actions);
+        let slot = self.inst_mut(cid);
+        if !slot.writes.contains(vote.node) {
+            slot.writes.insert(vote);
+        }
+        self.check_write_quorum(cid, actions);
     }
 
-    fn check_write_quorum(&mut self, actions: &mut Vec<Action>) {
-        let Some(hash) = self.inst.hash else {
+    fn check_write_quorum(&mut self, cid: u64, actions: &mut Vec<Action>) {
+        let Some(slot) = self.insts.get(&cid) else {
             return;
         };
-        let voters = self
-            .inst
-            .writes
-            .values()
-            .filter(|v| v.hash == hash)
-            .map(|v| v.node);
-        if !self.cfg.quorums.is_quorum(voters) {
+        let Some(hash) = slot.hash else {
+            return;
+        };
+        let cert = slot.writes.votes_for(hash);
+        if !self.cfg.quorums.is_quorum(cert.iter().map(|v| v.node)) {
             return;
         }
+        let epoch = slot.epoch;
+        let proposed_at = slot.proposed_at;
+        let accept_sent = slot.accept_sent;
+        let cert_len = cert.len();
         // Snapshot the certificate for a possible STOP-DATA.
-        self.inst.last_write_cert = self
-            .inst
-            .writes
-            .values()
-            .filter(|v| v.hash == hash)
-            .cloned()
-            .collect();
+        self.inst_mut(cid).last_write_cert = cert;
 
-        if !self.inst.accept_sent {
-            self.inst.accept_sent = true;
-            // The WRITE quorum just formed: close the WRITE phase.
-            self.inst.write_quorum_at = Some(self.now_ms);
+        if !accept_sent {
+            let now = self.now_ms;
+            {
+                let slot = self.inst_mut(cid);
+                slot.accept_sent = true;
+                // The WRITE quorum just formed: close the WRITE phase.
+                slot.write_quorum_at = Some(now);
+            }
             if let Some(obs) = &self.obs {
-                if let Some(t0) = self.inst.proposed_at {
-                    obs.write_phase_ms.record(self.now_ms.saturating_sub(t0));
+                if let Some(t0) = proposed_at {
+                    obs.write_phase_ms.record(now.saturating_sub(t0));
                 }
-                obs.write_quorum_votes
-                    .record(self.inst.last_write_cert.len() as u64);
+                obs.write_quorum_votes.record(cert_len as u64);
             }
             self.flight_record(
                 EventKind::WriteQuorum,
-                self.next_cid,
-                self.inst.last_write_cert.len() as u64,
-                self.inst
-                    .proposed_at
-                    .map_or(0, |t0| self.now_ms.saturating_sub(t0) * 1000),
+                cid,
+                cert_len as u64,
+                proposed_at.map_or(0, |t0| now.saturating_sub(t0) * 1000),
             );
             let vote = Vote::sign(
                 &self.cfg.signing_key,
                 VotePhase::Accept,
                 self.cfg.node,
-                self.next_cid,
-                self.inst.epoch,
+                cid,
+                epoch,
                 hash,
             );
             actions.push(Action::Broadcast(ConsensusMsg::Accept(vote.clone())));
             self.record_accept(vote, actions);
         }
 
-        if self.cfg.tentative_execution && self.inst.tentative.is_none() {
-            if let Some(batch) = self.inst.batch.clone() {
-                self.inst.tentative = Some(hash);
-                if let Some(obs) = &self.obs {
-                    obs.tentative_deliveries.inc();
-                }
-                self.flight_record(EventKind::TentativeDeliver, self.next_cid, 0, 0);
-                hlf_obs::trace!(
-                    "replica {} tentatively delivers cid {}",
-                    self.cfg.node.as_usize(),
-                    self.next_cid
-                );
-                actions.push(Action::DeliverTentative {
-                    cid: self.next_cid,
-                    batch,
-                });
+        self.release_tentatives(actions);
+    }
+
+    /// WHEAT tentative deliveries release strictly in slot order: slot
+    /// `s` is delivered only once every lower live slot has been. Out
+    /// of order tentative execution would corrupt the application's
+    /// sequential state.
+    fn release_tentatives(&mut self, actions: &mut Vec<Action>) {
+        if !self.cfg.tentative_execution {
+            return;
+        }
+        for cid in self.next_cid..self.window_end() {
+            let Some(slot) = self.insts.get(&cid) else {
+                break;
+            };
+            if slot.tentative.is_some() {
+                continue; // already delivered; keep scanning upward
             }
+            if !slot.accept_sent {
+                break; // write quorum not formed yet: stop, stay in order
+            }
+            let (Some(hash), Some(batch)) = (slot.hash, slot.batch.clone()) else {
+                break;
+            };
+            self.inst_mut(cid).tentative = Some(hash);
+            if let Some(obs) = &self.obs {
+                obs.tentative_deliveries.inc();
+            }
+            self.flight_record(EventKind::TentativeDeliver, cid, 0, 0);
+            hlf_obs::trace!(
+                "replica {} tentatively delivers cid {}",
+                self.cfg.node.as_usize(),
+                cid
+            );
+            actions.push(Action::DeliverTentative { cid, batch });
         }
     }
 
     fn handle_accept(&mut self, from: NodeId, vote: Vote, actions: &mut Vec<Action>) {
-        if vote.cid > self.next_cid {
+        if vote.cid >= self.window_end() {
             self.buffer_future(from, ConsensusMsg::Accept(vote.clone()), vote.cid, actions);
             return;
         }
         if vote.cid < self.next_cid || vote.phase != VotePhase::Accept || vote.node != from {
             return;
         }
-        if self.syncing || vote.epoch > self.inst.epoch {
+        if self.syncing || vote.epoch > self.slot_epoch(vote.cid) {
             self.buffer_for_after_sync(from, ConsensusMsg::Accept(vote));
             return;
         }
-        if vote.epoch != self.inst.epoch {
+        if vote.epoch != self.slot_epoch(vote.cid) {
             return;
         }
         if from != self.cfg.node {
@@ -1008,72 +1192,102 @@ impl Replica {
                 return;
             }
         }
+        self.record_ooo_depth(&vote);
         self.record_accept(vote, actions);
     }
 
     fn record_accept(&mut self, vote: Vote, actions: &mut Vec<Action>) {
+        let cid = vote.cid;
         if vote.node != self.cfg.node {
-            // Measure ACCEPT lag from the WRITE quorum (when known) so
-            // both phases contribute ~one-message-delay samples.
-            if let Some(t0) = self.inst.write_quorum_at.or(self.inst.proposed_at) {
+            // Measure ACCEPT lag from the slot's own WRITE quorum (when
+            // known) so both phases contribute ~one-message-delay
+            // samples attributed to the right slot.
+            let t0 = self
+                .insts
+                .get(&cid)
+                .and_then(|i| i.write_quorum_at.or(i.proposed_at));
+            if let Some(t0) = t0 {
                 let lag_us = self.now_ms.saturating_sub(t0) * 1000;
-                self.flight_record(EventKind::AcceptVote, vote.cid, vote.node.0 as u64, lag_us);
+                self.flight_record(EventKind::AcceptVote, cid, vote.node.0 as u64, lag_us);
                 self.observe_vote_lag(vote.node, lag_us);
             }
         }
-        self.inst.accepts.entry(vote.node).or_insert(vote);
-        self.try_decide(actions);
+        let slot = self.inst_mut(cid);
+        if !slot.accepts.contains(vote.node) {
+            slot.accepts.insert(vote);
+        }
+        self.try_decide(cid, actions);
     }
 
-    fn try_decide(&mut self, actions: &mut Vec<Action>) {
-        // Find a hash with an accept quorum. Usually this is the
-        // proposed hash, but a replica that missed the PROPOSE can still
-        // learn the decision digest this way.
-        let mut by_hash: HashMap<Hash256, Vec<NodeId>> = HashMap::new();
-        for vote in self.inst.accepts.values() {
-            by_hash.entry(vote.hash).or_default().push(vote.node);
-        }
-        let decided_hash = by_hash
-            .into_iter()
-            .find(|(_, voters)| self.cfg.quorums.is_quorum(voters.iter().copied()))
-            .map(|(hash, _)| hash);
-        let Some(hash) = decided_hash else {
+    fn try_decide(&mut self, cid: u64, actions: &mut Vec<Action>) {
+        let Some(slot) = self.insts.get(&cid) else {
             return;
         };
-
-        let proof = DecisionProof {
-            cid: self.next_cid,
-            hash,
-            votes: self
-                .inst
-                .accepts
-                .values()
-                .filter(|v| v.hash == hash)
-                .cloned()
-                .collect(),
-        };
-
-        match self.inst.batch.clone() {
-            Some(batch) if batch.digest() == hash => {
-                self.commit(batch, proof, actions);
-            }
-            _ => {
-                // Decided digest known, value missing: fetch it.
-                if !self.fetching_value {
-                    self.fetching_value = true;
-                    let cid = self.next_cid;
-                    for node in self.cfg.quorums.nodes() {
-                        if node != self.cfg.node {
-                            actions.push(Action::Send(node, ConsensusMsg::ValueRequest { cid }));
+        if slot.decided.is_none() {
+            // Find a hash with an accept quorum. Usually this is the
+            // proposed hash, but a replica that missed the PROPOSE can
+            // still learn the decision digest this way.
+            let Some(hash) = slot.accepts.quorum_hash(&self.cfg.quorums) else {
+                return;
+            };
+            let proof = DecisionProof {
+                cid,
+                hash,
+                votes: slot.accepts.votes_for(hash),
+            };
+            match slot.batch.clone() {
+                Some(batch) if batch.digest() == hash => {
+                    self.inst_mut(cid).decided = Some((batch, proof));
+                }
+                _ => {
+                    // Decided digest known, value missing: fetch once
+                    // the slot reaches the frontier (release order is
+                    // strict anyway, so nothing above can commit first).
+                    if cid == self.next_cid && !self.fetching_value {
+                        self.fetching_value = true;
+                        self.fetch_started_at = self.now_ms;
+                        for node in self.cfg.quorums.nodes() {
+                            if node != self.cfg.node {
+                                actions.push(Action::Send(node, ConsensusMsg::ValueRequest { cid }));
+                            }
                         }
                     }
+                    return;
                 }
             }
+        }
+        self.release_decides(actions);
+    }
+
+    /// Commits every decided slot from the frontier upward, in order.
+    fn release_decides(&mut self, actions: &mut Vec<Action>) {
+        if self.syncing {
+            return;
+        }
+        while let Some((batch, proof)) = self
+            .insts
+            .get(&self.next_cid)
+            .and_then(|slot| slot.decided.clone())
+        {
+            self.commit(batch, proof, actions);
+        }
+        // The new frontier may hold an accept quorum for a value this
+        // replica never saw: re-run its decision check to start the
+        // fetch it deferred while it sat above the frontier.
+        let frontier = self.next_cid;
+        let needs_fetch = self.insts.get(&frontier).is_some_and(|slot| {
+            slot.decided.is_none() && slot.accepts.quorum_hash(&self.cfg.quorums).is_some()
+        });
+        if needs_fetch {
+            self.try_decide(frontier, actions);
         }
     }
 
     fn commit(&mut self, batch: Batch, proof: DecisionProof, actions: &mut Vec<Action>) {
         let cid = self.next_cid;
+        let slot = self.insts.remove(&cid);
+        let proposed_at = slot.as_ref().and_then(|s| s.proposed_at);
+        let write_quorum_at = slot.as_ref().and_then(|s| s.write_quorum_at);
         self.mark_delivered(&batch);
         self.last_decision = Some((cid, batch.clone(), proof.clone()));
         self.recent_decisions.push_back((cid, batch.clone(), proof.clone()));
@@ -1086,10 +1300,10 @@ impl Replica {
             obs.decided.inc();
             obs.pending_requests.set(self.pending.len() as i64);
             obs.accept_quorum_votes.record(proof.votes.len() as u64);
-            if let Some(t0) = self.inst.write_quorum_at {
+            if let Some(t0) = write_quorum_at {
                 obs.accept_phase_ms.record(self.now_ms.saturating_sub(t0));
             }
-            if let Some(t0) = self.inst.proposed_at {
+            if let Some(t0) = proposed_at {
                 obs.decide_ms.record(self.now_ms.saturating_sub(t0));
             }
         }
@@ -1097,9 +1311,7 @@ impl Replica {
             EventKind::Decide,
             cid,
             batch.len() as u64,
-            self.inst
-                .proposed_at
-                .map_or(0, |t0| self.now_ms.saturating_sub(t0) * 1000),
+            proposed_at.map_or(0, |t0| self.now_ms.saturating_sub(t0) * 1000),
         );
         hlf_obs::trace!(
             "replica {} decides cid {} ({} requests)",
@@ -1110,9 +1322,10 @@ impl Replica {
 
         actions.push(Action::Commit { cid, batch, proof });
 
-        // Advance to the next instance.
+        // Advance the frontier; higher slots stay live in the window.
         self.next_cid += 1;
-        self.inst = Instance::new(self.regency);
+        self.frontier_since = self.now_ms;
+        self.stall_dumped = false;
         self.fetching_value = false;
         self.timeout_ms = self.cfg.request_timeout_ms;
         self.forwarded = false;
@@ -1121,6 +1334,7 @@ impl Replica {
         } else {
             Some(self.now_ms)
         };
+        self.update_window_gauge();
 
         self.drain_future(actions);
         self.maybe_fetch_gap(actions);
@@ -1196,28 +1410,49 @@ impl Replica {
         self.stop_votes.retain(|&r, _| r > regency);
 
         let decision = self.last_decision.as_ref().map(|(_, _, proof)| proof.clone());
-        let write_cert = if self
-            .cfg
-            .quorums
-            .is_quorum(self.inst.last_write_cert.iter().map(|v| v.node))
-        {
-            self.inst.last_write_cert.clone()
-        } else {
-            Vec::new()
+        let quorums = &self.cfg.quorums;
+        let quorum_cert = |slot: &Instance| {
+            if quorums.is_quorum(slot.last_write_cert.iter().map(|v| v.node)) {
+                slot.last_write_cert.clone()
+            } else {
+                Vec::new()
+            }
         };
-        let sd = StopData::sign(
+        let (last_write, last_write_value, write_cert) = match self.insts.get(&self.next_cid) {
+            Some(slot) => (slot.last_write, slot.last_write_value.clone(), quorum_cert(slot)),
+            None => (None, None, Vec::new()),
+        };
+        // Report every live slot above the frontier too: a certified
+        // write there binds the new regent to re-propose its value, and
+        // even an uncertified report can supply the value bytes behind
+        // another replica's certificate.
+        let extra_slots: Vec<SlotReport> = self
+            .insts
+            .range(self.next_cid + 1..)
+            .filter(|(_, slot)| slot.last_write.is_some())
+            .map(|(&cid, slot)| SlotReport {
+                cid,
+                last_write: slot.last_write,
+                value: slot.last_write_value.clone(),
+                write_cert: quorum_cert(slot),
+            })
+            .collect();
+        let sd = StopData::sign_with_slots(
             &self.cfg.signing_key,
             self.cfg.node,
             regency,
             self.next_cid,
-            self.inst.last_write,
-            self.inst.last_write_value.clone(),
+            last_write,
+            last_write_value,
             write_cert,
+            extra_slots,
             decision,
         );
 
-        // Pause the current epoch's votes; keep sticky write history.
-        self.inst.bump_epoch(regency);
+        // Pause every live slot's votes; keep sticky write history.
+        for slot in self.insts.values_mut() {
+            slot.bump_epoch(regency);
+        }
 
         let leader = self.leader();
         if leader == self.cfg.node {
@@ -1263,10 +1498,32 @@ impl Replica {
             return;
         }
         let collect: Vec<StopData> = self.collect.values().cloned().collect();
-        let Ok(selection) = select(&collect, self.regency, &self.cfg.quorums, &self.cfg.keys)
+        let Ok(selection) =
+            select_window(&collect, self.regency, &self.cfg.quorums, &self.cfg.keys)
         else {
             return;
         };
+        // Re-propose every in-flight slot above the frontier: bound
+        // slots verbatim, unbound gaps as empty batches so in-order
+        // release can pass them.
+        let mut rebinds = Vec::with_capacity(selection.extra.len());
+        for (slot_cid, bound) in &selection.extra {
+            match bound {
+                Some(bound) => match &bound.value {
+                    Some(value) => rebinds.push(SlotRebind {
+                        cid: *slot_cid,
+                        batch: value.clone(),
+                    }),
+                    // Certified hash without recoverable bytes: wait
+                    // for more STOP-DATA or the sync timeout.
+                    None => return,
+                },
+                None => rebinds.push(SlotRebind {
+                    cid: *slot_cid,
+                    batch: Batch::empty(),
+                }),
+            }
+        }
         let batch = match &selection.bound {
             Some(bound) => match &bound.value {
                 Some(batch) => batch.clone(),
@@ -1275,13 +1532,33 @@ impl Replica {
                 // the sync timeout to escalate.
                 None => return,
             },
-            None => self.build_batch(), // possibly empty: sync may no-op
+            None => {
+                // Free choice at the frontier — but never re-order a
+                // request that a rebound slot above already carries.
+                let mut batch = self.build_batch(); // possibly empty: sync may no-op
+                let rebound: HashSet<(ClientId, u64)> = rebinds
+                    .iter()
+                    .flat_map(|r| r.batch.requests.iter().map(|q| q.id()))
+                    .collect();
+                if !rebound.is_empty() {
+                    batch = Batch::new(
+                        batch
+                            .requests
+                            .iter()
+                            .filter(|r| !rebound.contains(&r.id()))
+                            .cloned()
+                            .collect(),
+                    );
+                }
+                batch
+            }
         };
         let msg = ConsensusMsg::Sync {
             regency: self.regency,
             collect,
             cid: selection.cid,
             batch,
+            rebinds,
         };
         actions.push(Action::Broadcast(msg.clone()));
         self.handle(self.cfg.node, msg, actions);
@@ -1294,16 +1571,18 @@ impl Replica {
         collect: Vec<StopData>,
         cid: u64,
         batch: Batch,
+        rebinds: Vec<SlotRebind>,
         actions: &mut Vec<Action>,
     ) {
         if regency < self.regency || from != self.leader_of(regency) {
             return;
         }
-        if validate_sync(
+        if validate_sync_window(
             &collect,
             regency,
             cid,
             &batch,
+            &rebinds,
             &self.cfg.quorums,
             &self.cfg.keys,
         )
@@ -1333,7 +1612,9 @@ impl Replica {
                 self.cfg.node.as_usize(),
                 regency
             );
-            self.inst.bump_epoch(regency);
+            for slot in self.insts.values_mut() {
+                slot.bump_epoch(regency);
+            }
             self.stop_votes.retain(|&r, _| r > regency);
         }
 
@@ -1351,9 +1632,9 @@ impl Replica {
                 // We already decided this instance; nothing to adopt.
             }
             std::cmp::Ordering::Greater => {
-                // We are behind: remember the proposal, ask for state
+                // We are behind: remember the window, ask for state
                 // transfer.
-                self.pending_sync = Some((regency, cid, batch));
+                self.pending_sync = Some((regency, cid, batch, rebinds));
                 hlf_obs::debug!(
                     "replica {} behind: at cid {} while group syncs cid {}",
                     self.cfg.node.as_usize(),
@@ -1363,45 +1644,75 @@ impl Replica {
                 actions.push(Action::Behind { target_cid: cid });
             }
             std::cmp::Ordering::Equal => {
-                self.adopt_proposal(cid, batch, actions);
+                self.adopt_window(cid, batch, rebinds, actions);
             }
         }
         self.replay_sync_buffer(actions);
     }
 
-    /// Adopts a synchronization-phase proposal for the current instance.
-    fn adopt_proposal(&mut self, cid: u64, batch: Batch, actions: &mut Vec<Action>) {
+    /// Adopts a synchronization-phase window: the frontier value plus
+    /// every re-proposed in-flight slot above it, ascending. Conflicting
+    /// tentative deliveries are rolled back (highest slot first) by
+    /// [`Replica::accept_proposal`] as each slot re-binds.
+    fn adopt_window(
+        &mut self,
+        cid: u64,
+        batch: Batch,
+        rebinds: Vec<SlotRebind>,
+        actions: &mut Vec<Action>,
+    ) {
         debug_assert_eq!(cid, self.next_cid);
-        let new_hash = batch.digest();
+        if !rebinds.is_empty() {
+            if let Some(obs) = &self.obs {
+                for _ in &rebinds {
+                    obs.pipeline_reproposals.inc();
+                }
+            }
+            self.metrics.reproposals += rebinds.len() as u64;
+        }
+        let mut pairs = Vec::with_capacity(1 + rebinds.len());
+        // An empty frontier re-proposal still runs agreement so the
+        // group converges on instance numbering.
+        pairs.push((cid, batch));
+        for rebind in rebinds {
+            pairs.push((rebind.cid, rebind.batch));
+        }
+        for (slot_cid, value) in pairs {
+            let regency = self.regency;
+            self.inst_mut(slot_cid).bump_epoch(regency);
+            self.accept_proposal(slot_cid, value, actions);
+        }
+    }
 
-        // WHEAT rollback: a tentatively delivered value that differs
-        // from the newly bound one must be undone.
-        if let Some(tentative) = self.inst.tentative {
-            if tentative != new_hash {
-                self.inst.tentative = None;
-                self.metrics.rollbacks += 1;
-                if let Some(obs) = &self.obs {
-                    obs.rollbacks.inc();
-                }
-                self.flight_record(EventKind::Rollback, cid, 0, 0);
-                if let Some(flight) = &self.flight {
-                    flight.anomaly_at(self.now_ms * 1000, "rollback");
-                }
-                hlf_obs::debug!(
-                    "replica {} rolls back tentative cid {} (sync re-bound)",
-                    self.cfg.node.as_usize(),
-                    cid
-                );
-                actions.push(Action::Rollback { cid });
+    /// Rolls back every tentative delivery at or above `floor`, highest
+    /// slot first, so the application's positional undo snapshots unwind
+    /// to the state before `floor` executed.
+    fn rollback_from(&mut self, floor: u64, actions: &mut Vec<Action>) {
+        let cids: Vec<u64> = self
+            .insts
+            .range(floor..)
+            .filter(|(_, slot)| slot.tentative.is_some())
+            .map(|(&cid, _)| cid)
+            .collect();
+        for &cid in cids.iter().rev() {
+            self.inst_mut(cid).tentative = None;
+            self.metrics.rollbacks += 1;
+            if let Some(obs) = &self.obs {
+                obs.rollbacks.inc();
+            }
+            self.flight_record(EventKind::Rollback, cid, 0, 0);
+            hlf_obs::debug!(
+                "replica {} rolls back tentative cid {} (window re-bound)",
+                self.cfg.node.as_usize(),
+                cid
+            );
+            actions.push(Action::Rollback { cid });
+        }
+        if !cids.is_empty() {
+            if let Some(flight) = &self.flight {
+                flight.anomaly_at(self.now_ms * 1000, "rollback");
             }
         }
-
-        self.inst.bump_epoch(self.regency);
-        if batch.is_empty() {
-            // An empty re-proposal still runs agreement so the group
-            // converges on instance numbering.
-        }
-        self.accept_proposal(batch, actions);
     }
 
     // ------------------------------------------------------------------
@@ -1441,27 +1752,18 @@ impl Replica {
         {
             return;
         }
-        // A proven decision: adopt it directly.
-        if let Some(tentative) = self.inst.tentative {
-            if tentative != proof.hash {
-                self.inst.tentative = None;
-                self.metrics.rollbacks += 1;
-                if let Some(obs) = &self.obs {
-                    obs.rollbacks.inc();
-                }
-                self.flight_record(EventKind::Rollback, cid, 1, 0);
-                if let Some(flight) = &self.flight {
-                    flight.anomaly_at(self.now_ms * 1000, "rollback");
-                }
-                hlf_obs::debug!(
-                    "replica {} rolls back tentative cid {} (proven value differs)",
-                    self.cfg.node.as_usize(),
-                    cid
-                );
-                actions.push(Action::Rollback { cid });
-            }
+        // A proven decision: adopt it directly. A conflicting tentative
+        // delivery (and every tentative slot stacked above it) unwinds
+        // first.
+        if self
+            .insts
+            .get(&cid)
+            .is_some_and(|i| i.tentative.is_some() && i.tentative != Some(proof.hash))
+        {
+            self.rollback_from(cid, actions);
         }
         self.commit(batch, proof, actions);
+        self.release_decides(actions);
     }
 }
 
@@ -1956,5 +2258,89 @@ mod tests {
             flight.events().iter().any(|e| e.kind == EventKind::Suspect && e.a == 3),
             "suspicion not recorded in flight ring"
         );
+    }
+
+    fn make_leader_with_depth(depth: usize) -> (Replica, Vec<SigningKey>) {
+        let signing: Vec<SigningKey> = (0..4)
+            .map(|i| SigningKey::from_seed(format!("replica-unit-{i}").as_bytes()))
+            .collect();
+        let keys: Vec<VerifyingKey> = signing.iter().map(|k| *k.verifying_key()).collect();
+        let leader = Replica::new(
+            Config::new(
+                NodeId(0),
+                QuorumSystem::classic(4, 1).unwrap(),
+                keys,
+                signing[0].clone(),
+            )
+            .with_pipeline_depth(depth),
+        );
+        (leader, signing)
+    }
+
+    #[test]
+    fn pipelined_leader_keeps_window_full() {
+        let (mut leader, signing) = make_leader_with_depth(4);
+        let mut actions = Vec::new();
+        for seq in 1..=5 {
+            actions.extend(leader.on_request(0, req(seq)));
+        }
+        let mut proposed = std::collections::BTreeMap::new();
+        for action in &actions {
+            if let Action::Broadcast(ConsensusMsg::Propose { cid, batch, .. }) = action {
+                proposed.insert(*cid, batch.digest());
+            }
+        }
+        // Four slots open immediately; the fifth request waits for the
+        // window to slide.
+        assert_eq!(proposed.keys().copied().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        assert_eq!(leader.window_occupancy(), 4);
+        assert_eq!(leader.pending_len(), 5);
+
+        // Decide the frontier slot: the window slides and the waiting
+        // request is proposed into the freed slot.
+        let hash = proposed[&1];
+        for peer in [1usize, 2] {
+            let w = Vote::sign(&signing[peer], VotePhase::Write, NodeId(peer as u32), 1, 0, hash);
+            leader.on_message(10, NodeId(peer as u32), ConsensusMsg::Write(w));
+        }
+        let a1 = Vote::sign(&signing[1], VotePhase::Accept, NodeId(1), 1, 0, hash);
+        leader.on_message(20, NodeId(1), ConsensusMsg::Accept(a1));
+        let a2 = Vote::sign(&signing[2], VotePhase::Accept, NodeId(2), 1, 0, hash);
+        let decide = leader.on_message(20, NodeId(2), ConsensusMsg::Accept(a2));
+        assert!(decide.iter().any(|a| matches!(a, Action::Commit { cid: 1, .. })));
+        assert!(decide.iter().any(|a| matches!(
+            a,
+            Action::Broadcast(ConsensusMsg::Propose { cid: 5, .. })
+        )));
+        assert_eq!(leader.window_occupancy(), 4);
+        assert_eq!(leader.pending_len(), 4);
+    }
+
+    #[test]
+    fn straggler_attribution_uses_per_slot_proposal_time() {
+        // With two slots in flight, a vote for the *younger* slot must
+        // be measured against that slot's own proposal time. Here the
+        // vote lands 600 ms after slot 1 opened but only 100 ms after
+        // slot 2 did — the peer's lag is 100 ms, not 600 ms.
+        let (mut leader, signing) = make_leader_with_depth(2);
+        leader.on_request(0, req(1));
+        let slot2 = leader.on_request(500, req(2));
+        let hash2 = slot2
+            .iter()
+            .find_map(|a| match a {
+                Action::Broadcast(ConsensusMsg::Propose { cid: 2, batch, .. }) => {
+                    Some(batch.digest())
+                }
+                _ => None,
+            })
+            .expect("slot 2 proposed");
+        let w = Vote::sign(&signing[3], VotePhase::Write, NodeId(3), 2, 0, hash2);
+        leader.on_message(600, NodeId(3), ConsensusMsg::Write(w));
+        let lag = leader.health().peer_lag_us(3).expect("lag sample recorded");
+        assert!(
+            lag <= 150_000,
+            "vote lag attributed to the wrong slot: {lag}µs (expected ~100,000µs)"
+        );
+        assert!(lag >= 50_000, "lag sample lost: {lag}µs");
     }
 }

@@ -18,12 +18,18 @@
 //! (its certificate binds `v`), or enough replicas advanced past `c`
 //! that a decision proof raises the resume instance beyond `c`.
 
-use crate::messages::{Batch, StopData, Vote, VotePhase};
+use crate::messages::{Batch, SlotRebind, StopData, Vote, VotePhase};
 use crate::quorum::QuorumSystem;
 use crate::ConsensusError;
 use hlf_crypto::ecdsa::VerifyingKey;
 use hlf_crypto::sha256::Hash256;
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
+
+/// Upper bound on the pipelined window depth the protocol accepts.
+/// Bounds the slot range the selection function scans and the rebind
+/// vector a SYNC may carry, so a Byzantine collect set cannot force
+/// unbounded work.
+pub const MAX_WINDOW: u64 = 64;
 
 /// Outcome of the selection function.
 #[derive(Clone, Debug, PartialEq)]
@@ -34,6 +40,21 @@ pub struct Selection {
     /// the certificate epoch it was bound from, and the batch itself if
     /// any collect entry carried it.
     pub bound: Option<BoundValue>,
+}
+
+/// Outcome of the window-aware selection function: the frontier
+/// selection plus every later in-flight slot the new regent must
+/// re-propose.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindowSelection {
+    /// The instance the group resumes at (the window frontier).
+    pub cid: u64,
+    /// The frontier's bound value, when one exists.
+    pub bound: Option<BoundValue>,
+    /// Contiguous slots `cid+1 ..= highest bound slot`, each with its
+    /// bound value or `None` for an unbound gap (which must be
+    /// re-proposed as an empty batch so in-order release can pass it).
+    pub extra: Vec<(u64, Option<BoundValue>)>,
 }
 
 /// A value bound by a WRITE certificate in the collect set.
@@ -115,6 +136,62 @@ pub fn validate_collect<'a>(
     Ok(valid)
 }
 
+/// The bound value at one window slot, across frontier fields and
+/// per-slot reports of every valid collect entry. Highest certificate
+/// epoch wins.
+fn slot_bound(
+    valid: &[&StopData],
+    cid: u64,
+    quorums: &QuorumSystem,
+    keys: &[VerifyingKey],
+) -> Option<BoundValue> {
+    let mut bound: Option<BoundValue> = None;
+    let mut consider = |epoch: u32, hash: &Hash256, cert: &[Vote]| {
+        if cert.is_empty() || !write_cert_valid(cert, cid, epoch, hash, quorums, keys) {
+            return;
+        }
+        if bound.as_ref().is_none_or(|b| epoch > b.epoch) {
+            bound = Some(BoundValue {
+                hash: *hash,
+                epoch,
+                value: None,
+            });
+        }
+    };
+    for sd in valid {
+        if sd.cid == cid {
+            if let Some((epoch, hash)) = sd.last_write {
+                consider(epoch, &hash, &sd.write_cert);
+            }
+        }
+        for report in &sd.extra_slots {
+            if report.cid == cid {
+                if let Some((epoch, hash)) = report.last_write {
+                    consider(epoch, &hash, &report.write_cert);
+                }
+            }
+        }
+    }
+    bound
+}
+
+/// Recovers the batch bytes behind a bound hash from any collect entry
+/// (frontier value or per-slot report value).
+fn recover_value(valid: &[&StopData], bound: &mut BoundValue) {
+    for sd in valid {
+        let values = sd
+            .value
+            .iter()
+            .chain(sd.extra_slots.iter().filter_map(|r| r.value.as_ref()));
+        for batch in values {
+            if batch.digest() == bound.hash {
+                bound.value = Some(batch.clone());
+                return;
+            }
+        }
+    }
+}
+
 /// Runs the selection function over a validated collect set.
 ///
 /// # Errors
@@ -127,6 +204,34 @@ pub fn select(
     quorums: &QuorumSystem,
     keys: &[VerifyingKey],
 ) -> Result<Selection, ConsensusError> {
+    let window = select_window(collect, regency, quorums, keys)?;
+    Ok(Selection {
+        cid: window.cid,
+        bound: window.bound,
+    })
+}
+
+/// Runs the window-aware selection function over a collect set: the
+/// frontier selection plus a bound value for every later in-flight slot
+/// certified anywhere in the collect set.
+///
+/// An ACCEPT quorum can exist at slot `s > frontier` while the frontier
+/// itself is still unbound; every accept-voter held a WRITE certificate
+/// for `s`, and the collect set (`n - f` entries) intersects that quorum
+/// in a correct replica whose [`crate::messages::SlotReport`] carries
+/// the certificate — so scanning the reports is exactly what makes
+/// decisions above the frontier survive the view change.
+///
+/// # Errors
+///
+/// Returns [`ConsensusError::InvalidCollect`] if the collect set is too
+/// small or malformed.
+pub fn select_window(
+    collect: &[StopData],
+    regency: u32,
+    quorums: &QuorumSystem,
+    keys: &[VerifyingKey],
+) -> Result<WindowSelection, ConsensusError> {
     let valid = validate_collect(collect, regency, quorums, keys)?;
 
     // Highest instance provably already decided everywhere below it:
@@ -153,43 +258,33 @@ pub fn select(
 
     let target = proven.max(kth);
 
-    // A value is bound if some entry at the target instance carries a
-    // valid WRITE certificate. Highest certificate epoch wins.
-    let mut bound: Option<BoundValue> = None;
-    for sd in &valid {
-        if sd.cid != target {
-            continue;
-        }
-        let Some((epoch, hash)) = sd.last_write else {
-            continue;
-        };
-        if sd.write_cert.is_empty()
-            || !write_cert_valid(&sd.write_cert, target, epoch, &hash, quorums, keys)
-        {
-            continue;
-        }
-        if bound.as_ref().is_none_or(|b| epoch > b.epoch) {
-            bound = Some(BoundValue {
-                hash,
-                epoch,
-                value: None,
-            });
-        }
-    }
-
-    // Recover the batch bytes for the bound hash from any entry.
+    let mut bound = slot_bound(&valid, target, quorums, keys);
     if let Some(b) = &mut bound {
-        for sd in &valid {
-            if let Some(batch) = &sd.value {
-                if batch.digest() == b.hash {
-                    b.value = Some(batch.clone());
-                    break;
-                }
-            }
-        }
+        recover_value(&valid, b);
     }
 
-    Ok(Selection { cid: target, bound })
+    // Bound values at slots above the frontier, within the protocol's
+    // window horizon.
+    let mut later: BTreeMap<u64, BoundValue> = BTreeMap::new();
+    for slot in target + 1..target + MAX_WINDOW {
+        if let Some(mut b) = slot_bound(&valid, slot, quorums, keys) {
+            recover_value(&valid, &mut b);
+            later.insert(slot, b);
+        }
+    }
+    let highest = later.keys().next_back().copied().unwrap_or(target);
+    let extra = (target + 1..=highest)
+        .map(|slot| {
+            let b = later.remove(&slot);
+            (slot, b)
+        })
+        .collect();
+
+    Ok(WindowSelection {
+        cid: target,
+        bound,
+        extra,
+    })
 }
 
 /// Verifies a leader's SYNC message against its collect set: re-runs the
@@ -207,13 +302,58 @@ pub fn validate_sync(
     quorums: &QuorumSystem,
     keys: &[VerifyingKey],
 ) -> Result<Selection, ConsensusError> {
-    let selection = select(collect, regency, quorums, keys)?;
+    let window = validate_sync_window(collect, regency, cid, batch, &[], quorums, keys)?;
+    Ok(Selection {
+        cid: window.cid,
+        bound: window.bound,
+    })
+}
+
+/// Verifies a leader's windowed SYNC: the frontier checks of
+/// [`validate_sync`] plus an exact match between the carried `rebinds`
+/// and the window selection — every bound slot re-proposed verbatim,
+/// every unbound gap slot re-proposed empty, nothing omitted or padded.
+///
+/// # Errors
+///
+/// Returns [`ConsensusError::InvalidCollect`] when the collect set is
+/// invalid or the proposed values contradict the selection.
+pub fn validate_sync_window(
+    collect: &[StopData],
+    regency: u32,
+    cid: u64,
+    batch: &Batch,
+    rebinds: &[SlotRebind],
+    quorums: &QuorumSystem,
+    keys: &[VerifyingKey],
+) -> Result<WindowSelection, ConsensusError> {
+    let selection = select_window(collect, regency, quorums, keys)?;
     if selection.cid != cid {
         return Err(ConsensusError::InvalidCollect("wrong resume instance"));
     }
     if let Some(bound) = &selection.bound {
         if batch.digest() != bound.hash {
             return Err(ConsensusError::InvalidCollect("bound value not proposed"));
+        }
+    }
+    if rebinds.len() != selection.extra.len() {
+        return Err(ConsensusError::InvalidCollect("window rebinds mismatch"));
+    }
+    for (rebind, (slot, bound)) in rebinds.iter().zip(&selection.extra) {
+        if rebind.cid != *slot {
+            return Err(ConsensusError::InvalidCollect("rebind slot mismatch"));
+        }
+        match bound {
+            Some(bound) => {
+                if rebind.batch.digest() != bound.hash {
+                    return Err(ConsensusError::InvalidCollect("bound slot not re-proposed"));
+                }
+            }
+            None => {
+                if !rebind.batch.is_empty() {
+                    return Err(ConsensusError::InvalidCollect("gap slot must be empty"));
+                }
+            }
         }
     }
     Ok(selection)
@@ -518,6 +658,118 @@ mod tests {
         let collect = vec![ahead, plain_sd(&fx, 1, 1, 7), plain_sd(&fx, 2, 1, 7)];
         let sel = select(&collect, 1, &fx.quorums, &fx.vk).unwrap();
         assert_eq!(sel.cid, 7);
+    }
+
+    #[test]
+    fn slot_report_certificate_binds_later_slot() {
+        use crate::messages::SlotReport;
+        let fx = fixture(4, 1);
+        let b_later = batch(8);
+        let h_later = b_later.digest();
+        // All replicas sit at frontier 5, but one reports a certified
+        // WRITE for in-flight slot 7 (an ACCEPT quorum may exist there).
+        let cert = write_cert(&fx, &[0, 1, 2], 7, 0, h_later);
+        let report = SlotReport {
+            cid: 7,
+            last_write: Some((0, h_later)),
+            value: Some(b_later.clone()),
+            write_cert: cert,
+        };
+        let holder = StopData::sign_with_slots(
+            &fx.sk[0],
+            NodeId(0),
+            1,
+            5,
+            None,
+            None,
+            vec![],
+            vec![report],
+            None,
+        );
+        let collect = vec![holder, plain_sd(&fx, 1, 1, 5), plain_sd(&fx, 2, 1, 5)];
+        let sel = select_window(&collect, 1, &fx.quorums, &fx.vk).unwrap();
+        assert_eq!(sel.cid, 5);
+        assert!(sel.bound.is_none());
+        // Contiguous rebind range 6..=7: slot 6 is an unbound gap, slot
+        // 7 carries the certified value.
+        assert_eq!(sel.extra.len(), 2);
+        assert_eq!(sel.extra[0].0, 6);
+        assert!(sel.extra[0].1.is_none());
+        assert_eq!(sel.extra[1].0, 7);
+        let bound = sel.extra[1].1.as_ref().unwrap();
+        assert_eq!(bound.hash, h_later);
+        assert_eq!(bound.value, Some(b_later.clone()));
+
+        // A compliant SYNC: any frontier batch, empty gap at 6, the
+        // bound value verbatim at 7.
+        let good = [
+            SlotRebind {
+                cid: 6,
+                batch: Batch::empty(),
+            },
+            SlotRebind {
+                cid: 7,
+                batch: b_later.clone(),
+            },
+        ];
+        validate_sync_window(&collect, 1, 5, &batch(1), &good, &fx.quorums, &fx.vk).unwrap();
+
+        // Omitting the bound slot, swapping its value, or padding the
+        // gap with requests is rejected.
+        assert!(
+            validate_sync_window(&collect, 1, 5, &batch(1), &[], &fx.quorums, &fx.vk).is_err()
+        );
+        let swapped = [
+            good[0].clone(),
+            SlotRebind {
+                cid: 7,
+                batch: batch(9),
+            },
+        ];
+        assert!(validate_sync_window(
+            &collect, 1, 5, &batch(1), &swapped, &fx.quorums, &fx.vk
+        )
+        .is_err());
+        let padded = [
+            SlotRebind {
+                cid: 6,
+                batch: batch(2),
+            },
+            good[1].clone(),
+        ];
+        assert!(validate_sync_window(
+            &collect, 1, 5, &batch(1), &padded, &fx.quorums, &fx.vk
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn undersized_slot_report_certificate_does_not_bind() {
+        use crate::messages::SlotReport;
+        let fx = fixture(4, 1);
+        let b = batch(8);
+        let report = SlotReport {
+            cid: 6,
+            last_write: Some((0, b.digest())),
+            value: Some(b),
+            write_cert: write_cert(&fx, &[0, 1], 6, 0, batch(8).digest()),
+        };
+        let holder = StopData::sign_with_slots(
+            &fx.sk[0],
+            NodeId(0),
+            1,
+            5,
+            None,
+            None,
+            vec![],
+            vec![report],
+            None,
+        );
+        let collect = vec![holder, plain_sd(&fx, 1, 1, 5), plain_sd(&fx, 2, 1, 5)];
+        let sel = select_window(&collect, 1, &fx.quorums, &fx.vk).unwrap();
+        assert!(sel.extra.is_empty());
+        // And the plain-frontier wrapper still accepts the window.
+        validate_sync(&collect, 1, 5, &batch(1), &fx.quorums, &fx.vk).unwrap();
     }
 
     #[test]

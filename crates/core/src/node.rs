@@ -30,9 +30,17 @@ struct ChainState {
 }
 
 impl ChainState {
-    fn new(block_size: usize, max_block_bytes: usize) -> ChainState {
+    fn new(
+        block_size: usize,
+        max_block_bytes: usize,
+        adaptive: Option<(usize, usize, u32)>,
+    ) -> ChainState {
+        let mut cutter = BlockCutter::new(block_size, max_block_bytes);
+        if let Some((min, max, stale_limit)) = adaptive {
+            cutter = cutter.with_adaptive(min, max, stale_limit);
+        }
         ChainState {
-            cutter: BlockCutter::new(block_size, max_block_bytes),
+            cutter,
             next_number: 1,
             prev_hash: Hash256::ZERO,
         }
@@ -63,6 +71,12 @@ pub struct OrderingNodeConfig {
     /// `BatchTimeout` (batch boundaries are identical at all replicas),
     /// bounding envelope latency under light traffic.
     pub flush_on_batch_end: bool,
+    /// AIMD blockcutter tuning as `(min, max, stale_limit)`: the
+    /// envelopes-per-block target self-adjusts between the floor and
+    /// ceiling from the observed decide rate and fill ratio, flushing
+    /// aging partial blocks after `stale_limit` cut-less decides. All
+    /// tuner inputs are stream-derived, so replicas stay in lockstep.
+    pub adaptive_cutter: Option<(usize, usize, u32)>,
     /// Registry to record blockcutter and signing-pool metrics into
     /// (`core.cutter.*`, `core.signing.*`). `None` disables recording.
     pub registry: Option<Arc<Registry>>,
@@ -93,6 +107,7 @@ impl OrderingNodeConfig {
             signing_threads: 16,
             double_sign: false,
             flush_on_batch_end: false,
+            adaptive_cutter: None,
             registry: None,
             flight: None,
         }
@@ -119,6 +134,19 @@ impl OrderingNodeConfig {
     /// Enables deterministic partial-block flushing at batch boundaries.
     pub fn with_flush_on_batch_end(mut self, enabled: bool) -> OrderingNodeConfig {
         self.flush_on_batch_end = enabled;
+        self
+    }
+
+    /// Enables AIMD blockcutter tuning within `[min, max]`, flushing
+    /// partial blocks after `stale_limit` consecutive cut-less decides.
+    pub fn with_adaptive_cutter(
+        mut self,
+        min: usize,
+        max: usize,
+        stale_limit: u32,
+    ) -> OrderingNodeConfig {
+        self.adaptive_cutter = Some((min, max, stale_limit));
+        self.block_size = self.block_size.clamp(min, max);
         self
     }
 
@@ -273,6 +301,32 @@ impl OrderingNodeApp {
             .map(|c| c.cutter.pending())
             .unwrap_or(0)
     }
+
+    /// The cutter's current envelopes-per-block target on `channel`
+    /// (moves under the AIMD tuner; fixed otherwise).
+    pub fn target_block_size_on(&self, channel: &str) -> usize {
+        self.chains
+            .get(channel)
+            .map(|c| c.cutter.block_size())
+            .unwrap_or(self.config.block_size)
+    }
+
+    /// Chains `envelopes` into the next block on `channel` and hands it
+    /// to the signing pool.
+    fn seal_block(
+        chain: &mut ChainState,
+        channel: String,
+        envelopes: Vec<Bytes>,
+        pool: &SigningPool,
+        stats: &OrderingNodeStats,
+    ) {
+        let block =
+            Block::build_in_channel(channel, chain.next_number, chain.prev_hash, envelopes);
+        chain.prev_hash = block.header_hash();
+        chain.next_number += 1;
+        stats.blocks_cut.fetch_add(1, Ordering::Relaxed);
+        pool.submit(block);
+    }
 }
 
 impl Application for OrderingNodeApp {
@@ -283,33 +337,66 @@ impl Application for OrderingNodeApp {
                 chains: self.chains.clone(),
             });
         }
+        // Per-channel (envelopes pushed, blocks cut) this decide —
+        // the adaptive tuner's stream-derived observations.
+        let mut activity: BTreeMap<String, (usize, usize)> = BTreeMap::new();
         for request in &batch.requests {
             self.stats.envelopes_ordered.fetch_add(1, Ordering::Relaxed);
             let (channel, envelope) = untag_envelope(&request.payload);
             let block_size = self.config.block_size;
             let max_block_bytes = self.config.max_block_bytes;
+            let adaptive = self.config.adaptive_cutter;
             let chain = self
                 .chains
                 .entry(channel.clone())
-                .or_insert_with(|| ChainState::new(block_size, max_block_bytes));
+                .or_insert_with(|| ChainState::new(block_size, max_block_bytes, adaptive));
+            let tally = activity.entry(channel.clone()).or_insert((0, 0));
+            tally.0 += 1;
             if let Some(cut) = chain.cutter.push(envelope) {
+                tally.1 += 1;
                 if let Some(obs) = &self.cutter_obs {
                     let reason = match cut.reason {
                         CutReason::Size => &obs.cut_size,
                         CutReason::Bytes => &obs.cut_bytes,
+                        CutReason::Stale => &obs.cut_stale,
                     };
-                    obs.record_cut(reason, cut.len(), block_size);
+                    obs.record_cut(reason, cut.len(), chain.cutter.block_size());
                 }
-                let block = Block::build_in_channel(
+                Self::seal_block(
+                    chain,
                     channel,
-                    chain.next_number,
-                    chain.prev_hash,
                     cut.into_envelopes(),
+                    &self.pool,
+                    &self.stats,
                 );
-                chain.prev_hash = block.header_hash();
-                chain.next_number += 1;
-                self.stats.blocks_cut.fetch_add(1, Ordering::Relaxed);
-                self.pool.submit(block);
+            }
+        }
+        if self.config.adaptive_cutter.is_some() {
+            // Every channel observes every decide: a channel that saw
+            // no traffic still ages its buffered envelopes. Decide
+            // boundaries are identical at all replicas, so the tuner
+            // moves in lockstep everywhere.
+            let channels: Vec<String> = self.chains.keys().cloned().collect();
+            for channel in channels {
+                let (pushed, cuts) = activity.get(&channel).copied().unwrap_or((0, 0));
+                let chain = self.chains.get_mut(&channel).expect("channel exists"); // lint:allow(panic): `channels` was collected from this map's own keys
+                if let Some(cut) = chain.cutter.on_decide(pushed, cuts) {
+                    if let Some(obs) = &self.cutter_obs {
+                        obs.record_cut(&obs.cut_stale, cut.len(), chain.cutter.block_size());
+                    }
+                    Self::seal_block(
+                        chain,
+                        channel,
+                        cut.into_envelopes(),
+                        &self.pool,
+                        &self.stats,
+                    );
+                }
+            }
+            if let Some(obs) = &self.cutter_obs {
+                if let Some(chain) = self.chains.values().next() {
+                    obs.target_block_size.set(chain.cutter.block_size() as i64);
+                }
             }
         }
         if self.config.flush_on_batch_end {
@@ -328,19 +415,10 @@ impl Application for OrderingNodeApp {
                     obs.record_cut(
                         &obs.cut_batch_end,
                         envelopes.len(),
-                        self.config.block_size,
+                        chain.cutter.block_size(),
                     );
                 }
-                let block = Block::build_in_channel(
-                    channel,
-                    chain.next_number,
-                    chain.prev_hash,
-                    envelopes,
-                );
-                chain.prev_hash = block.header_hash();
-                chain.next_number += 1;
-                self.stats.blocks_cut.fetch_add(1, Ordering::Relaxed);
-                self.pool.submit(block);
+                Self::seal_block(chain, channel, envelopes, &self.pool, &self.stats);
             }
         }
         // Blocks are pushed by the signing pool (custom replier); the
@@ -382,8 +460,11 @@ impl Application for OrderingNodeApp {
         let mut chains = BTreeMap::new();
         for _ in 0..count {
             let channel = String::decode(&mut reader).expect("valid snapshot");
-            let mut chain =
-                ChainState::new(self.config.block_size, self.config.max_block_bytes);
+            let mut chain = ChainState::new(
+                self.config.block_size,
+                self.config.max_block_bytes,
+                self.config.adaptive_cutter,
+            );
             chain.next_number = u64::decode(&mut reader).expect("valid snapshot");
             chain.prev_hash = Hash256::decode(&mut reader).expect("valid snapshot");
             chain

@@ -41,6 +41,13 @@ pub struct ServiceOptions {
     /// Flush partial blocks at batch boundaries (deterministic
     /// `BatchTimeout` stand-in).
     pub flush_on_batch_end: bool,
+    /// Consensus sliding-window depth: slots the leader keeps in
+    /// flight at once (1 = unpipelined).
+    pub pipeline_depth: usize,
+    /// AIMD blockcutter tuning as `(min, max, stale_limit)`: the
+    /// envelopes-per-block target self-adjusts between the hard floor
+    /// and ceiling from the observed decide rate and fill ratio.
+    pub adaptive_cutter: Option<(usize, usize, u32)>,
 }
 
 impl ServiceOptions {
@@ -57,6 +64,8 @@ impl ServiceOptions {
             frontend_verification: false,
             double_sign: false,
             flush_on_batch_end: false,
+            pipeline_depth: 1,
+            adaptive_cutter: None,
         }
     }
 
@@ -109,6 +118,26 @@ impl ServiceOptions {
         self.flush_on_batch_end = enabled;
         self
     }
+
+    /// Sets the consensus sliding-window depth (slots in flight at
+    /// once; 1 disables pipelining).
+    pub fn with_pipeline_depth(mut self, depth: usize) -> ServiceOptions {
+        self.pipeline_depth = depth;
+        self
+    }
+
+    /// Enables AIMD blockcutter tuning: the envelopes-per-block target
+    /// floats within `[min, max]`, and a partial block is flushed after
+    /// `stale_limit` consecutive decides that cut nothing.
+    pub fn with_adaptive_cutter(
+        mut self,
+        min: usize,
+        max: usize,
+        stale_limit: u32,
+    ) -> ServiceOptions {
+        self.adaptive_cutter = Some((min, max, stale_limit));
+        self
+    }
 }
 
 /// A running BFT ordering service.
@@ -145,7 +174,8 @@ impl OrderingService {
     pub fn start(n: usize, options: ServiceOptions) -> OrderingService {
         let mut runtime_options = RuntimeOptions::classic(options.f)
             .with_batch_max(options.batch_max)
-            .with_request_timeout_ms(options.request_timeout_ms);
+            .with_request_timeout_ms(options.request_timeout_ms)
+            .with_pipeline_depth(options.pipeline_depth);
         runtime_options.wheat_weights = options.wheat;
         runtime_options.tentative_execution = options.wheat || options.tentative;
 
@@ -166,6 +196,9 @@ impl OrderingService {
                         .with_double_sign(app_options.double_sign)
                         .with_flush_on_batch_end(app_options.flush_on_batch_end)
                         .with_registry(registry);
+                if let Some((min, max, stale_limit)) = app_options.adaptive_cutter {
+                    config = config.with_adaptive_cutter(min, max, stale_limit);
+                }
                 if let Some(flight) = flight {
                     config = config.with_flight(flight);
                 }

@@ -149,6 +149,7 @@ impl ReplicaActor {
                     let reason = match cut.reason {
                         CutReason::Size => &obs.cut_size,
                         CutReason::Bytes => &obs.cut_bytes,
+                        CutReason::Stale => &obs.cut_stale,
                     };
                     obs.record_cut(reason, cut.len(), self.cutter.block_size());
                 }
@@ -387,6 +388,8 @@ pub struct GeoConfig {
     /// every link touching that node (the "slow replica" the health
     /// detector should flag).
     pub slow_replica: Option<(usize, SimTime)>,
+    /// Consensus sliding-window depth (1 = unpipelined).
+    pub pipeline_depth: usize,
 }
 
 impl GeoConfig {
@@ -406,6 +409,7 @@ impl GeoConfig {
             collect_obs: false,
             trace: false,
             slow_replica: None,
+            pipeline_depth: 1,
         }
     }
 
@@ -424,6 +428,13 @@ impl GeoConfig {
     /// Adds `extra` one-way delay to every link touching replica `node`.
     pub fn with_slow_replica(mut self, node: usize, extra: SimTime) -> GeoConfig {
         self.slow_replica = Some((node, extra));
+        self
+    }
+
+    /// Sets the consensus sliding-window depth (slots in flight at
+    /// once; 1 disables pipelining).
+    pub fn with_pipeline_depth(mut self, depth: usize) -> GeoConfig {
+        self.pipeline_depth = depth;
         self
     }
 }
@@ -588,7 +599,8 @@ pub fn run_geo_experiment(config: &GeoConfig) -> GeoResult {
             signing[i].clone(),
         )
         .with_tentative_execution(tentative)
-        .with_request_timeout_ms(10_000);
+        .with_request_timeout_ms(10_000)
+        .with_pipeline_depth(config.pipeline_depth);
         let mut replica = Replica::new(consensus);
         let cutter_obs = registries.get(i).map(|registry| {
             replica.attach_obs(ReplicaObs::new(registry));

@@ -14,7 +14,7 @@ use hlf_obs::{FlightRecorder, Registry};
 use hlf_transport::{Endpoint, Network, PeerId, SenderHandle};
 use hlf_wire::{from_bytes_shared, to_pooled_bytes, BufferPool, ClientId, NodeId};
 use parking_lot::RwLock;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -299,7 +299,9 @@ struct NodeWorker {
     reply_cache: HashMap<ClientId, (u64, Bytes)>,
     started: Instant,
     last_tick: Instant,
-    tentative_executed: Option<u64>,
+    /// Instances tentatively executed but not yet confirmed. With a
+    /// pipelined consensus window several can be outstanding at once.
+    tentative_executed: BTreeSet<u64>,
     transfer: Option<Transfer>,
     /// Suppress client-visible outputs while replaying transferred
     /// state.
@@ -342,7 +344,7 @@ impl NodeWorker {
             reply_cache: HashMap::new(),
             started: Instant::now(),
             last_tick: Instant::now(),
-            tentative_executed: None,
+            tentative_executed: BTreeSet::new(),
             transfer: None,
             replaying: false,
             obs,
@@ -470,19 +472,18 @@ impl NodeWorker {
                 }
                 Action::DeliverTentative { cid, batch } => {
                     let outs = self.app.execute_batch(cid, &batch, true);
-                    self.tentative_executed = Some(cid);
+                    self.tentative_executed.insert(cid);
                     self.route(outs);
                 }
                 Action::Rollback { cid } => {
                     let outs = self.app.rollback(cid);
-                    self.tentative_executed = None;
+                    self.tentative_executed.remove(&cid);
                     self.route(outs);
                 }
                 Action::Commit { cid, batch, proof } => {
                     self.log.append(cid, &batch, &proof);
-                    if self.tentative_executed == Some(cid) {
+                    if self.tentative_executed.remove(&cid) {
                         self.app.confirm(cid);
-                        self.tentative_executed = None;
                     } else {
                         let outs = self.app.execute_batch(cid, &batch, false);
                         self.route(outs);
@@ -724,7 +725,7 @@ impl NodeWorker {
         }
         self.replaying = false;
         self.transfer = None;
-        self.tentative_executed = None;
+        self.tentative_executed.clear();
         self.stats.last_cid.store(reached, Ordering::Relaxed);
         self.stats.state_transfers.fetch_add(1, Ordering::Relaxed);
         if let Some(obs) = &self.obs {

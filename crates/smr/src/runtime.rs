@@ -48,6 +48,8 @@ pub struct RuntimeOptions {
     pub request_timeout_ms: u64,
     /// Checkpoint period in decisions.
     pub checkpoint_interval: u64,
+    /// Consensus sliding-window depth (1 = unpipelined).
+    pub pipeline_depth: usize,
 }
 
 impl RuntimeOptions {
@@ -60,6 +62,7 @@ impl RuntimeOptions {
             batch_max: 400,
             request_timeout_ms: 2_000,
             checkpoint_interval: 256,
+            pipeline_depth: 1,
         }
     }
 
@@ -78,6 +81,13 @@ impl RuntimeOptions {
     /// Overrides the checkpoint period.
     pub fn with_checkpoint_interval(mut self, interval: u64) -> RuntimeOptions {
         self.checkpoint_interval = interval;
+        self
+    }
+
+    /// Sets the consensus sliding-window depth (number of slots the
+    /// leader keeps in flight at once).
+    pub fn with_pipeline_depth(mut self, depth: usize) -> RuntimeOptions {
+        self.pipeline_depth = depth;
         self
     }
 }
@@ -229,6 +239,7 @@ impl ClusterRuntime {
         .with_tentative_execution(self.options.tentative_execution)
         .with_batch_max(self.options.batch_max)
         .with_request_timeout_ms(self.options.request_timeout_ms)
+        .with_pipeline_depth(self.options.pipeline_depth)
     }
 
     // lint:allow(panic): cluster test-runtime harness — node indices come from the caller's own `0..n` loop and misuse must fail tests loudly
