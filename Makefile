@@ -1,6 +1,6 @@
 # Convenience targets for the hlf-bft reproduction.
 
-.PHONY: build test lint figures bench bench-crypto bench-wire bench-pipeline obs-report trace-report clean-results
+.PHONY: build test lint figures bench bench-crypto bench-wire bench-pipeline bench-all obs-report trace-report audit-report clean-results
 
 build:
 	cargo build --workspace --release
@@ -66,6 +66,28 @@ obs-report:
 # (overhead delta lands in BENCH_obs.json).
 trace-report:
 	cargo run --release -p bench --bin trace_report
+
+# Cluster safety auditor validation: every clean sim scenario (geo,
+# wheat, k=2..4, slow replica, leader crash) must audit with zero
+# violations; a seeded equivocating decide and a seeded dropped
+# certified value must both be caught naming the offending cid and
+# replica; and the auditor's wall-clock overhead on the bench_pipeline
+# workload must stay under 3%. Writes BENCH_audit.json.
+audit-report:
+	cargo run --release -p bench --bin audit_report
+
+# Refresh every cheap benchmark artifact, then aggregate the headline
+# numbers of all BENCH_*.json files into BENCH_summary.json. The
+# companion regression gate (`bench_summary --check`, run by check.sh)
+# compares deterministic sim throughput probes against
+# bench_baselines.json and fails on a >10% regression.
+bench-all:
+	cargo run --release -p bench --bin bench_crypto_json
+	cargo run --release -p bench --bin bench_pipeline
+	cargo run --release -p bench --bin obs_report
+	cargo run --release -p bench --bin trace_report
+	cargo run --release -p bench --bin audit_report
+	cargo run --release -p bench --bin bench_summary
 
 clean-results:
 	rm -f results_*.txt test_output.txt bench_output.txt bench_crypto_output.txt

@@ -1,0 +1,318 @@
+//! **Cluster-audit validation report**: proves the online safety
+//! auditor ([`hlf_audit::ClusterAuditor`]) is a usable oracle before
+//! any chaos campaign relies on it. Three parts:
+//!
+//! 1. **Clean scenarios** — every existing sim scenario class (plain
+//!    geo, WHEAT tentative, pipelined k = 2..4, slow replica, leader
+//!    crash + view change) runs under audit and must report **zero**
+//!    violations: the auditor has no false positives, including across
+//!    a regency change with window re-binds and rollbacks.
+//! 2. **Seeded faults** — an equivocating decide and a dropped
+//!    certified value are forged at the observability layer
+//!    ([`ordering_core::sim::AuditInjection`]); the auditor must catch
+//!    both, naming the offending consensus instance and replica, with a
+//!    reconstructed timeline slice attached.
+//! 3. **Overhead** — the `bench_pipeline` workload (saturating k = 4
+//!    geo run) is timed with audit off/on in interleaved pairs. The
+//!    virtual-time ordered throughput must be *identical* (the auditor
+//!    is passive) and the median wall-clock overhead must stay under
+//!    3 %.
+//!
+//! Writes `BENCH_audit.json`.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin audit_report              # writes BENCH_audit.json
+//! cargo run --release -p bench --bin audit_report -- out.json  # custom path
+//! ```
+
+use hlf_audit::ViolationKind;
+use hlf_simnet::SimTime;
+use ordering_core::sim::{run_geo_experiment, AuditInjection, GeoConfig, Protocol};
+use std::time::Instant;
+
+/// Slowed replica in the overhead workload (same as `bench_pipeline`).
+const SLOW_NODE: usize = 3;
+const SLOW_EXTRA_MS: u64 = 250;
+/// Offered load per frontend in the overhead workload (env/s).
+const OVERHEAD_RATE: f64 = 2500.0;
+/// Overhead workload length: long enough that wall-clock noise stays
+/// well under the 3 % budget.
+const OVERHEAD_DURATION_S: u64 = 6;
+/// Interleaved off/on timing pairs; the median ratio is reported.
+const OVERHEAD_PAIRS: usize = 3;
+/// Wall-clock overhead budget (%).
+const OVERHEAD_BUDGET_PCT: f64 = 3.0;
+
+/// One audited clean scenario's outcome.
+struct CleanOutcome {
+    name: &'static str,
+    events: u64,
+    violations: usize,
+}
+
+/// One seeded-fault scenario's outcome.
+struct InjectionOutcome {
+    name: &'static str,
+    kind: &'static str,
+    cid: u64,
+    node: usize,
+    detail: String,
+    slice_events: usize,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_audit.json".to_string());
+
+    println!("# audit_report: online cluster safety auditor validation\n");
+
+    let clean = run_clean_scenarios();
+    let injections = run_seeded_faults();
+    let overhead = measure_overhead();
+
+    let json = to_json(&clean, &injections, &overhead);
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(err) => println!("could not write {out_path}: {err}"),
+    }
+}
+
+/// Short audited run config shared by the clean scenarios.
+fn quick(protocol: Protocol) -> GeoConfig {
+    let mut config = GeoConfig::new(protocol).with_audit();
+    config.duration = SimTime::from_secs(12);
+    config.warmup = SimTime::from_secs(2);
+    config.rate_per_frontend = 100.0;
+    config
+}
+
+fn run_clean_scenarios() -> Vec<CleanOutcome> {
+    println!("## clean scenarios (zero violations required)\n");
+    let mut crash = quick(Protocol::BftSmart)
+        .with_request_timeout_ms(2_000)
+        .with_crash_replica(0, SimTime::from_secs(4));
+    crash.duration = SimTime::from_secs(20);
+    let scenarios: Vec<(&'static str, GeoConfig)> = vec![
+        ("geo bftsmart k=1", quick(Protocol::BftSmart)),
+        ("geo wheat tentative", quick(Protocol::Wheat)),
+        ("pipelined k=2", quick(Protocol::BftSmart).with_pipeline_depth(2)),
+        ("pipelined k=3", quick(Protocol::BftSmart).with_pipeline_depth(3)),
+        ("pipelined k=4", quick(Protocol::BftSmart).with_pipeline_depth(4)),
+        (
+            "slow replica (250 ms)",
+            quick(Protocol::BftSmart).with_slow_replica(SLOW_NODE, SimTime::from_millis(250)),
+        ),
+        ("leader crash -> view change", crash),
+    ];
+
+    let mut outcomes = Vec::new();
+    for (name, config) in scenarios {
+        let result = run_geo_experiment(&config);
+        let audit = result.audit.expect("audit requested");
+        for violation in &audit.violations {
+            println!("  FALSE POSITIVE in {name}: {}", violation.to_line());
+        }
+        assert!(
+            audit.violations.is_empty(),
+            "{name}: auditor reported {} false positives",
+            audit.violations.len()
+        );
+        println!("  ok {name}: {} events audited, 0 violations", audit.events);
+        outcomes.push(CleanOutcome {
+            name,
+            events: audit.events,
+            violations: audit.violations.len(),
+        });
+    }
+    println!();
+    outcomes
+}
+
+fn run_seeded_faults() -> Vec<InjectionOutcome> {
+    println!("## seeded faults (detection required)\n");
+    let seeds: Vec<(&'static str, AuditInjection, ViolationKind)> = vec![
+        (
+            "equivocating decide",
+            AuditInjection::EquivocatingDecide { node: 2, nth: 5 },
+            ViolationKind::Equivocation,
+        ),
+        (
+            "dropped certified value",
+            AuditInjection::DroppedCertifiedValue { node: 1, nth: 7 },
+            ViolationKind::CertifiedValueDropped,
+        ),
+    ];
+
+    let mut outcomes = Vec::new();
+    for (name, injection, expect) in seeds {
+        let config = quick(Protocol::BftSmart).with_injection(injection);
+        let result = run_geo_experiment(&config);
+        let audit = result.audit.expect("audit requested");
+        let violation = audit
+            .violations
+            .iter()
+            .find(|v| v.kind == expect)
+            .unwrap_or_else(|| panic!("{name}: seeded fault was NOT detected"));
+        println!("  caught {name}:");
+        println!("    {}", violation.to_line());
+        println!("    timeline tail ({} events attached):", violation.slice.len());
+        for (node, event) in violation.slice.iter().rev().take(4).rev() {
+            println!(
+                "      node {node} t={}us {} a={:#x} b={:#x} c={:#x}",
+                event.at_us,
+                event.kind.name(),
+                event.a,
+                event.b,
+                event.c
+            );
+        }
+        let (node, nth) = match injection {
+            AuditInjection::EquivocatingDecide { node, nth } => (node, nth),
+            AuditInjection::DroppedCertifiedValue { node, nth } => (node, nth),
+        };
+        assert_eq!(violation.node, node, "{name}: wrong replica named");
+        let _ = nth;
+        outcomes.push(InjectionOutcome {
+            name,
+            kind: violation.kind.name(),
+            cid: violation.cid,
+            node: violation.node,
+            detail: violation.detail.clone(),
+            slice_events: violation.slice.len(),
+        });
+    }
+    println!();
+    outcomes
+}
+
+/// Wall-clock + virtual-throughput comparison of the `bench_pipeline`
+/// workload with audit off vs on.
+struct Overhead {
+    tx_s_off: f64,
+    tx_s_on: f64,
+    wall_off_s: f64,
+    wall_on_s: f64,
+    overhead_pct: f64,
+    events: u64,
+}
+
+fn overhead_config(audit: bool) -> GeoConfig {
+    let mut config = GeoConfig::new(Protocol::BftSmart)
+        .with_slow_replica(SLOW_NODE, SimTime::from_millis(SLOW_EXTRA_MS))
+        .with_pipeline_depth(4);
+    config.duration = SimTime::from_secs(OVERHEAD_DURATION_S);
+    config.warmup = SimTime::from_secs(2);
+    config.rate_per_frontend = OVERHEAD_RATE;
+    if audit {
+        config.audit = true;
+    }
+    config
+}
+
+fn measure_overhead() -> Overhead {
+    println!("## auditor overhead on the bench_pipeline workload (k=4, saturated)\n");
+    let mut offs = Vec::new();
+    let mut ons = Vec::new();
+    let mut ratios = Vec::new();
+    let mut tx_off = 0.0;
+    let mut tx_on = 0.0;
+    let mut events = 0;
+    for pair in 0..OVERHEAD_PAIRS {
+        let start = Instant::now();
+        let plain = run_geo_experiment(&overhead_config(false));
+        let wall_off = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let audited = run_geo_experiment(&overhead_config(true));
+        let wall_on = start.elapsed().as_secs_f64();
+        tx_off = plain.throughput;
+        tx_on = audited.throughput;
+        let audit = audited.audit.expect("audit requested");
+        assert!(audit.violations.is_empty(), "overhead run must be clean");
+        events = audit.events;
+        println!(
+            "  pair {pair}: off {wall_off:.2}s on {wall_on:.2}s \
+             ({:.1} tx/s vs {:.1} tx/s virtual)",
+            plain.throughput, audited.throughput
+        );
+        offs.push(wall_off);
+        ons.push(wall_on);
+        ratios.push(wall_on / wall_off);
+    }
+    // The auditor is passive: virtual-time throughput must be bitwise
+    // identical, only wall-clock may move.
+    assert!(
+        tx_off == tx_on,
+        "audit perturbed the simulated run: {tx_off} vs {tx_on} tx/s"
+    );
+    let median = |xs: &mut Vec<f64>| -> f64 {
+        xs.sort_by(|a, b| a.total_cmp(b));
+        xs[xs.len() / 2]
+    };
+    let overhead_pct = (median(&mut ratios) - 1.0) * 100.0;
+    let wall_off_s = median(&mut offs);
+    let wall_on_s = median(&mut ons);
+    println!(
+        "\n  median wall {wall_off_s:.2}s -> {wall_on_s:.2}s: \
+         {overhead_pct:+.2}% (budget {OVERHEAD_BUDGET_PCT}%), \
+         {events} events audited\n"
+    );
+    assert!(
+        overhead_pct < OVERHEAD_BUDGET_PCT,
+        "auditor wall-clock overhead {overhead_pct:.2}% exceeds {OVERHEAD_BUDGET_PCT}%"
+    );
+    Overhead {
+        tx_s_off: tx_off,
+        tx_s_on: tx_on,
+        wall_off_s,
+        wall_on_s,
+        overhead_pct,
+        events,
+    }
+}
+
+/// Hand-rolled JSON (no serde in-tree), matching the other BENCH_*.json
+/// emitters.
+fn to_json(clean: &[CleanOutcome], injections: &[InjectionOutcome], overhead: &Overhead) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"clean_scenarios\": [\n");
+    for (i, c) in clean.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"events\": {}, \"violations\": {}}}{}\n",
+            c.name,
+            c.events,
+            c.violations,
+            if i + 1 < clean.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"seeded_faults\": [\n");
+    for (i, inj) in injections.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"detected\": true, \"kind\": \"{}\", \
+             \"cid\": {}, \"node\": {}, \"slice_events\": {}, \"detail\": \"{}\"}}{}\n",
+            inj.name,
+            inj.kind,
+            inj.cid,
+            inj.node,
+            inj.slice_events,
+            inj.detail.replace('"', "'"),
+            if i + 1 < injections.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"overhead\": {{\"workload\": \"bench_pipeline k=4\", \
+         \"ordered_tx_s_audit_off\": {:.1}, \"ordered_tx_s_audit_on\": {:.1}, \
+         \"wall_s_audit_off\": {:.2}, \"wall_s_audit_on\": {:.2}, \
+         \"wall_overhead_pct\": {:.2}, \"budget_pct\": {:.1}, \"events_audited\": {}}}\n",
+        overhead.tx_s_off,
+        overhead.tx_s_on,
+        overhead.wall_off_s,
+        overhead.wall_on_s,
+        overhead.overhead_pct,
+        OVERHEAD_BUDGET_PCT,
+        overhead.events
+    ));
+    out.push_str("}\n");
+    out
+}

@@ -1,0 +1,204 @@
+//! **Benchmark aggregator and regression gate.**
+//!
+//! Default mode collects the headline number of every committed
+//! `BENCH_*.json` in the repo root into one `BENCH_summary.json`, so a
+//! reader (or a later PR) sees the whole performance picture in one
+//! file instead of six.
+//!
+//! `--check` mode is the CI gate: it re-runs the two deterministic
+//! throughput probes (the saturated k = 4 pipeline workload and the
+//! paper-rate WHEAT geo run — both virtual-time, hence bit-identical
+//! across machines) and fails loudly if either regressed more than 10 %
+//! against the committed `bench_baselines.json`. Because the sim is
+//! deterministic, a failure is a real code regression, never machine
+//! noise.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin bench_summary               # writes BENCH_summary.json
+//! cargo run --release -p bench --bin bench_summary -- --check    # regression gate (exit 1 on regression)
+//! cargo run --release -p bench --bin bench_summary -- --root /path/to/repo --check
+//! ```
+
+use hlf_simnet::SimTime;
+use ordering_core::sim::{run_geo_experiment, GeoConfig, Protocol};
+use std::path::{Path, PathBuf};
+
+/// Allowed throughput regression vs the committed baseline (%).
+const TOLERANCE_PCT: f64 = 10.0;
+
+fn main() {
+    let mut root = PathBuf::from(".");
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--root" => {
+                root = PathBuf::from(args.next().unwrap_or_else(|| ".".to_string()));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if check {
+        run_gate(&root);
+    } else {
+        write_summary(&root);
+    }
+}
+
+/// Extracts the number following `"key":` after the first occurrence of
+/// `anchor` in `src`. Tolerant scraping for the hand-rolled BENCH files
+/// (no serde in-tree).
+fn scrape(src: &str, anchor: &str, key: &str) -> Option<f64> {
+    let after = &src[src.find(anchor)? + anchor.len()..];
+    let needle = format!("\"{key}\":");
+    let at = after.find(&needle)? + needle.len();
+    let rest = after.get(at..)?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest.get(..end)?.trim().parse().ok()
+}
+
+/// One aggregated headline metric.
+struct Headline {
+    file: &'static str,
+    metric: &'static str,
+    value: Option<f64>,
+}
+
+fn write_summary(root: &Path) {
+    let read = |name: &str| std::fs::read_to_string(root.join(name)).unwrap_or_default();
+    let crypto = read("BENCH_crypto.json");
+    let wire = read("BENCH_wire.json");
+    let pipeline = read("BENCH_pipeline.json");
+    let trace = read("BENCH_trace.json");
+    let audit = read("BENCH_audit.json");
+
+    let headlines = [
+        Headline {
+            file: "BENCH_crypto.json",
+            metric: "ecdsa_sign_fast_us",
+            value: scrape(&crypto, "\"ecdsa_sign\"", "fast_us"),
+        },
+        Headline {
+            file: "BENCH_crypto.json",
+            metric: "ecdsa_verify_fast_us",
+            value: scrape(&crypto, "\"ecdsa_verify\"", "fast_us"),
+        },
+        Headline {
+            file: "BENCH_wire.json",
+            metric: "allocs_per_ordered_envelope",
+            value: scrape(&wire, "allocs_per_ordered_envelope", "after"),
+        },
+        Headline {
+            file: "BENCH_pipeline.json",
+            metric: "pipelined_ordered_tx_s",
+            value: scrape(&pipeline, "\"pipelined\"", "ordered_tx_s"),
+        },
+        Headline {
+            file: "BENCH_pipeline.json",
+            metric: "pipeline_speedup",
+            value: scrape(&pipeline, "\"pipelined\"", "speedup")
+                .or_else(|| scrape(&pipeline, "", "speedup")),
+        },
+        Headline {
+            file: "BENCH_trace.json",
+            metric: "relay_mean_us",
+            value: scrape(&trace, "\"relay\"", "mean_us"),
+        },
+        Headline {
+            file: "BENCH_audit.json",
+            metric: "audit_wall_overhead_pct",
+            value: scrape(&audit, "\"overhead\"", "wall_overhead_pct"),
+        },
+        Headline {
+            file: "BENCH_audit.json",
+            metric: "audit_events",
+            value: scrape(&audit, "\"overhead\"", "events_audited"),
+        },
+    ];
+
+    let mut out = String::from("{\n  \"headlines\": [\n");
+    let present: Vec<&Headline> = headlines.iter().filter(|h| h.value.is_some()).collect();
+    for (i, h) in present.iter().enumerate() {
+        let value = h.value.unwrap_or(f64::NAN);
+        println!("{:<22} {:<28} {value}", h.file, h.metric);
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"metric\": \"{}\", \"value\": {value}}}{}\n",
+            h.file,
+            h.metric,
+            if i + 1 < present.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = root.join("BENCH_summary.json");
+    match std::fs::write(&path, &out) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(err) => {
+            eprintln!("could not write {}: {err}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The two deterministic throughput probes the gate re-measures.
+fn probe_pipeline_tx_s() -> f64 {
+    let mut config = GeoConfig::new(Protocol::BftSmart)
+        .with_slow_replica(3, SimTime::from_millis(250))
+        .with_pipeline_depth(4);
+    config.duration = SimTime::from_secs(6);
+    config.warmup = SimTime::from_secs(2);
+    config.rate_per_frontend = 2500.0;
+    run_geo_experiment(&config).throughput
+}
+
+fn probe_wheat_tx_s() -> f64 {
+    let mut config = GeoConfig::new(Protocol::Wheat);
+    config.duration = SimTime::from_secs(12);
+    config.warmup = SimTime::from_secs(2);
+    config.rate_per_frontend = 100.0;
+    run_geo_experiment(&config).throughput
+}
+
+fn run_gate(root: &Path) {
+    let path = root.join("bench_baselines.json");
+    let baselines = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(err) => {
+            eprintln!("no committed baselines at {}: {err}", path.display());
+            std::process::exit(1);
+        }
+    };
+    let gates = [
+        ("pipeline_k4_tx_s", probe_pipeline_tx_s as fn() -> f64),
+        ("geo_wheat_tx_s", probe_wheat_tx_s as fn() -> f64),
+    ];
+    let mut failed = false;
+    for (key, probe) in gates {
+        let Some(baseline) = scrape(&baselines, "", key) else {
+            eprintln!("baseline key {key} missing from {}", path.display());
+            failed = true;
+            continue;
+        };
+        let live = probe();
+        let floor = baseline * (1.0 - TOLERANCE_PCT / 100.0);
+        let delta_pct = (live / baseline - 1.0) * 100.0;
+        if live < floor {
+            eprintln!(
+                "REGRESSION {key}: {live:.1} tx/s vs baseline {baseline:.1} \
+                 ({delta_pct:+.1}%, tolerance -{TOLERANCE_PCT}%)"
+            );
+            failed = true;
+        } else {
+            println!("gate ok {key}: {live:.1} tx/s vs baseline {baseline:.1} ({delta_pct:+.1}%)");
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

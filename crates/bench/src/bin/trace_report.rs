@@ -17,35 +17,19 @@
 //! cargo run --release -p bench --bin trace_report -- out.json  # custom path
 //! ```
 
+use bench::trace::{merge_timelines, Timeline, PHASE_NAMES};
 use hlf_obs::flight::EventKind;
-use hlf_obs::{FlightDump, MetricSnapshot, MetricValue, Snapshot};
+use hlf_obs::{MetricSnapshot, MetricValue, Snapshot};
 use hlf_simnet::SimTime;
 use hlf_wire::Bytes;
 use ordering_core::service::{OrderingService, ServiceOptions};
 use ordering_core::sim::{run_geo_experiment, GeoConfig, Protocol};
-use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// Replica slowed in the sim (São Paulo; not the leader).
 const SLOW_NODE: usize = 3;
 /// Extra one-way delay on every link touching the slow replica.
 const SLOW_EXTRA_MS: u64 = 250;
-
-/// One fully-attributed transaction timeline (all times are virtual
-/// microseconds since sim start).
-struct Timeline {
-    trace: u64,
-    client: u32,
-    seq: u64,
-    cid: u64,
-    block: u64,
-    submit_us: u64,
-    deliver_us: u64,
-    /// relay, write, accept, sign, collect — in order.
-    phases: [u64; 5],
-}
-
-const PHASE_NAMES: [&str; 5] = ["relay", "write", "accept", "sign", "collect"];
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -174,94 +158,6 @@ fn run_report(out_path: &str) {
             std::process::exit(1);
         }
     }
-}
-
-/// Joins the per-recorder dumps into complete per-transaction
-/// timelines. Only the leader's (`geo-node-0`) consensus and signing
-/// events are used for attribution — phase boundaries are defined at
-/// the leader, and deltas of *adjacent* boundaries telescope so the
-/// phase sum equals deliver − submit exactly.
-fn merge_timelines(dumps: &[FlightDump]) -> Vec<Timeline> {
-    let mut tx_cid: HashMap<u64, u64> = HashMap::new();
-    let mut propose_us: HashMap<u64, u64> = HashMap::new();
-    let mut quorum_us: HashMap<u64, u64> = HashMap::new();
-    let mut decide_us: HashMap<u64, u64> = HashMap::new();
-    let mut sign_done_us: HashMap<u64, u64> = HashMap::new();
-    let mut submit_us: HashMap<u64, (u64, u32, u64)> = HashMap::new();
-    let mut deliver_us: HashMap<u64, (u64, u64)> = HashMap::new();
-
-    for dump in dumps {
-        if dump.node == "geo-node-0" {
-            for e in &dump.events {
-                match e.kind {
-                    EventKind::TxInBatch => {
-                        tx_cid.insert(e.a, e.b);
-                    }
-                    EventKind::Propose => {
-                        propose_us.insert(e.a, e.at_us);
-                    }
-                    EventKind::WriteQuorum => {
-                        quorum_us.insert(e.a, e.at_us);
-                    }
-                    EventKind::Decide => {
-                        decide_us.insert(e.a, e.at_us);
-                    }
-                    EventKind::SignDone => {
-                        sign_done_us.insert(e.a, e.at_us);
-                    }
-                    _ => {}
-                }
-            }
-        } else if dump.node.starts_with("geo-frontend-") {
-            for e in &dump.events {
-                match e.kind {
-                    EventKind::Submit => {
-                        submit_us.insert(e.a, (e.at_us, e.b as u32, e.c));
-                    }
-                    EventKind::Deliver => {
-                        deliver_us.insert(e.a, (e.at_us, e.b));
-                    }
-                    _ => {}
-                }
-            }
-        }
-    }
-
-    let mut timelines = Vec::new();
-    for (&trace, &(submitted, client, seq)) in &submit_us {
-        let Some(&(delivered, block)) = deliver_us.get(&trace) else {
-            continue; // still in flight at run end
-        };
-        let Some(&cid) = tx_cid.get(&trace) else {
-            continue; // evicted from the leader ring
-        };
-        let (Some(&p), Some(&w), Some(&d), Some(&s)) = (
-            propose_us.get(&cid),
-            quorum_us.get(&cid),
-            decide_us.get(&cid),
-            sign_done_us.get(&block),
-        ) else {
-            continue;
-        };
-        timelines.push(Timeline {
-            trace,
-            client,
-            seq,
-            cid,
-            block,
-            submit_us: submitted,
-            deliver_us: delivered,
-            phases: [
-                p.saturating_sub(submitted),
-                w.saturating_sub(p),
-                d.saturating_sub(w),
-                s.saturating_sub(d),
-                delivered.saturating_sub(s),
-            ],
-        });
-    }
-    timelines.sort_by_key(|t| (t.submit_us, t.trace));
-    timelines
 }
 
 fn print_phase_table(timelines: &[Timeline]) {

@@ -4,6 +4,8 @@
 //! 2018 paper (see `DESIGN.md` §4 for the experiment index); this
 //! library holds the workload drivers they share.
 
+pub mod trace;
+
 use hlf_wire::Bytes;
 use hlf_consensus::messages::Batch;
 use hlf_obs::Snapshot;

@@ -40,6 +40,25 @@ const RECENT_DECISIONS: usize = 64;
 /// Per-client cap on remembered delivered request ids (dedup window).
 const DEDUP_WINDOW: usize = 4096;
 
+/// First 8 bytes of a digest as a little-endian `u64` — the compact
+/// value identity flight events carry for the cluster auditor. Truncation
+/// is fine: the auditor compares equality across replicas, it never
+/// inverts the hash.
+pub fn digest64(hash: &Hash256) -> u64 {
+    hash.as_bytes()
+        .iter()
+        .take(8)
+        .rev()
+        .fold(0u64, |acc, &b| (acc << 8) | b as u64)
+}
+
+/// Folds node ids into a signer bitmap (bit `i` = node `i` signed).
+/// The auditor pops the count and checks distinctness; n ≤ 64 holds for
+/// every configuration this codebase runs.
+fn signer_bitmap(nodes: impl Iterator<Item = NodeId>) -> u64 {
+    nodes.fold(0u64, |mask, node| mask | 1u64 << (node.0 as u64 & 63))
+}
+
 /// Static configuration of a replica.
 #[derive(Clone)]
 pub struct Config {
@@ -1096,6 +1115,7 @@ impl Replica {
         let proposed_at = slot.proposed_at;
         let accept_sent = slot.accept_sent;
         let cert_len = cert.len();
+        let cert_signers = signer_bitmap(cert.iter().map(|v| v.node));
         // Snapshot the certificate for a possible STOP-DATA.
         self.inst_mut(cid).last_write_cert = cert;
 
@@ -1119,6 +1139,9 @@ impl Replica {
                 cert_len as u64,
                 proposed_at.map_or(0, |t0| now.saturating_sub(t0) * 1000),
             );
+            // Value identity + distinct signers for the cluster auditor's
+            // certified-value-preservation and quorum-validity checks.
+            self.flight_record(EventKind::WriteCert, cid, digest64(&hash), cert_signers);
             let vote = Vote::sign(
                 &self.cfg.signing_key,
                 VotePhase::Accept,
@@ -1160,6 +1183,7 @@ impl Replica {
                 obs.tentative_deliveries.inc();
             }
             self.flight_record(EventKind::TentativeDeliver, cid, 0, 0);
+            self.flight_record(EventKind::TentativeHash, cid, digest64(&hash), 0);
             hlf_obs::trace!(
                 "replica {} tentatively delivers cid {}",
                 self.cfg.node.as_usize(),
@@ -1312,6 +1336,14 @@ impl Replica {
             cid,
             batch.len() as u64,
             proposed_at.map_or(0, |t0| self.now_ms.saturating_sub(t0) * 1000),
+        );
+        // Decided value + ACCEPT-quorum signer bitmap for the cluster
+        // auditor's agreement and quorum-certificate checks.
+        self.flight_record(
+            EventKind::DecideHash,
+            cid,
+            digest64(&proof.hash),
+            signer_bitmap(proof.votes.iter().map(|v| v.node)),
         );
         hlf_obs::trace!(
             "replica {} decides cid {} ({} requests)",
@@ -1679,6 +1711,14 @@ impl Replica {
         }
         for (slot_cid, value) in pairs {
             let regency = self.regency;
+            // Audit trail: which value each slot re-binds to under the
+            // new regency (certified values must re-appear verbatim).
+            self.flight_record(
+                EventKind::Rebind,
+                slot_cid,
+                digest64(&value.digest()),
+                regency as u64,
+            );
             self.inst_mut(slot_cid).bump_epoch(regency);
             self.accept_proposal(slot_cid, value, actions);
         }

@@ -122,6 +122,21 @@ fn is_ident_continue(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
 }
 
+/// With the cursor on an opening `'`, reports whether the would-be
+/// lifetime ident is immediately closed by another quote — i.e. the
+/// token is really a char literal. Scanning the *whole* ident matters
+/// for multi-byte chars: in `'▁'` every continuation byte looks like
+/// ident material, so peeking a fixed two bytes ahead misreads the
+/// literal as a lifetime.
+fn ident_then_quote(c: &Cursor<'_>) -> bool {
+    let bytes = c.src.as_bytes();
+    let mut at = c.pos + 1;
+    while bytes.get(at).copied().is_some_and(is_ident_continue) {
+        at += 1;
+    }
+    bytes.get(at) == Some(&b'\'')
+}
+
 /// Tokenizes `src`.
 ///
 /// # Errors
@@ -219,7 +234,7 @@ pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
                     lex_char_body(&mut c, line)?;
                     TokKind::Char
                 } else if c.peek_at(1).is_some_and(is_ident_start)
-                    && c.peek_at(2).is_some_and(|b| b != b'\'')
+                    && !ident_then_quote(&c)
                 {
                     // `'a>` / `'static` / `'a,` … a lifetime: quote,
                     // ident, and the ident is not closed by a quote.
@@ -522,6 +537,27 @@ mod tests {
             .map(|t| t.text(src))
             .collect();
         assert_eq!(chars, vec!["'a'", "'\\n'"]);
+    }
+
+    #[test]
+    fn multibyte_char_literals_are_chars_not_lifetimes() {
+        // Every byte of `▁` looks like ident material, so a fixed
+        // two-byte lookahead misreads the literal as a lifetime and the
+        // stray closing quote derails the rest of the file.
+        let src = "let glyphs = ['▁', '█']; fn f<'a>(x: &'a str) {}";
+        let toks = lex(src).unwrap();
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(chars, vec!["'▁'", "'█'"]);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //!
 //! # Passes
 //!
-//! See [`passes`] for the six passes and the suppression grammar:
+//! See [`passes`] for the seven passes and the suppression grammar:
 //! `// lint:allow(<pass>): <reason>` on the finding's line, the line
 //! above, or above the enclosing `fn` (whole-function scope).
 //!
@@ -114,6 +114,23 @@ mod tests {
         // A reasonless one is malformed.
         let bare = run("fn f(x: Option<u8>) {\n    x.unwrap(); // lint:allow(panic)\n}\n");
         assert!(bare.iter().any(|f| f.contains("[lint]")), "{bare:?}");
+    }
+
+    #[test]
+    fn metric_names_must_be_dotted_lowercase() {
+        let bad = run("fn f(r: &Registry) { let _ = r.counter(\"decided\"); }\n");
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("[metric-name]"), "{}", bad[0]);
+        let camel = run("fn f(r: &Registry) { let _ = r.gauge(\"Smr.Node.Queue\"); }\n");
+        assert_eq!(camel.len(), 1, "{camel:?}");
+        let good =
+            run("fn f(r: &Registry) { let _ = r.histogram(\"core.signing.sign_us\"); }\n");
+        assert!(good.is_empty(), "{good:?}");
+        // Dynamic names and non-metric idents are not this pass's business.
+        let dynamic = run("fn f(r: &Registry, n: &str) { let _ = r.gauge(n); }\n");
+        assert!(dynamic.is_empty(), "{dynamic:?}");
+        let unrelated = run("fn f(g: &Grid) { let _ = g.counter; }\n");
+        assert!(unrelated.is_empty(), "{unrelated:?}");
     }
 
     #[test]

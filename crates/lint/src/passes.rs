@@ -1,4 +1,4 @@
-//! The six repo-specific analysis passes.
+//! The seven repo-specific analysis passes.
 //!
 //! | pass       | invariant enforced                                        |
 //! |------------|-----------------------------------------------------------|
@@ -8,6 +8,7 @@
 //! | `consttime`| no secret-dependent control flow in `lint:secret-scope`s  |
 //! | `codec`    | every `Encode` has `Decode` + `encoded_len`, unique tags  |
 //! | `println`  | library crates log through hlf-obs, never stdout          |
+//! | `metric-name` | metric names follow the `crate.subsystem.name` scheme  |
 //!
 //! Every pass honors `// lint:allow(<pass>): <reason>` suppressions
 //! (same line, line above, or above the enclosing `fn` for whole-item
@@ -136,6 +137,7 @@ pub fn analyze(files: &[SourceFile]) -> Report {
         if f.class == FileClass::Lib {
             pass_panic(&ctx, &mut report.findings);
             pass_println(&ctx, &mut report.findings);
+            pass_metric_names(&ctx, &mut report.findings);
             pass_consttime(&ctx, &mut report.findings);
             collect_codec(&ctx, &mut codec, &mut report.findings);
             collect_lock_facts(&ctx, &lock_fields, &mut lock_facts);
@@ -353,6 +355,71 @@ fn pass_println(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
             );
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// metric-naming
+// ---------------------------------------------------------------------
+
+const METRIC_CTORS: &[&str] = &["counter", "gauge", "histogram"];
+
+/// Enforces the `crate.subsystem.name` scheme on metric registrations
+/// (and literal-name lookups, which must reference registered names):
+/// every string literal passed to `.counter("…")` / `.gauge("…")` /
+/// `.histogram("…")` needs at least three non-empty dot-separated
+/// segments of `[a-z0-9_]`, each starting with a lowercase letter.
+/// Dynamically built names (`&format!`-per-peer gauges, variables) are
+/// skipped — their static scheme is checked where the literal lives.
+fn pass_metric_names(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    for ci in 0..ctx.st.code.len() {
+        if ctx.ckind(ci) != Some(TokKind::Ident) || !METRIC_CTORS.contains(&ctx.ctext(ci)) {
+            continue;
+        }
+        if ctx.ctext(ci.wrapping_sub(1)) != "." || ctx.ctext(ci + 1) != "(" {
+            continue;
+        }
+        let line = ctx.cline(ci);
+        if ctx.st.in_test(line) {
+            continue;
+        }
+        let name = match ctx.ckind(ci + 2) {
+            Some(TokKind::Str) => {
+                let text = ctx.ctext(ci + 2);
+                text.trim_start_matches('"').trim_end_matches('"')
+            }
+            Some(TokKind::RawStr) => {
+                let text = ctx.ctext(ci + 2);
+                text.trim_start_matches('r')
+                    .trim_matches('#')
+                    .trim_matches('"')
+            }
+            _ => continue,
+        };
+        if !metric_name_ok(name) {
+            ctx.emit(
+                out,
+                "metric-name",
+                line,
+                format!(
+                    "metric name \"{name}\" violates the `crate.subsystem.name` scheme — \
+                     use >= 3 dot-separated segments of [a-z0-9_], each starting with a letter"
+                ),
+            );
+        }
+    }
+}
+
+/// `crate.subsystem.name[...]`: at least three dot-segments, each a
+/// lowercase identifier (letters, digits, underscores; letter first).
+fn metric_name_ok(name: &str) -> bool {
+    let segments: Vec<&str> = name.split('.').collect();
+    segments.len() >= 3
+        && segments.iter().all(|seg| {
+            seg.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+                && seg
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
 }
 
 // ---------------------------------------------------------------------

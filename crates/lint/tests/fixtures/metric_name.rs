@@ -1,0 +1,19 @@
+//! Seeded metric-naming violations: a single-segment name, a
+//! CamelCase name, a suppressed legacy key, and exempt dynamic/test
+//! registrations.
+pub fn register(registry: &Registry) {
+    let _ = registry.counter("decided");
+    let _ = registry.gauge("core.frontend.collecting_rounds");
+    let _ = registry.histogram("Consensus.Replica.WritePhase");
+    // lint:allow(metric-name): legacy dashboard key kept for compatibility
+    let _ = registry.counter("legacy_total");
+    let _ = registry.gauge(&format!("consensus.health.peer_lag_us.{}", 3));
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn short_names_are_fine_in_tests() {
+        let _ = registry().counter("x");
+    }
+}

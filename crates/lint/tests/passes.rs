@@ -115,6 +115,19 @@ fn println_pass_detects_and_suppresses() {
 }
 
 #[test]
+fn metric_name_pass_detects_and_suppresses() {
+    let findings = run("metric_name.rs", include_str!("fixtures/metric_name.rs"));
+    let hits = by_pass(&findings, "metric-name");
+    assert_eq!(hits.len(), 2, "{findings:?}");
+    assert_eq!(hits[0].0, 5, "single-segment name on line 5");
+    assert!(hits[0].1.contains("crate.subsystem.name"), "{}", hits[0].1);
+    assert_eq!(hits[1].0, 7, "CamelCase segments on line 7");
+    // The legacy-key suppression is honored and the format!-built name
+    // is skipped; no dangling suppressions either way.
+    assert!(by_pass(&findings, "lint").is_empty(), "{findings:?}");
+}
+
+#[test]
 fn json_report_shape_is_stable() {
     let file = SourceFile {
         path: "fixtures/panic.rs".into(),

@@ -77,6 +77,28 @@ pub enum EventKind {
     /// A transport frame was sent (a=peer, b=bytes) or received
     /// (a=peer, b=bytes, c=1).
     Frame = 18,
+    /// Instance decided, with the decision digest and certificate
+    /// signers for the cluster auditor. a=consensus id, b=first eight
+    /// bytes of the decided batch digest (little-endian), c=bitmap of
+    /// the distinct signer node ids behind the decision proof.
+    DecideHash = 19,
+    /// A WRITE certificate formed locally. a=consensus id, b=first
+    /// eight bytes of the certified digest, c=bitmap of the distinct
+    /// WRITE signers.
+    WriteCert = 20,
+    /// Tentative (pre-ACCEPT) delivery with its value digest.
+    /// a=consensus id, b=first eight bytes of the delivered digest.
+    TentativeHash = 21,
+    /// A slot was re-proposed by a new regent's SYNC window.
+    /// a=consensus id, b=first eight bytes of the re-proposed digest,
+    /// c=regency adopting the window.
+    Rebind = 22,
+    /// A simulated wire message crossed a link: sent (c=0) or received
+    /// (c=1). a=peer actor index, b=sender-unique message id — matched
+    /// send/recv pairs let the auditor stitch a Lamport order across
+    /// nodes. Distinct from [`EventKind::Frame`], which carries byte
+    /// counts but no matchable identity.
+    FrameSeq = 23,
 }
 
 impl EventKind {
@@ -102,6 +124,11 @@ impl EventKind {
             EventKind::Deliver => "deliver",
             EventKind::Suspect => "suspect",
             EventKind::Frame => "frame",
+            EventKind::DecideHash => "decide_hash",
+            EventKind::WriteCert => "write_cert",
+            EventKind::TentativeHash => "tentative_hash",
+            EventKind::Rebind => "rebind",
+            EventKind::FrameSeq => "frame_seq",
         }
     }
 
@@ -127,6 +154,11 @@ impl EventKind {
             "deliver" => EventKind::Deliver,
             "suspect" => EventKind::Suspect,
             "frame" => EventKind::Frame,
+            "decide_hash" => EventKind::DecideHash,
+            "write_cert" => EventKind::WriteCert,
+            "tentative_hash" => EventKind::TentativeHash,
+            "rebind" => EventKind::Rebind,
+            "frame_seq" => EventKind::FrameSeq,
             _ => return None,
         })
     }
@@ -152,6 +184,11 @@ impl EventKind {
             16 => EventKind::Deliver,
             17 => EventKind::Suspect,
             18 => EventKind::Frame,
+            19 => EventKind::DecideHash,
+            20 => EventKind::WriteCert,
+            21 => EventKind::TentativeHash,
+            22 => EventKind::Rebind,
+            23 => EventKind::FrameSeq,
             _ => return None,
         })
     }
@@ -315,6 +352,12 @@ pub fn dumps_from_json(input: &str) -> Result<Vec<FlightDump>, String> {
 /// ones dropped, with a counter of how many were discarded.
 const MAX_DUMPS: usize = 32;
 
+/// Token-bucket refill interval for anomaly dumps: at most one dump per
+/// trigger reason per node in any such window. A trigger that can fire
+/// per decide (the pipeline-stall dump under sustained backpressure)
+/// would otherwise exhaust [`MAX_DUMPS`] with near-identical rings.
+const DUMP_INTERVAL_US: u64 = 5_000_000;
+
 /// Per-node lock-free flight recorder. See the module docs.
 pub struct FlightRecorder {
     name: String,
@@ -323,6 +366,10 @@ pub struct FlightRecorder {
     origin: Instant,
     dumps: Mutex<Vec<FlightDump>>,
     dropped_dumps: AtomicU64,
+    /// `(reason, last dump timestamp)` token bucket — reasons are few,
+    /// so a linear scan beats a map here.
+    dump_gate: Mutex<Vec<(String, u64)>>,
+    suppressed_dumps: AtomicU64,
 }
 
 impl FlightRecorder {
@@ -347,6 +394,8 @@ impl FlightRecorder {
             origin: Instant::now(),
             dumps: Mutex::new(Vec::new()),
             dropped_dumps: AtomicU64::new(0),
+            dump_gate: Mutex::new(Vec::new()),
+            suppressed_dumps: AtomicU64::new(0),
         }
     }
 
@@ -420,28 +469,60 @@ impl FlightRecorder {
         out.into_iter().map(|(_, ev)| ev).collect()
     }
 
-    /// Snapshots the ring into an anomaly dump tagged `reason`. The
-    /// dump is retained in-process (up to [`MAX_DUMPS`]) until
-    /// collected with [`FlightRecorder::take_dumps`]. Uses a
-    /// poison-proof lock so a panic elsewhere never loses dumps.
-    pub fn anomaly(&self, reason: &str) {
-        let dump = FlightDump {
-            node: self.name.clone(),
-            reason: reason.to_string(),
-            at_us: self.now_us(),
-            events: self.events(),
-        };
-        let mut dumps = self.dumps.lock().unwrap_or_else(|e| e.into_inner());
-        if dumps.len() < MAX_DUMPS {
-            dumps.push(dump);
-        } else {
-            self.dropped_dumps.fetch_add(1, Ordering::Relaxed);
+    /// Incremental drain for online consumers (the cluster auditor):
+    /// returns every event recorded after `cursor` that still survives
+    /// in the ring, oldest first, together with the new cursor to pass
+    /// next time. Events overwritten between drains are silently lost —
+    /// size the ring for the drain interval. Start with cursor `0`.
+    // lint:allow(panic): the ring size is a power of two, so `(seq-1) & (len-1)` is always in bounds
+    pub fn events_since(&self, cursor: u64) -> (u64, Vec<FlightEvent>) {
+        let head = self.head.load(Ordering::Acquire);
+        // Sequences are 1-based (`ticket + 1`); anything older than one
+        // full ring ago has certainly been overwritten.
+        let start = cursor.max(head.saturating_sub(self.slots.len() as u64));
+        let mut out = Vec::with_capacity((head - start) as usize);
+        for seq in start + 1..=head {
+            let slot = &self.slots[((seq - 1) as usize) & (self.slots.len() - 1)];
+            if slot.seq.load(Ordering::Acquire) != seq {
+                continue; // overwritten or mid-write
+            }
+            let at_us = slot.at_us.load(Ordering::Relaxed);
+            let kind = slot.kind.load(Ordering::Relaxed);
+            let a = slot.a.load(Ordering::Relaxed);
+            let b = slot.b.load(Ordering::Relaxed);
+            let c = slot.c.load(Ordering::Relaxed);
+            if slot.seq.load(Ordering::Acquire) != seq {
+                continue;
+            }
+            let Some(kind) = EventKind::from_u64(kind) else {
+                continue;
+            };
+            out.push(FlightEvent { at_us, kind, a, b, c });
         }
+        (head, out)
     }
 
-    /// Like [`FlightRecorder::anomaly`] but with an explicit timestamp
-    /// (deterministic simulations).
-    pub fn anomaly_at(&self, at_us: u64, reason: &str) {
+    /// Returns `true` if a dump for `reason` at `at_us` passes the
+    /// per-reason token bucket, consuming the token.
+    fn dump_admitted(&self, at_us: u64, reason: &str) -> bool {
+        let mut gate = self.dump_gate.lock().unwrap_or_else(|e| e.into_inner());
+        match gate.iter_mut().find(|(r, _)| r == reason) {
+            Some((_, last)) => {
+                if at_us < last.saturating_add(DUMP_INTERVAL_US) {
+                    self.suppressed_dumps.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+                *last = at_us;
+            }
+            None => gate.push((reason.to_string(), at_us)),
+        }
+        true
+    }
+
+    fn push_dump(&self, at_us: u64, reason: &str) {
+        if !self.dump_admitted(at_us, reason) {
+            return;
+        }
         let dump = FlightDump {
             node: self.name.clone(),
             reason: reason.to_string(),
@@ -456,6 +537,23 @@ impl FlightRecorder {
         }
     }
 
+    /// Snapshots the ring into an anomaly dump tagged `reason`. The
+    /// dump is retained in-process (up to [`MAX_DUMPS`]) until
+    /// collected with [`FlightRecorder::take_dumps`]. Rate-limited to
+    /// one dump per `reason` per [`DUMP_INTERVAL_US`]; suppressed dumps
+    /// are counted in [`FlightRecorder::suppressed_dumps`]. Uses a
+    /// poison-proof lock so a panic elsewhere never loses dumps.
+    pub fn anomaly(&self, reason: &str) {
+        self.push_dump(self.now_us(), reason);
+    }
+
+    /// Like [`FlightRecorder::anomaly`] but with an explicit timestamp
+    /// (deterministic simulations). The same timestamp drives the
+    /// per-reason rate limit, so suppression is deterministic too.
+    pub fn anomaly_at(&self, at_us: u64, reason: &str) {
+        self.push_dump(at_us, reason);
+    }
+
     /// Removes and returns all retained anomaly dumps.
     pub fn take_dumps(&self) -> Vec<FlightDump> {
         std::mem::take(&mut *self.dumps.lock().unwrap_or_else(|e| e.into_inner()))
@@ -464,6 +562,11 @@ impl FlightRecorder {
     /// Anomaly dumps discarded because the retention cap was hit.
     pub fn dropped_dumps(&self) -> u64 {
         self.dropped_dumps.load(Ordering::Relaxed)
+    }
+
+    /// Anomaly dumps suppressed by the per-reason rate limit.
+    pub fn suppressed_dumps(&self) -> u64 {
+        self.suppressed_dumps.load(Ordering::Relaxed)
     }
 }
 
@@ -529,11 +632,68 @@ mod tests {
     #[test]
     fn dump_retention_is_capped() {
         let rec = FlightRecorder::with_capacity("node-0", 8);
-        for _ in 0..MAX_DUMPS + 5 {
-            rec.anomaly("loop");
+        // Space the timestamps past the rate-limit window so every
+        // dump is admitted and the retention cap is what bites.
+        for i in 0..(MAX_DUMPS + 5) as u64 {
+            rec.anomaly_at(i * 2 * DUMP_INTERVAL_US, "loop");
         }
         assert_eq!(rec.take_dumps().len(), MAX_DUMPS);
         assert_eq!(rec.dropped_dumps(), 5);
+        assert_eq!(rec.suppressed_dumps(), 0);
+    }
+
+    #[test]
+    fn dumps_are_rate_limited_per_reason() {
+        let rec = FlightRecorder::with_capacity("node-0", 8);
+        // Burst within one window: only the first dump per reason lands.
+        for i in 0..10u64 {
+            rec.anomaly_at(i * 1000, "pipeline_stall");
+        }
+        rec.anomaly_at(5000, "rollback"); // distinct reason, own bucket
+        assert_eq!(rec.take_dumps().len(), 2);
+        assert_eq!(rec.suppressed_dumps(), 9);
+        // A dump after the window reopens is admitted again.
+        rec.anomaly_at(DUMP_INTERVAL_US, "pipeline_stall");
+        assert_eq!(rec.take_dumps().len(), 1);
+        assert_eq!(rec.suppressed_dumps(), 9);
+    }
+
+    #[test]
+    fn events_since_drains_incrementally() {
+        let rec = FlightRecorder::with_capacity("node-0", 8);
+        for i in 0..5u64 {
+            rec.record(i, EventKind::Submit, i, 0, 0);
+        }
+        let (cursor, events) = rec.events_since(0);
+        assert_eq!(cursor, 5);
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[4].a, 4);
+        // Nothing new: empty drain, cursor unchanged.
+        let (cursor, events) = rec.events_since(cursor);
+        assert_eq!(cursor, 5);
+        assert!(events.is_empty());
+        // Only the delta comes back on the next drain.
+        rec.record(5, EventKind::Decide, 5, 0, 0);
+        let (cursor, events) = rec.events_since(cursor);
+        assert_eq!(cursor, 6);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::Decide);
+    }
+
+    #[test]
+    fn events_since_skips_overwritten_span() {
+        let rec = FlightRecorder::with_capacity("node-0", 8);
+        rec.record(0, EventKind::Submit, 0, 0, 0);
+        let (cursor, _) = rec.events_since(0);
+        // Push two full ring turns; everything before is overwritten.
+        for i in 1..=16u64 {
+            rec.record(i, EventKind::Submit, i, 0, 0);
+        }
+        let (cursor, events) = rec.events_since(cursor);
+        assert_eq!(cursor, 17);
+        assert_eq!(events.len(), 8);
+        let ids: Vec<u64> = events.iter().map(|e| e.a).collect();
+        assert_eq!(ids, (9..=16).collect::<Vec<_>>());
     }
 
     #[test]

@@ -24,6 +24,8 @@
 //!   anomalies (regency change, rollback, state transfer, eviction).
 //! - [`StragglerDetector`] — per-peer vote-arrival EWMAs flagging slow
 //!   replicas relative to the median peer.
+//! - [`TimeSeries`] — windowed sample ring with sparkline rendering for
+//!   live dashboards (`HLF_DASH`).
 //!
 //! Metric names follow `crate.subsystem.metric`, e.g.
 //! `consensus.replica.write_phase_ms` (see DESIGN.md §Observability).
@@ -58,6 +60,7 @@ pub mod metrics;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
+pub mod timeseries;
 pub mod trace;
 
 pub use flight::{
@@ -72,4 +75,5 @@ pub use snapshot::{
     from_json_many, to_json_many, HistogramSnapshot, MetricSnapshot, MetricValue, Snapshot,
 };
 pub use span::SpanTimer;
+pub use timeseries::TimeSeries;
 pub use trace::{set_trace_enabled, trace_enabled, trace_id, trace_id_parts, TraceContext};

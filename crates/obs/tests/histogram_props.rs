@@ -1,9 +1,126 @@
-//! Property tests for histogram bucket math and quantiles, plus a
-//! generative JSON round-trip.
+//! Property tests for histogram bucket math and quantiles, a
+//! generative JSON round-trip, and concurrent-writer checks (the
+//! histogram is written lock-free from every replica thread, so the
+//! snapshot/merge algebra has to hold under real interleavings, not
+//! just sequential recording).
 
 use hlf_obs::histogram::{bucket_index, bucket_lower, bucket_upper, NUM_BUCKETS};
-use hlf_obs::{Histogram, MetricSnapshot, MetricValue, Snapshot};
+use hlf_obs::{Histogram, HistogramSnapshot, MetricSnapshot, MetricValue, Snapshot};
 use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Deterministic value stream for the threaded tests (splitmix64), so
+/// failures reproduce without proptest shrinking across threads.
+fn stream(seed: u64, len: usize) -> Vec<u64> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            // Keep values in a latency-like range so buckets collide
+            // across threads (the interesting contention case).
+            (z ^ (z >> 31)) % 50_000_000
+        })
+        .collect()
+}
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Eight threads hammering ONE shared histogram produce exactly the
+/// sequential snapshot: no lost counts, no torn min/max, same buckets.
+#[test]
+fn concurrent_writers_lose_nothing() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 20_000;
+    let shared = Arc::new(Histogram::new());
+    let slices: Vec<Vec<u64>> = (0..THREADS)
+        .map(|t| stream(0xfeed_0000 + t as u64, PER_THREAD))
+        .collect();
+
+    let handles: Vec<_> = slices
+        .iter()
+        .map(|slice| {
+            let h = Arc::clone(&shared);
+            let values = slice.clone();
+            std::thread::spawn(move || {
+                for v in values {
+                    h.record(v);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("writer thread panicked");
+    }
+
+    let all: Vec<u64> = slices.into_iter().flatten().collect();
+    let expected = snapshot_of(&all);
+    let got = shared.snapshot();
+    assert_eq!(got.count, (THREADS * PER_THREAD) as u64);
+    assert_eq!(got, expected, "concurrent snapshot diverged from sequential");
+}
+
+/// Per-thread histograms merged in any grouping equal one histogram of
+/// everything — the cross-replica aggregation path is safe regardless
+/// of which replica's snapshot arrives first.
+#[test]
+fn parallel_shards_merge_to_the_sequential_snapshot() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 10_000;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let h = Histogram::new();
+                for v in stream(0xabba_0000 + t as u64, PER_THREAD) {
+                    h.record(v);
+                }
+                h.snapshot()
+            })
+        })
+        .collect();
+    let shards: Vec<HistogramSnapshot> = handles
+        .into_iter()
+        .map(|h| h.join().expect("recorder thread panicked"))
+        .collect();
+
+    let fold = |order: &mut dyn Iterator<Item = &HistogramSnapshot>| {
+        let mut acc = HistogramSnapshot::default();
+        for s in order {
+            acc.merge(s);
+        }
+        acc
+    };
+    let forward = fold(&mut shards.iter());
+    let reverse = fold(&mut shards.iter().rev());
+    // Pairwise tree merge: (0⊕1) ⊕ (2⊕3) ⊕ ...
+    let mut tree = HistogramSnapshot::default();
+    for pair in shards.chunks(2) {
+        let mut node = pair[0].clone();
+        if let Some(second) = pair.get(1) {
+            node.merge(second);
+        }
+        tree.merge(&node);
+    }
+    assert_eq!(forward, reverse, "merge order changed the aggregate");
+    assert_eq!(forward, tree, "merge grouping changed the aggregate");
+
+    let all: Vec<u64> = (0..THREADS)
+        .flat_map(|t| stream(0xabba_0000 + t as u64, PER_THREAD))
+        .collect();
+    assert_eq!(
+        forward,
+        snapshot_of(&all),
+        "merged shards diverged from single-histogram recording"
+    );
+}
 
 proptest! {
     /// Every recorded value falls in a bucket whose range contains it.
@@ -139,6 +256,44 @@ proptest! {
         };
         let back = Snapshot::from_json(&wrapped.to_json()).unwrap();
         prop_assert_eq!(back, wrapped);
+    }
+
+    /// The reported p99 is within one log-linear bucket of the exact
+    /// order statistic: it lands in the *same* bucket as the true
+    /// `ceil(0.99 * n)`-th smallest value and never undershoots it.
+    /// That bounds the quantile error to the bucket's relative width
+    /// for every input distribution.
+    #[test]
+    fn p99_is_within_one_bucket_of_exact(
+        values in proptest::collection::vec(any::<u64>(), 1..400),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let reported = snap.p99();
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((0.99 * sorted.len() as f64).ceil() as usize).max(1);
+        let exact = sorted[rank - 1];
+
+        prop_assert!(
+            reported >= exact,
+            "p99 {reported} undershoots exact {exact}"
+        );
+        prop_assert_eq!(
+            bucket_index(reported),
+            bucket_index(exact),
+            "p99 {} left the exact value's bucket ({} vs {})",
+            reported,
+            bucket_index(reported),
+            bucket_index(exact)
+        );
+        // And it cannot exceed the bucket's upper bound (clamped to the
+        // observed max), i.e. the overshoot is below one bucket width.
+        prop_assert!(reported <= bucket_upper(bucket_index(exact)).min(snap.max));
     }
 }
 
