@@ -1,6 +1,6 @@
 # Convenience targets for the hlf-bft reproduction.
 
-.PHONY: build test lint figures bench bench-crypto bench-wire bench-pipeline bench-all obs-report trace-report audit-report clean-results
+.PHONY: build test lint figures bench bench-crypto bench-wire bench-pipeline bench-net bench-all obs-report trace-report audit-report clean-results
 
 build:
 	cargo build --workspace --release
@@ -54,6 +54,15 @@ bench-wire:
 bench-pipeline:
 	cargo run --release -p bench --bin bench_pipeline
 
+# Real-socket cluster headline: the same saturated ordering workload
+# measured in-process (hub transport) and again as 4 hlf_node replica
+# OS processes + a TCP frontend on localhost. Asserts the socket
+# cluster keeps >= 0.5x the in-process throughput and that the writer
+# threads coalesce >1 frame per writev, then writes BENCH_net.json.
+bench-net:
+	cargo build --release -p bench --bin hlf_node
+	cargo run --release -p bench --bin bench_net
+
 # Boot a 4-node cluster with tentative execution, drive ~2 s of
 # traffic, print every obs registry and write BENCH_obs.json.
 obs-report:
@@ -87,6 +96,8 @@ bench-all:
 	cargo run --release -p bench --bin obs_report
 	cargo run --release -p bench --bin trace_report
 	cargo run --release -p bench --bin audit_report
+	cargo build --release -p bench --bin hlf_node
+	cargo run --release -p bench --bin bench_net
 	cargo run --release -p bench --bin bench_summary
 
 clean-results:

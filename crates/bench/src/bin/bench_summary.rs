@@ -5,13 +5,16 @@
 //! reader (or a later PR) sees the whole performance picture in one
 //! file instead of six.
 //!
-//! `--check` mode is the CI gate: it re-runs the two deterministic
-//! throughput probes (the saturated k = 4 pipeline workload and the
-//! paper-rate WHEAT geo run — both virtual-time, hence bit-identical
-//! across machines) and fails loudly if either regressed more than 10 %
-//! against the committed `bench_baselines.json`. Because the sim is
-//! deterministic, a failure is a real code regression, never machine
-//! noise.
+//! `--check` mode is the CI gate: it re-runs three throughput probes
+//! and fails loudly if any regressed more than 10 % against the
+//! committed `bench_baselines.json`. Two are virtual-time simulations
+//! (the saturated k = 4 pipeline workload and the paper-rate WHEAT geo
+//! run), hence bit-identical across machines — a miss there is a real
+//! code regression, never machine noise. The third drives a
+//! four-replica TCP-loopback cluster over real sockets; its workload
+//! is fixed but its clock is wall time, so its committed baseline sits
+//! far below a healthy run and only transport-level collapses (lost
+//! write coalescing, per-frame copies, handshake storms) trip it.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin bench_summary               # writes BENCH_summary.json
@@ -19,9 +22,15 @@
 //! cargo run --release -p bench --bin bench_summary -- --root /path/to/repo --check
 //! ```
 
+use hlf_obs::Registry;
 use hlf_simnet::SimTime;
+use hlf_transport::{PeerId, TcpConfig, TcpNetwork};
+use hlf_wire::Bytes;
+use ordering_core::proc::{connect_frontend_endpoint, start_replica_endpoint};
+use ordering_core::service::ServiceOptions;
 use ordering_core::sim::{run_geo_experiment, GeoConfig, Protocol};
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// Allowed throughput regression vs the committed baseline (%).
 const TOLERANCE_PCT: f64 = 10.0;
@@ -78,6 +87,7 @@ fn write_summary(root: &Path) {
     let pipeline = read("BENCH_pipeline.json");
     let trace = read("BENCH_trace.json");
     let audit = read("BENCH_audit.json");
+    let net = read("BENCH_net.json");
 
     let headlines = [
         Headline {
@@ -121,6 +131,21 @@ fn write_summary(root: &Path) {
             metric: "audit_events",
             value: scrape(&audit, "\"overhead\"", "events_audited"),
         },
+        Headline {
+            file: "BENCH_net.json",
+            metric: "tcp_4proc_ordered_tx_s",
+            value: scrape(&net, "\"tcp_4proc\"", "ordered_tx_s"),
+        },
+        Headline {
+            file: "BENCH_net.json",
+            metric: "tcp_ratio_vs_in_process",
+            value: scrape(&net, "\"tcp_4proc\"", "ratio_vs_in_process"),
+        },
+        Headline {
+            file: "BENCH_net.json",
+            metric: "frames_per_writev",
+            value: scrape(&net, "\"coalescing\"", "frames_per_writev"),
+        },
     ];
 
     let mut out = String::from("{\n  \"headlines\": [\n");
@@ -146,7 +171,8 @@ fn write_summary(root: &Path) {
     }
 }
 
-/// The two deterministic throughput probes the gate re-measures.
+/// The deterministic virtual-time throughput probes the gate
+/// re-measures.
 fn probe_pipeline_tx_s() -> f64 {
     let mut config = GeoConfig::new(Protocol::BftSmart)
         .with_slow_replica(3, SimTime::from_millis(250))
@@ -165,6 +191,102 @@ fn probe_wheat_tx_s() -> f64 {
     run_geo_experiment(&config).throughput
 }
 
+/// Real-socket probe: a four-replica ordering cluster where every
+/// frame crosses a TCP loopback socket (four `TcpNetwork`s plus a
+/// frontend network, all in this process), driven with a fixed
+/// windowed workload. The workload is deterministic; the clock is wall
+/// time, so the committed baseline absorbs scheduler noise with a wide
+/// margin and the gate only trips on transport-level regressions.
+fn probe_net_tx_s() -> f64 {
+    const N: usize = 4;
+    const FRONTEND_ID: u32 = 700;
+    const WARMUP: u64 = 500;
+    const COUNT: u64 = 3_000;
+    const WINDOW: u64 = 1_000;
+    const SECRET: &[u8] = b"bench-gate";
+
+    let bind = |id: PeerId| {
+        TcpNetwork::bind(TcpConfig::new(
+            id,
+            "127.0.0.1:0".parse().expect("loopback addr"),
+            SECRET,
+        ))
+        .expect("bind loopback network")
+    };
+    let nets: Vec<TcpNetwork> = (0..N as u32).map(|i| bind(PeerId::replica(i))).collect();
+    let front_net = bind(PeerId::client(FRONTEND_ID));
+    for a in &nets {
+        for b in &nets {
+            if a.id() != b.id() {
+                a.add_peer(b.id(), b.local_addr());
+            }
+        }
+        a.add_peer(front_net.id(), front_net.local_addr());
+        front_net.add_peer(a.id(), a.local_addr());
+    }
+
+    // Same fixed-cutter configuration as `bench_net` / `hlf-node`, so
+    // the gate measures the shipped cluster shape.
+    let options = ServiceOptions::new(1)
+        .with_block_size(10)
+        .with_signing_threads(1)
+        .with_request_timeout_ms(60_000)
+        .with_pipeline_depth(4)
+        .with_flush_on_batch_end(true);
+    let handles: Vec<_> = (0..N)
+        .map(|i| {
+            start_replica_endpoint(
+                i,
+                N,
+                &options,
+                nets[i].endpoint(),
+                Registry::new(format!("gate-net-{i}")),
+            )
+        })
+        .collect();
+    let mut frontend = connect_frontend_endpoint(FRONTEND_ID, N, &options, front_net.endpoint());
+
+    let payload = |i: u64| {
+        let mut body = vec![0u8; 200];
+        body[..8].copy_from_slice(&i.to_le_bytes());
+        Bytes::from(body)
+    };
+    let mut drive = |base: u64, count: u64| {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let mut submitted = 0u64;
+        let mut delivered = 0u64;
+        while delivered < count {
+            assert!(
+                Instant::now() < deadline,
+                "loopback gate cluster stalled: {delivered} of {count} delivered"
+            );
+            while submitted < count && submitted - delivered < WINDOW {
+                frontend.submit(payload(base + submitted));
+                submitted += 1;
+            }
+            if let Some(block) = frontend.next_block(Duration::from_millis(50)) {
+                delivered += block.envelopes.len() as u64;
+            }
+        }
+    };
+
+    drive(0, WARMUP);
+    let start = Instant::now();
+    drive(WARMUP, COUNT);
+    let tx_s = COUNT as f64 / start.elapsed().as_secs_f64();
+    drop(drive);
+
+    drop(frontend);
+    for handle in handles {
+        handle.shutdown();
+    }
+    for net in nets {
+        net.shutdown();
+    }
+    front_net.shutdown();
+    tx_s
+}
+
 fn run_gate(root: &Path) {
     let path = root.join("bench_baselines.json");
     let baselines = match std::fs::read_to_string(&path) {
@@ -177,6 +299,7 @@ fn run_gate(root: &Path) {
     let gates = [
         ("pipeline_k4_tx_s", probe_pipeline_tx_s as fn() -> f64),
         ("geo_wheat_tx_s", probe_wheat_tx_s as fn() -> f64),
+        ("net_loopback_tx_s", probe_net_tx_s as fn() -> f64),
     ];
     let mut failed = false;
     for (key, probe) in gates {

@@ -1,0 +1,344 @@
+//! **`hlf-node`: one ordering-cluster member as one OS process.**
+//!
+//! Runs either a replica (consensus + block signing) or a frontend
+//! (submit + collect workload driver) over the real-socket TCP
+//! transport, so a 4-replica cluster is 4 kernel-scheduled processes
+//! exchanging bytes through the loopback (or a real) network — the
+//! deployment shape of the paper's §6.2 experiments.
+//!
+//! ```sh
+//! # 4 replicas + a frontend driving 5000 envelopes (5 terminals):
+//! hlf_node --role replica --id 0 --n 4 --listen 127.0.0.1:7100 \
+//!   --peer replica:1=127.0.0.1:7101 --peer replica:2=127.0.0.1:7102 \
+//!   --peer replica:3=127.0.0.1:7103 --peer client:1001=127.0.0.1:7110
+//! # ... same for --id 1..3 (swap listen/peers) ...
+//! hlf_node --role frontend --id 1001 --n 4 --listen 127.0.0.1:7110 \
+//!   --peer replica:0=127.0.0.1:7100 --peer replica:1=127.0.0.1:7101 \
+//!   --peer replica:2=127.0.0.1:7102 --peer replica:3=127.0.0.1:7103 \
+//!   --count 5000
+//! ```
+//!
+//! Flags may also come from a TOML file (`--config node.toml`; flat
+//! `key = value` pairs plus a `[peers]` table); command-line flags win
+//! over file values. A replica runs until stdin reaches EOF (so a
+//! parent process stopping — or closing the pipe — stops the node) or
+//! `--duration-s` elapses; on exit it writes its obs registry snapshot
+//! (including the `transport.net.*` socket counters) to `--obs-out`.
+
+use hlf_obs::Registry;
+use hlf_transport::{PeerId, TcpConfig, TcpNetwork};
+use hlf_wire::Bytes;
+use ordering_core::proc::{connect_frontend_endpoint, start_replica_endpoint};
+use ordering_core::service::ServiceOptions;
+use std::collections::VecDeque;
+use std::io::Read;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Debug)]
+struct NodeArgs {
+    role: String,
+    id: u32,
+    n: usize,
+    f: usize,
+    listen: String,
+    secret: String,
+    peers: Vec<(PeerId, SocketAddr)>,
+    block_size: usize,
+    pipeline_depth: usize,
+    signing_threads: usize,
+    batch_max: usize,
+    request_timeout_ms: u64,
+    obs_out: Option<String>,
+    out: Option<String>,
+    duration_s: Option<u64>,
+    // Frontend workload knobs.
+    count: u64,
+    envelope_bytes: usize,
+    window: u64,
+}
+
+impl Default for NodeArgs {
+    fn default() -> NodeArgs {
+        NodeArgs {
+            role: String::new(),
+            id: 0,
+            n: 4,
+            f: 1,
+            listen: "127.0.0.1:0".to_string(),
+            secret: "hlf-cluster".to_string(),
+            peers: Vec::new(),
+            block_size: 10,
+            pipeline_depth: 4,
+            signing_threads: 4,
+            batch_max: 400,
+            request_timeout_ms: 60_000,
+            obs_out: None,
+            out: None,
+            duration_s: None,
+            count: 5_000,
+            envelope_bytes: 200,
+            window: 4_000,
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("hlf_node: {msg}");
+    std::process::exit(2);
+}
+
+/// Applies one `key = value` pair (from a flag or the TOML file).
+fn apply(args: &mut NodeArgs, key: &str, value: &str) {
+    let value = value.trim().trim_matches('"');
+    let parse_num = |v: &str| -> u64 {
+        v.parse()
+            .unwrap_or_else(|_| die(&format!("invalid number for {key}: {v}")))
+    };
+    match key {
+        "role" => args.role = value.to_string(),
+        "id" => args.id = parse_num(value) as u32,
+        "n" => args.n = parse_num(value) as usize,
+        "f" => args.f = parse_num(value) as usize,
+        "listen" => args.listen = value.to_string(),
+        "secret" => args.secret = value.to_string(),
+        "block-size" | "block_size" => args.block_size = parse_num(value) as usize,
+        "pipeline-depth" | "pipeline_depth" => args.pipeline_depth = parse_num(value) as usize,
+        "signing-threads" | "signing_threads" => args.signing_threads = parse_num(value) as usize,
+        "batch-max" | "batch_max" => args.batch_max = parse_num(value) as usize,
+        "request-timeout-ms" | "request_timeout_ms" => args.request_timeout_ms = parse_num(value),
+        "obs-out" | "obs_out" => args.obs_out = Some(value.to_string()),
+        "out" => args.out = Some(value.to_string()),
+        "duration-s" | "duration_s" => args.duration_s = Some(parse_num(value)),
+        "count" => args.count = parse_num(value),
+        "envelope-bytes" | "envelope_bytes" => args.envelope_bytes = parse_num(value) as usize,
+        "window" => args.window = parse_num(value),
+        "peer" => {
+            let Some((peer, addr)) = value.split_once('=') else {
+                die(&format!("--peer wants PEER=ADDR, got {value}"));
+            };
+            args.peers.push((parse_peer(peer), parse_addr(addr)));
+        }
+        other => die(&format!("unknown option: {other}")),
+    }
+}
+
+fn parse_peer(s: &str) -> PeerId {
+    PeerId::parse(s.trim())
+        .unwrap_or_else(|| die(&format!("invalid peer id {s} (want replica:N or client:N)")))
+}
+
+fn parse_addr(s: &str) -> SocketAddr {
+    s.trim()
+        .parse()
+        .unwrap_or_else(|_| die(&format!("invalid socket address: {s}")))
+}
+
+/// Minimal TOML subset: `key = value` pairs, a `[peers]` table whose
+/// entries are `"replica:0" = "127.0.0.1:7100"`, comments, blanks.
+fn load_config(args: &mut NodeArgs, path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|err| die(&format!("cannot read config {path}: {err}")));
+    let mut in_peers = false;
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            in_peers = line == "[peers]";
+            if !in_peers && line != "[node]" {
+                die(&format!("unknown config section {line}"));
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            die(&format!("config line is not key = value: {raw}"));
+        };
+        let key = key.trim().trim_matches('"');
+        if in_peers {
+            let addr = value.trim().trim_matches('"');
+            args.peers.push((parse_peer(key), parse_addr(addr)));
+        } else {
+            apply(args, key, value);
+        }
+    }
+}
+
+fn parse_args() -> NodeArgs {
+    let mut args = NodeArgs::default();
+    let mut flags: Vec<(String, String)> = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            die(&format!("unexpected argument {arg}"));
+        };
+        let value = argv
+            .next()
+            .unwrap_or_else(|| die(&format!("--{key} wants a value")));
+        if key == "config" {
+            load_config(&mut args, &value);
+        } else {
+            flags.push((key.to_string(), value));
+        }
+    }
+    // Flags override the config file.
+    for (key, value) in &flags {
+        apply(&mut args, key, value);
+    }
+    if args.role.is_empty() {
+        die("--role replica|frontend is required");
+    }
+    args
+}
+
+fn service_options(args: &NodeArgs) -> ServiceOptions {
+    // flush_on_batch_end guarantees the tail of a finite workload is
+    // cut as soon as the final consensus batch lands (without it the
+    // stale cut needs *further* decides, which never come once the
+    // frontend drains its window). The fixed block cutter matches the
+    // paper-style fig7 configuration.
+    ServiceOptions::new(args.f)
+        .with_block_size(args.block_size)
+        .with_signing_threads(args.signing_threads)
+        .with_request_timeout_ms(args.request_timeout_ms)
+        .with_pipeline_depth(args.pipeline_depth)
+        .with_flush_on_batch_end(true)
+}
+
+fn bind_network(args: &NodeArgs, id: PeerId, registry: Option<Arc<Registry>>) -> TcpNetwork {
+    let mut config = TcpConfig::new(id, parse_addr(&args.listen), args.secret.as_bytes());
+    config.peers = args.peers.clone();
+    if let Some(registry) = registry {
+        config = config.with_registry(registry);
+    }
+    TcpNetwork::bind(config)
+        .unwrap_or_else(|err| die(&format!("cannot bind {}: {err}", args.listen)))
+}
+
+fn run_replica(args: &NodeArgs) {
+    let registry = Registry::new(format!("node-{}", args.id));
+    let network = bind_network(args, PeerId::Replica(args.id), Some(Arc::clone(&registry)));
+    eprintln!(
+        "hlf_node: replica {} of {} listening on {}",
+        args.id,
+        args.n,
+        network.local_addr()
+    );
+    let handle = start_replica_endpoint(
+        args.id as usize,
+        args.n,
+        &service_options(args),
+        network.endpoint(),
+        Arc::clone(&registry),
+    );
+
+    // Park until the parent closes stdin (or the duration elapses).
+    match args.duration_s {
+        Some(secs) => std::thread::sleep(Duration::from_secs(secs)),
+        None => {
+            let mut sink = [0u8; 256];
+            let mut stdin = std::io::stdin();
+            while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+        }
+    }
+
+    if let Some(path) = &args.obs_out {
+        let json = registry.snapshot().to_json();
+        if let Err(err) = std::fs::write(path, json) {
+            eprintln!("hlf_node: cannot write {path}: {err}");
+        }
+    }
+    handle.shutdown();
+    network.shutdown();
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted.get(idx).copied().unwrap_or(0.0)
+}
+
+fn run_frontend(args: &NodeArgs) {
+    let registry = Registry::new(format!("frontend-{}", args.id));
+    let network = bind_network(args, PeerId::Client(args.id), Some(Arc::clone(&registry)));
+    eprintln!(
+        "hlf_node: frontend {} listening on {}",
+        args.id,
+        network.local_addr()
+    );
+    let mut frontend = connect_frontend_endpoint(
+        args.id,
+        args.n,
+        &service_options(args),
+        network.endpoint(),
+    );
+
+    // Submit `count` envelopes under a bounded outstanding window,
+    // collecting per-envelope latency from block deliveries (a single
+    // frontend's envelopes come back in submission order).
+    let size = args.envelope_bytes.max(16);
+    let mut in_flight: VecDeque<Instant> = VecDeque::new();
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(args.count as usize);
+    let mut submitted = 0u64;
+    let mut delivered = 0u64;
+    let start = Instant::now();
+    let deadline = start + Duration::from_secs(args.duration_s.unwrap_or(120));
+    while delivered < args.count && Instant::now() < deadline {
+        while submitted < args.count && (submitted - delivered) < args.window {
+            let mut payload = vec![0u8; size];
+            payload[..8].copy_from_slice(&submitted.to_le_bytes());
+            frontend.submit(Bytes::from(payload));
+            in_flight.push_back(Instant::now());
+            submitted += 1;
+        }
+        if let Some(block) = frontend.next_block(Duration::from_millis(50)) {
+            let now = Instant::now();
+            for _ in 0..block.envelopes.len() {
+                if let Some(at) = in_flight.pop_front() {
+                    latencies_ms.push(now.duration_since(at).as_secs_f64() * 1e3);
+                }
+            }
+            delivered += block.envelopes.len() as u64;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let json = format!(
+        "{{\"role\": \"frontend\", \"submitted\": {submitted}, \"delivered\": {delivered}, \
+         \"elapsed_s\": {elapsed:.3}, \"ordered_tx_s\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+        delivered as f64 / elapsed.max(1e-9),
+        percentile(&latencies_ms, 50.0),
+        percentile(&latencies_ms, 99.0),
+    );
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .unwrap_or_else(|err| die(&format!("cannot write {path}: {err}")));
+        }
+        None => println!("{json}"),
+    }
+    if let Some(path) = &args.obs_out {
+        let _ = std::fs::write(path, registry.snapshot().to_json());
+    }
+    network.shutdown();
+    if delivered < args.count {
+        eprintln!(
+            "hlf_node: frontend timed out: {delivered}/{} envelopes delivered",
+            args.count
+        );
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    match args.role.as_str() {
+        "replica" => run_replica(&args),
+        "frontend" => run_frontend(&args),
+        other => die(&format!("unknown role {other} (want replica or frontend)")),
+    }
+}

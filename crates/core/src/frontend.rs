@@ -190,6 +190,24 @@ impl Frontend {
             network,
             ProxyConfig::classic(config.id, config.n, config.f),
         );
+        Frontend::over_proxy(proxy, config)
+    }
+
+    /// Connects over an already-built transport endpoint — the
+    /// multi-process path, where the endpoint wraps a TCP network
+    /// ([`hlf_transport::TcpNetwork::endpoint`]).
+    pub fn connect_endpoint(
+        endpoint: hlf_transport::Endpoint,
+        config: FrontendConfig,
+    ) -> Frontend {
+        let proxy = ServiceProxy::with_endpoint(
+            endpoint,
+            ProxyConfig::classic(config.id, config.n, config.f),
+        );
+        Frontend::over_proxy(proxy, config)
+    }
+
+    fn over_proxy(proxy: ServiceProxy, config: FrontendConfig) -> Frontend {
         proxy.subscribe();
         Frontend {
             proxy,

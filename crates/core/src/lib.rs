@@ -47,6 +47,7 @@ pub mod channel;
 pub mod frontend;
 pub mod node;
 pub mod obs;
+pub mod proc;
 pub mod service;
 pub mod signing;
 pub mod sim;

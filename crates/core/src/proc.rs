@@ -1,0 +1,109 @@
+//! Multi-process deployment assembly: one ordering replica or
+//! frontend per OS process, over the TCP transport.
+//!
+//! [`OrderingService::start`](crate::service::OrderingService::start)
+//! boots a whole cluster in one address space; this module is its
+//! per-process counterpart. Every process derives the same
+//! deterministic cluster key material (`ClusterKeys::derive("runtime",
+//! n)`), so a replica started here interoperates with any other
+//! process started with the same `(n, options)` — and with in-process
+//! clusters, which is what the cross-backend benchmarks compare.
+
+use crate::frontend::{Frontend, FrontendConfig};
+use crate::node::{OrderingNodeApp, OrderingNodeConfig};
+use crate::service::ServiceOptions;
+use hlf_consensus::quorum::QuorumSystem;
+use hlf_consensus::replica::Config as ConsensusConfig;
+use hlf_obs::Registry;
+use hlf_smr::node::{spawn_replica_endpoint_with, NodeConfig, NodeHandle};
+use hlf_smr::runtime::ClusterKeys;
+use hlf_smr::storage::MemoryLog;
+use hlf_transport::Endpoint;
+use hlf_wire::{ClientId, NodeId};
+use std::sync::Arc;
+
+/// Builds the consensus configuration replica `i` of an `n`-node
+/// cluster would get from the in-process runtime.
+///
+/// # Panics
+///
+/// Panics on invalid `(n, f)` or WHEAT-spare combinations, exactly
+/// like the in-process bootstrap.
+// lint:allow(panic): process bootstrap — an invalid (n, f) topology must fail startup loudly
+fn consensus_config(i: usize, n: usize, options: &ServiceOptions) -> ConsensusConfig {
+    let quorums = if options.wheat {
+        QuorumSystem::wheat_binary(n, options.f).expect("valid WHEAT configuration")
+    } else {
+        QuorumSystem::classic(n, options.f).expect("valid classic configuration")
+    };
+    let keys = ClusterKeys::derive("runtime", n);
+    ConsensusConfig::new(
+        NodeId(i as u32),
+        quorums,
+        keys.verifying.clone(),
+        keys.signing[i].clone(),
+    )
+    .with_tentative_execution(options.wheat || options.tentative)
+    .with_batch_max(options.batch_max)
+    .with_request_timeout_ms(options.request_timeout_ms)
+    .with_pipeline_depth(options.pipeline_depth)
+}
+
+/// Starts ordering replica `i` of an `n`-node cluster on an
+/// already-built transport endpoint (normally
+/// [`hlf_transport::TcpNetwork::endpoint`]). Returns the node handle;
+/// the process typically parks until signalled and then drops it.
+///
+/// # Panics
+///
+/// Panics on invalid `(n, f)` combinations or `i >= n`.
+// lint:allow(panic): process bootstrap — a replica index outside the cluster must fail startup loudly
+pub fn start_replica_endpoint(
+    i: usize,
+    n: usize,
+    options: &ServiceOptions,
+    endpoint: Endpoint,
+    registry: Arc<Registry>,
+) -> NodeHandle {
+    assert!(i < n, "replica index {i} outside cluster of {n}");
+    let keys = ClusterKeys::derive("runtime", n);
+    let mut node_config = NodeConfig::new(consensus_config(i, n, options));
+    node_config.registry = Some(Arc::clone(&registry));
+    if hlf_obs::trace_enabled() {
+        node_config.flight = Some(Arc::new(hlf_obs::FlightRecorder::new(format!("node-{i}"))));
+    }
+    let app_options = options.clone();
+    spawn_replica_endpoint_with(
+        node_config,
+        endpoint,
+        Box::new(MemoryLog::new()),
+        move |push| {
+            let mut config = OrderingNodeConfig::new(i as u32, keys.signing[i].clone())
+                .with_block_size(app_options.block_size)
+                .with_signing_threads(app_options.signing_threads)
+                .with_double_sign(app_options.double_sign)
+                .with_flush_on_batch_end(app_options.flush_on_batch_end)
+                .with_registry(Arc::clone(&registry));
+            if let Some((min, max, stale_limit)) = app_options.adaptive_cutter {
+                config = config.with_adaptive_cutter(min, max, stale_limit);
+            }
+            Box::new(OrderingNodeApp::new(config, push))
+        },
+    )
+}
+
+/// Connects a frontend for an `n`-node cluster on an already-built
+/// transport endpoint. `id` must match the endpoint's client id.
+pub fn connect_frontend_endpoint(
+    id: u32,
+    n: usize,
+    options: &ServiceOptions,
+    endpoint: Endpoint,
+) -> Frontend {
+    let mut config = FrontendConfig::new(ClientId(id), n, options.f);
+    if options.frontend_verification {
+        let keys = ClusterKeys::derive("runtime", n);
+        config = config.with_verification(keys.verifying);
+    }
+    Frontend::connect_endpoint(endpoint, config)
+}

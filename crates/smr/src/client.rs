@@ -116,6 +116,14 @@ impl ServiceProxy {
     /// Joins `network` as this client and returns the proxy.
     pub fn new(network: &Network, config: ProxyConfig) -> ServiceProxy {
         let endpoint = network.join(PeerId::Client(config.id.0));
+        ServiceProxy::with_endpoint(endpoint, config)
+    }
+
+    /// Builds the proxy over an already-built [`Endpoint`] — the
+    /// multi-process path, where the endpoint wraps a TCP network.
+    /// The endpoint's id must be `PeerId::Client(config.id)`.
+    pub fn with_endpoint(endpoint: Endpoint, config: ProxyConfig) -> ServiceProxy {
+        debug_assert_eq!(endpoint.id(), PeerId::Client(config.id.0), "endpoint/config id mismatch");
         ServiceProxy {
             endpoint,
             config,

@@ -42,7 +42,10 @@ pub mod wire;
 pub use app::{Application, CounterApp, Dest, Outbound};
 pub use obs::{NodeObs, ProxyObs};
 pub use client::{InvokeError, ProxyConfig, Push, ServiceProxy};
-pub use node::{spawn_replica, spawn_replica_with, NodeConfig, NodeHandle, NodeStats, PushHandle};
+pub use node::{
+    spawn_replica, spawn_replica_endpoint, spawn_replica_endpoint_with, spawn_replica_with,
+    NodeConfig, NodeHandle, NodeStats, PushHandle,
+};
 pub use runtime::{ClusterKeys, ClusterRuntime, RuntimeOptions};
 pub use storage::{FileLog, LogStore, MemoryLog};
 pub use wire::{LogEntry, SmrMsg};

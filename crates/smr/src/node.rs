@@ -250,9 +250,34 @@ pub fn spawn_replica_with(
     log: Box<dyn LogStore>,
     build_app: impl FnOnce(PushHandle) -> Box<dyn Application> + Send + 'static,
 ) -> NodeHandle {
+    let endpoint = network.join(PeerId::Replica(config.consensus.node.0));
+    spawn_replica_endpoint_with(config, endpoint, log, build_app)
+}
+
+/// Like [`spawn_replica`], but on an already-built [`Endpoint`] —
+/// this is how a multi-process deployment hands a replica its TCP
+/// endpoint ([`hlf_transport::TcpNetwork::endpoint`]). The endpoint's
+/// id must be `PeerId::Replica(config.consensus.node)`.
+pub fn spawn_replica_endpoint(
+    config: NodeConfig,
+    endpoint: Endpoint,
+    app: Box<dyn Application>,
+    log: Box<dyn LogStore>,
+) -> NodeHandle {
+    spawn_replica_endpoint_with(config, endpoint, log, move |_| app)
+}
+
+/// Endpoint-taking form of [`spawn_replica_with`]; the common tail of
+/// every replica spawn path.
+pub fn spawn_replica_endpoint_with(
+    config: NodeConfig,
+    mut endpoint: Endpoint,
+    log: Box<dyn LogStore>,
+    build_app: impl FnOnce(PushHandle) -> Box<dyn Application> + Send + 'static,
+) -> NodeHandle {
     let node = config.consensus.node;
+    debug_assert_eq!(endpoint.id(), PeerId::Replica(node.0), "endpoint/config id mismatch");
     let registry = config.registry.clone();
-    let mut endpoint = network.join(PeerId::Replica(node.0));
     if let Some(flight) = &config.flight {
         endpoint.attach_flight(Arc::clone(flight));
     }

@@ -1,14 +1,19 @@
-//! In-process point-to-point transport for threaded deployments.
+//! Point-to-point transport for the ordering cluster, with two
+//! interchangeable backends behind one authenticated [`Endpoint`] API:
 //!
-//! The LAN experiments of the paper (§6.2) run the ordering cluster on a
-//! Gigabit-Ethernet testbed. Our threaded reproduction replaces sockets
-//! with crossbeam channels: each process (replica, frontend, client)
-//! owns an [`Endpoint`] and exchanges length-delimited byte messages
-//! with any other endpoint registered on the same [`Network`] hub.
+//! * [`hub`] — the in-process crossbeam hub used by tests, benchmarks
+//!   and the deterministic simulations. Supports fault injection
+//!   (blocked links, drops, isolation).
+//! * [`tcp`] — real kernel TCP sockets for multi-process deployments
+//!   (the paper's §6.2 LAN/WAN clusters run replicas as OS processes).
+//!   Length-framed, HMAC-sealed, with per-peer send coalescing into
+//!   `writev` and reconnect/re-key with exponential backoff.
 //!
-//! The hub supports the fault injection the integration tests need —
-//! blocked links, probabilistic drops, isolated nodes — and optional
-//! HMAC authentication mirroring BFT-SMaRt's authenticated channels.
+//! Protocol code (SMR nodes, clients, the ordering frontends) is
+//! backend-agnostic: it receives an [`Endpoint`] and never learns
+//! whether its bytes cross a channel or a socket. The *bytes* are
+//! identical either way — the TCP backend frames exactly the payload
+//! the in-process hub would deliver (see [`tcp`] module docs).
 //!
 //! # Examples
 //!
@@ -25,13 +30,17 @@
 //! assert_eq!(&msg[..], b"hello");
 //! ```
 
-use hlf_wire::{BufferPool, Bytes};
-use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+pub mod hub;
+pub mod tcp;
+
+pub use hub::Network;
+pub use tcp::{NetStats, TcpConfig, TcpNetwork};
+
+use crossbeam::channel::{Receiver, RecvTimeoutError};
 use hlf_crypto::hmac::hmac_sha256_multi;
 use hlf_obs::flight::EventKind;
 use hlf_obs::FlightRecorder;
-use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use hlf_wire::{BufferPool, Bytes};
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,6 +59,10 @@ pub enum PeerId {
     /// A frontend / client.
     Client(u32),
 }
+
+/// Bit set in [`PeerId::flight_code`] for client ids, keeping the two
+/// id spaces disjoint in flight-recorder events.
+const FLIGHT_CLIENT_BIT: u64 = 1 << 32;
 
 impl PeerId {
     /// Shorthand constructor for a replica id.
@@ -72,7 +85,34 @@ impl PeerId {
     pub fn flight_code(&self) -> u64 {
         match self {
             PeerId::Replica(id) => *id as u64,
-            PeerId::Client(id) => *id as u64 | (1 << 32),
+            PeerId::Client(id) => *id as u64 | FLIGHT_CLIENT_BIT,
+        }
+    }
+
+    /// Inverse of [`PeerId::flight_code`]. Returns `None` for values no
+    /// `flight_code` produces, so timeline tooling can reject corrupt
+    /// events instead of misattributing them.
+    pub fn from_flight_code(code: u64) -> Option<PeerId> {
+        let id = u32::try_from(code & !FLIGHT_CLIENT_BIT).ok()?;
+        if code & FLIGHT_CLIENT_BIT != 0 {
+            Some(PeerId::Client(id))
+        } else {
+            Some(PeerId::Replica(id))
+        }
+    }
+
+    /// Parses the textual form used by CLI flags and config files:
+    /// `replica:3` or `client:1001` (also accepts the
+    /// [`fmt::Display`] form `replica-3` / `client-1001`).
+    pub fn parse(s: &str) -> Option<PeerId> {
+        let (kind, id) = s
+            .split_once(':')
+            .or_else(|| s.split_once('-'))?;
+        let id: u32 = id.parse().ok()?;
+        match kind {
+            "replica" => Some(PeerId::Replica(id)),
+            "client" => Some(PeerId::Client(id)),
+            _ => None,
         }
     }
 }
@@ -89,7 +129,8 @@ impl fmt::Display for PeerId {
 /// Transport failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TransportError {
-    /// Destination is not registered on the hub.
+    /// Destination is not registered on the hub (or has no known
+    /// address on the TCP backend).
     UnknownPeer(PeerId),
     /// Destination endpoint was dropped.
     Disconnected(PeerId),
@@ -144,152 +185,68 @@ impl TrafficStats {
     pub fn bytes_received(&self) -> u64 {
         self.bytes_received.load(Ordering::Relaxed)
     }
-}
 
-#[derive(Default)]
-struct FaultState {
-    blocked_links: Vec<(PeerId, PeerId)>,
-    isolated: Vec<PeerId>,
-    drop_probability: f64,
-    rng_state: u64,
-}
-
-impl FaultState {
-    fn next_f64(&mut self) -> f64 {
-        // SplitMix64 step; determinism is per-hub, guarded by the mutex.
-        self.rng_state = self.rng_state.wrapping_add(0x9e3779b97f4a7c15);
-        let mut z = self.rng_state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-        z ^= z >> 31;
-        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-    }
-
-    fn should_drop(&mut self, from: PeerId, to: PeerId) -> bool {
-        if self.blocked_links.contains(&(from, to)) {
-            return true;
-        }
-        if self.isolated.contains(&from) || self.isolated.contains(&to) {
-            return true;
-        }
-        self.drop_probability > 0.0 && self.next_f64() < self.drop_probability
+    fn note_sent(&self, bytes: usize) {
+        self.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 }
 
-struct Hub {
-    peers: RwLock<HashMap<PeerId, Sender<(PeerId, Bytes)>>>,
-    faults: Mutex<FaultState>,
-    /// Free-list of send buffers shared by every endpoint on this hub.
-    /// Buffers wrapped through it return to the list when the last
-    /// [`Bytes`] view of a message drops, so steady-state traffic
-    /// recycles a small working set instead of allocating per message.
-    pool: BufferPool,
-}
-
-/// The in-process network hub endpoints attach to.
-///
-/// Cloning shares the hub.
+/// Which backend carries an endpoint's traffic.
 #[derive(Clone)]
-pub struct Network {
-    hub: Arc<Hub>,
+enum Backend {
+    /// In-process crossbeam hub.
+    Hub(Arc<hub::Hub>),
+    /// Kernel TCP sockets.
+    Tcp(Arc<tcp::TcpCore>),
 }
 
-impl fmt::Debug for Network {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Network({} peers)", self.hub.peers.read().len())
-    }
-}
-
-impl Default for Network {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Network {
-    /// Creates an empty hub.
-    pub fn new() -> Network {
-        Network {
-            hub: Arc::new(Hub {
-                peers: RwLock::new(HashMap::new()),
-                faults: Mutex::new(FaultState::default()),
-                pool: BufferPool::default(),
-            }),
+impl Backend {
+    fn send(&self, from: PeerId, to: PeerId, payload: Bytes) -> Result<(), TransportError> {
+        match self {
+            Backend::Hub(hub) => hub.send(from, to, payload),
+            Backend::Tcp(core) => core.send(to, payload),
         }
     }
 
-    /// Registers `id` and returns its endpoint.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id` is already registered; ids must be unique.
-    pub fn join(&self, id: PeerId) -> Endpoint {
-        let (tx, rx) = channel::unbounded();
-        let mut peers = self.hub.peers.write();
-        let previous = peers.insert(id, tx);
-        assert!(previous.is_none(), "peer {id} joined twice");
-        Endpoint {
-            id,
-            hub: Arc::clone(&self.hub),
-            incoming: rx,
-            stats: Arc::new(TrafficStats::default()),
-            flight: None,
+    fn pool(&self) -> &BufferPool {
+        match self {
+            Backend::Hub(hub) => &hub.pool,
+            Backend::Tcp(core) => core.pool(),
         }
     }
 
-    /// Blocks the directed link `from -> to`.
-    pub fn block_link(&self, from: PeerId, to: PeerId) {
-        self.hub.faults.lock().blocked_links.push((from, to));
-    }
-
-    /// Removes all link blocks.
-    pub fn unblock_all(&self) {
-        self.hub.faults.lock().blocked_links.clear();
-    }
-
-    /// Drops all traffic to and from `peer`.
-    pub fn isolate(&self, peer: PeerId) {
-        self.hub.faults.lock().isolated.push(peer);
-    }
-
-    /// Restores traffic for `peer`.
-    pub fn heal(&self, peer: PeerId) {
-        self.hub.faults.lock().isolated.retain(|p| *p != peer);
-    }
-
-    /// Sets a uniform message-drop probability (deterministic stream
-    /// seeded by `seed`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `p` is outside `[0, 1]`.
-    pub fn set_drop_probability(&self, p: f64, seed: u64) {
-        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
-        let mut faults = self.hub.faults.lock();
-        faults.drop_probability = p;
-        faults.rng_state = seed;
-    }
-
-    /// Removes a peer's mailbox (simulates a process exit).
-    pub fn part(&self, id: PeerId) {
-        self.hub.peers.write().remove(&id);
-    }
-
-    /// Currently registered peers, in unspecified order.
-    pub fn peers(&self) -> Vec<PeerId> {
-        self.hub.peers.read().keys().copied().collect()
-    }
-
-    /// The hub-wide send-buffer pool.
-    pub fn pool(&self) -> &BufferPool {
-        &self.hub.pool
+    /// Transport tag recorded in flight-recorder [`EventKind::Frame`]
+    /// events (`c` bit 1): 0 = in-process, 1 = TCP.
+    fn flight_transport_bit(&self) -> u64 {
+        match self {
+            Backend::Hub(_) => 0,
+            Backend::Tcp(_) => frame_tag::TCP_BIT,
+        }
     }
 }
 
-/// One participant's handle on the network.
+/// Bit layout of the `c` field in transport [`EventKind::Frame`]
+/// events: bit 0 = direction (1 = received), bit 1 = backend
+/// (1 = TCP socket, 0 = in-process hub). `hlf-audit` timeline
+/// stitching keys on `(kind, a, b)` and ignores unknown `c` bits, so
+/// both backends produce stitchable event streams.
+pub mod frame_tag {
+    /// Set on received frames (sends are currently not ring-recorded).
+    pub const RECEIVED_BIT: u64 = 1;
+    /// Set on frames that crossed a real TCP socket.
+    pub const TCP_BIT: u64 = 2;
+}
+
+/// One participant's handle on the network: the single consumer of its
+/// inbound message stream, plus the send side.
+///
+/// Built by [`Network::join`] (in-process) or
+/// [`TcpNetwork::endpoint`] (sockets); protocol code treats both
+/// identically.
 pub struct Endpoint {
     id: PeerId,
-    hub: Arc<Hub>,
+    backend: Backend,
     incoming: Receiver<(PeerId, Bytes)>,
     stats: Arc<TrafficStats>,
     /// Optional flight recorder: every received frame is logged as an
@@ -312,7 +269,7 @@ impl fmt::Debug for Endpoint {
 #[derive(Clone)]
 pub struct SenderHandle {
     id: PeerId,
-    hub: Arc<Hub>,
+    backend: Backend,
     stats: Arc<TrafficStats>,
 }
 
@@ -328,9 +285,9 @@ impl SenderHandle {
         self.id
     }
 
-    /// The hub-wide send-buffer pool (see [`Endpoint::pool`]).
+    /// The backend-wide send-buffer pool (see [`Endpoint::pool`]).
     pub fn pool(&self) -> &BufferPool {
-        &self.hub.pool
+        self.backend.pool()
     }
 
     /// Sends `payload` to `to` (same semantics as [`Endpoint::send`]).
@@ -339,39 +296,45 @@ impl SenderHandle {
     ///
     /// See [`Endpoint::send`].
     pub fn send(&self, to: PeerId, payload: Bytes) -> Result<(), TransportError> {
-        if self.hub.faults.lock().should_drop(self.id, to) {
-            return Err(TransportError::Dropped);
-        }
-        let peers = self.hub.peers.read();
-        let sender = peers.get(&to).ok_or(TransportError::UnknownPeer(to))?;
-        self.stats.messages_sent.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .bytes_sent
-            .fetch_add(payload.len() as u64, Ordering::Relaxed);
-        sender
-            .send((self.id, payload))
-            .map_err(|_| TransportError::Disconnected(to))
+        let len = payload.len();
+        self.backend.send(self.id, to, payload)?;
+        self.stats.note_sent(len);
+        Ok(())
     }
 }
 
 impl Endpoint {
+    pub(crate) fn new(
+        id: PeerId,
+        backend: Backend,
+        incoming: Receiver<(PeerId, Bytes)>,
+    ) -> Endpoint {
+        Endpoint {
+            id,
+            backend,
+            incoming,
+            stats: Arc::new(TrafficStats::default()),
+            flight: None,
+        }
+    }
+
     /// This endpoint's identity.
     pub fn id(&self) -> PeerId {
         self.id
     }
 
-    /// The hub-wide send-buffer pool. Encode outgoing messages through
-    /// it (e.g. [`hlf_wire::to_pooled_bytes`]) so their buffers recycle
-    /// once delivered.
+    /// The backend-wide send-buffer pool. Encode outgoing messages
+    /// through it (e.g. [`hlf_wire::to_pooled_bytes`]) so their buffers
+    /// recycle once delivered.
     pub fn pool(&self) -> &BufferPool {
-        &self.hub.pool
+        self.backend.pool()
     }
 
     /// A cloneable send-only handle for worker threads.
     pub fn sender(&self) -> SenderHandle {
         SenderHandle {
             id: self.id,
-            hub: Arc::clone(&self.hub),
+            backend: self.backend.clone(),
             stats: Arc::clone(&self.stats),
         }
     }
@@ -383,32 +346,32 @@ impl Endpoint {
 
     /// Attaches a flight recorder; every subsequently received frame is
     /// logged as an [`EventKind::Frame`] event (`a` = sender's
-    /// [`PeerId::flight_code`], `b` = payload bytes).
+    /// [`PeerId::flight_code`], `b` = payload bytes, `c` =
+    /// [`frame_tag`] bits).
     pub fn attach_flight(&mut self, flight: Arc<FlightRecorder>) {
         self.flight = Some(flight);
     }
 
     /// Sends `payload` to `to`.
     ///
+    /// On the in-process hub the message lands in `to`'s mailbox before
+    /// the call returns. On TCP it is queued on the per-peer link and
+    /// coalesced into the next `writev`; delivery is asynchronous and
+    /// a dead peer surfaces as silence, not an error (the BFT layers
+    /// tolerate loss).
+    ///
     /// # Errors
     ///
-    /// [`TransportError::UnknownPeer`] if the destination never joined,
+    /// [`TransportError::UnknownPeer`] if the destination never joined
+    /// (hub) or has no configured address (TCP),
     /// [`TransportError::Disconnected`] if its endpoint was dropped, and
     /// [`TransportError::Dropped`] if fault injection consumed the
     /// message.
     pub fn send(&self, to: PeerId, payload: Bytes) -> Result<(), TransportError> {
-        if self.hub.faults.lock().should_drop(self.id, to) {
-            return Err(TransportError::Dropped);
-        }
-        let peers = self.hub.peers.read();
-        let sender = peers.get(&to).ok_or(TransportError::UnknownPeer(to))?;
-        self.stats.messages_sent.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .bytes_sent
-            .fetch_add(payload.len() as u64, Ordering::Relaxed);
-        sender
-            .send((self.id, payload))
-            .map_err(|_| TransportError::Disconnected(to))
+        let len = payload.len();
+        self.backend.send(self.id, to, payload)?;
+        self.stats.note_sent(len);
+        Ok(())
     }
 
     /// Sends `payload` to every peer in `recipients`, ignoring
@@ -475,7 +438,7 @@ impl Endpoint {
                 EventKind::Frame,
                 from.flight_code(),
                 payload.len() as u64,
-                0,
+                frame_tag::RECEIVED_BIT | self.backend.flight_transport_bit(),
             );
         }
     }
@@ -486,7 +449,10 @@ impl Endpoint {
 ///
 /// Both sides derive the same link key from their shared secret seeds;
 /// [`seal`](Authenticator::seal) prepends a 32-byte tag that
-/// [`open`](Authenticator::open) verifies.
+/// [`open`](Authenticator::open) verifies. The TCP backend layers a
+/// per-connection session key on top via
+/// [`rekey`](Authenticator::rekey), so every reconnect re-keys the
+/// link.
 #[derive(Clone, Debug)]
 pub struct Authenticator {
     key: [u8; 32],
@@ -504,11 +470,38 @@ impl Authenticator {
         }
     }
 
+    /// Derives a per-session authenticator from this link key and the
+    /// two sides' connection nonces. A fresh connection exchanges fresh
+    /// nonces, so a re-established link never reuses a session key.
+    pub fn rekey(&self, initiator_nonce: &[u8], acceptor_nonce: &[u8]) -> Authenticator {
+        let key = hmac_sha256_multi(
+            &self.key,
+            &[b"hlf-session", initiator_nonce, acceptor_nonce],
+        );
+        Authenticator {
+            key: *key.as_bytes(),
+        }
+    }
+
+    /// The 32-byte authentication tag for `payload` under this key.
+    pub fn tag(&self, payload: &[u8]) -> [u8; 32] {
+        *hmac_sha256_multi(&self.key, &[payload]).as_bytes()
+    }
+
+    /// A domain-separated tag over `parts` (handshake messages use
+    /// distinct labels so a hello can never be replayed as an ack).
+    pub fn tag_labeled(&self, label: &[u8], parts: &[&[u8]]) -> [u8; 32] {
+        let mut all: Vec<&[u8]> = Vec::with_capacity(parts.len() + 1);
+        all.push(label);
+        all.extend_from_slice(parts);
+        *hmac_sha256_multi(&self.key, &all).as_bytes()
+    }
+
     /// Prepends the authentication tag to `payload`.
     pub fn seal(&self, payload: &[u8]) -> Bytes {
-        let tag = hmac_sha256_multi(&self.key, &[payload]);
+        let tag = self.tag(payload);
         let mut out = Vec::with_capacity(32 + payload.len());
-        out.extend_from_slice(tag.as_bytes());
+        out.extend_from_slice(&tag);
         out.extend_from_slice(payload);
         Bytes::from(out)
     }
@@ -516,9 +509,9 @@ impl Authenticator {
     /// Like [`seal`](Authenticator::seal), but takes the output buffer
     /// from `pool` so it recycles when the sealed message is dropped.
     pub fn seal_with(&self, payload: &[u8], pool: &BufferPool) -> Bytes {
-        let tag = hmac_sha256_multi(&self.key, &[payload]);
+        let tag = self.tag(payload);
         let mut out = pool.take(32 + payload.len());
-        out.extend_from_slice(tag.as_bytes());
+        out.extend_from_slice(&tag);
         out.extend_from_slice(payload);
         pool.wrap(out)
     }
@@ -534,13 +527,8 @@ impl Authenticator {
             return None;
         }
         let (tag, payload) = sealed.split_at(32);
-        let expected = hmac_sha256_multi(&self.key, &[payload]);
-        // Constant-time-ish comparison: accumulate differences.
-        let mut diff = 0u8;
-        for (a, b) in tag.iter().zip(expected.as_bytes()) {
-            diff |= a ^ b;
-        }
-        if diff == 0 {
+        let expected = self.tag(payload);
+        if constant_time_eq(tag, &expected) {
             Some(Bytes::copy_from_slice(payload))
         } else {
             None
@@ -558,17 +546,25 @@ impl Authenticator {
         if sealed.len() < 32 {
             return None;
         }
-        let expected = hmac_sha256_multi(&self.key, &[&sealed[32..]]);
-        let mut diff = 0u8;
-        for (a, b) in sealed[..32].iter().zip(expected.as_bytes()) {
-            diff |= a ^ b;
-        }
-        if diff == 0 {
+        let expected = self.tag(&sealed[32..]);
+        if constant_time_eq(&sealed[..32], &expected) {
             Some(sealed.slice(32..))
         } else {
             None
         }
     }
+}
+
+/// Constant-time-ish tag comparison: accumulate differences.
+pub(crate) fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        diff |= x ^ y;
+    }
+    diff == 0
 }
 
 #[cfg(test)]
@@ -773,6 +769,20 @@ mod tests {
     }
 
     #[test]
+    fn rekey_separates_sessions() {
+        let link = Authenticator::for_link(b"secret", PeerId::replica(0), PeerId::replica(1));
+        let s1 = link.rekey(b"nonce-a1", b"nonce-b1");
+        let s2 = link.rekey(b"nonce-a2", b"nonce-b1");
+        let sealed = s1.seal(b"frame");
+        assert!(s1.open(&sealed).is_some());
+        assert!(s2.open(&sealed).is_none(), "different nonces, different key");
+        assert!(link.open(&sealed).is_none(), "link key does not open session frames");
+        // Deterministic: same nonces derive the same session key.
+        let s1_again = link.rekey(b"nonce-a1", b"nonce-b1");
+        assert!(s1_again.open(&sealed).is_some());
+    }
+
+    #[test]
     fn sender_handle_sends_from_other_threads() {
         let (_n, a, b) = pair();
         let sender = a.sender();
@@ -818,6 +828,41 @@ mod tests {
     }
 
     #[test]
+    fn flight_code_roundtrips_for_both_kinds() {
+        // The doc promises: replicas map to their id, clients to
+        // `id | 1 << 32`. The inverse must recover the exact PeerId for
+        // every id in either space, including the boundary values.
+        for id in [0u32, 1, 7, u32::MAX - 1, u32::MAX] {
+            for peer in [PeerId::Replica(id), PeerId::Client(id)] {
+                let code = peer.flight_code();
+                assert_eq!(PeerId::from_flight_code(code), Some(peer), "{peer}");
+                match peer {
+                    PeerId::Replica(_) => assert_eq!(code, id as u64),
+                    PeerId::Client(_) => assert_eq!(code, id as u64 | (1 << 32)),
+                }
+            }
+        }
+        // Codes outside the two id spaces are rejected, not truncated.
+        assert_eq!(PeerId::from_flight_code(1 << 33), None);
+        assert_eq!(PeerId::from_flight_code(u64::MAX), None);
+        // The two spaces stay disjoint.
+        assert_ne!(
+            PeerId::client(0).flight_code(),
+            PeerId::replica(0).flight_code()
+        );
+    }
+
+    #[test]
+    fn peer_id_parse_accepts_cli_and_display_forms() {
+        assert_eq!(PeerId::parse("replica:3"), Some(PeerId::Replica(3)));
+        assert_eq!(PeerId::parse("client:1001"), Some(PeerId::Client(1001)));
+        assert_eq!(PeerId::parse("replica-3"), Some(PeerId::Replica(3)));
+        assert_eq!(PeerId::parse("orderer:1"), None);
+        assert_eq!(PeerId::parse("replica:x"), None);
+        assert_eq!(PeerId::parse("replica"), None);
+    }
+
+    #[test]
     fn attached_flight_logs_received_frames() {
         let network = Network::new();
         let a = network.join(PeerId::replica(0));
@@ -832,10 +877,7 @@ mod tests {
         assert_eq!(events[0].kind, EventKind::Frame);
         assert_eq!(events[0].a, PeerId::replica(0).flight_code());
         assert_eq!(events[0].b, 5);
-        // Clients land in a distinct code space.
-        assert_ne!(
-            PeerId::client(0).flight_code(),
-            PeerId::replica(0).flight_code()
-        );
+        // In-process backend: received bit set, TCP bit clear.
+        assert_eq!(events[0].c, frame_tag::RECEIVED_BIT);
     }
 }
