@@ -16,6 +16,13 @@
 //! — frames-per-writev > 1 means the writev batching works, and
 //! writev-calls-per-envelope is the syscall amortisation headline).
 //!
+//! A third phase re-runs the TCP cluster with every replica serving
+//! its admin endpoint and the real `hlf_top` process scraping at 1 Hz
+//! (metrics deltas, flight rings, live cross-process audit); the tx/s
+//! delta against the unscraped run is the telemetry-plane overhead,
+//! recorded in `BENCH_obs.json` and gated (<3%) by
+//! `bench_summary --check`.
+//!
 //! `--smoke` runs a 60×-smaller workload, skips the in-process
 //! baseline, asserts only liveness + delivery, and writes nothing —
 //! CI's 4-process cluster smoke test.
@@ -165,23 +172,31 @@ fn free_ports(n: usize) -> Vec<SocketAddr> {
     // Listeners drop here; hlf_node/our frontend re-bind the ports.
 }
 
-fn node_bin(cli: Option<PathBuf>) -> PathBuf {
+fn find_bin(cli: Option<PathBuf>, env: &str, names: [&str; 2], what: &str) -> PathBuf {
     if let Some(path) = cli {
         return path;
     }
-    if let Ok(path) = std::env::var("HLF_NODE_BIN") {
+    if let Ok(path) = std::env::var(env) {
         return PathBuf::from(path);
     }
     let me = std::env::current_exe().expect("current_exe");
     let dir = me.parent().map(PathBuf::from).unwrap_or_default();
-    for name in ["hlf_node", "bin_hlf_node"] {
+    for name in names {
         let candidate = dir.join(name);
         if candidate.exists() {
             return candidate;
         }
     }
-    eprintln!("bench_net: cannot find the hlf_node binary (set HLF_NODE_BIN or --node-bin)");
+    eprintln!("bench_net: cannot find the {what} binary (set {env})");
     std::process::exit(2);
+}
+
+fn node_bin(cli: Option<PathBuf>) -> PathBuf {
+    find_bin(cli, "HLF_NODE_BIN", ["hlf_node", "bin_hlf_node"], "hlf_node")
+}
+
+fn top_bin() -> PathBuf {
+    find_bin(None, "HLF_TOP_BIN", ["hlf_top", "bin_hlf_top"], "hlf_top")
 }
 
 /// Spawns replica `i` as a real OS process. Children hold a stdin
@@ -190,6 +205,7 @@ fn spawn_replica(
     bin: &PathBuf,
     i: usize,
     addrs: &[SocketAddr],
+    admin: Option<SocketAddr>,
     obs_path: &PathBuf,
     show_stderr: bool,
 ) -> Child {
@@ -208,6 +224,9 @@ fn spawn_replica(
         .arg(SECRET)
         .arg("--obs-out")
         .arg(obs_path);
+    if let Some(admin) = admin {
+        cmd.arg("--admin-listen").arg(admin.to_string());
+    }
     for (j, addr) in addrs.iter().enumerate() {
         let peer = if j < N {
             if j == i {
@@ -249,17 +268,47 @@ struct TcpRun {
     auth_failures: f64,
 }
 
-/// Phase 2: 4 replica processes + this process as TCP frontend.
-fn run_tcp_cluster(bin: &PathBuf, count: u64, smoke_run: bool) -> TcpRun {
-    let addrs = free_ports(N + 1);
+/// Phase 2: 4 replica processes + this process as TCP frontend. With
+/// `scraper`, every replica also serves its admin endpoint and the
+/// real `hlf_top` binary runs as a fifth process, scraping metrics
+/// deltas + flight rings at 1 Hz and auditing cross-process
+/// invariants live — the telemetry-plane overhead measurement.
+fn run_tcp_cluster(bin: &PathBuf, count: u64, smoke_run: bool, scraper: Option<&PathBuf>) -> TcpRun {
+    // One probe batch so consensus, frontend and admin ports are all
+    // distinct: [0..N) consensus, [N] frontend, [N+1..] admin.
+    let ports = free_ports(N + 1 + if scraper.is_some() { N } else { 0 });
+    let addrs = ports[..N + 1].to_vec();
+    let admin_addrs = &ports[N + 1..];
     let obs_paths: Vec<PathBuf> = (0..N)
         .map(|i| {
             std::env::temp_dir().join(format!("hlf_node_obs_{i}_{}.json", std::process::id()))
         })
         .collect();
     let mut children: Vec<Child> = (0..N)
-        .map(|i| spawn_replica(bin, i, &addrs, &obs_paths[i], smoke_run))
+        .map(|i| {
+            spawn_replica(
+                bin,
+                i,
+                &addrs,
+                admin_addrs.get(i).copied(),
+                &obs_paths[i],
+                smoke_run,
+            )
+        })
         .collect();
+    let mut top = scraper.map(|top_bin| {
+        let mut cmd = Command::new(top_bin);
+        cmd.args(["--secret", SECRET, "--interval-ms", "1000"])
+            .args(["--n", &N.to_string(), "--f", &F.to_string()])
+            .arg("--until-stdin-eof");
+        for (i, admin) in admin_addrs.iter().enumerate() {
+            cmd.arg("--node").arg(format!("replica:{i}={admin}"));
+        }
+        cmd.stdin(Stdio::piped())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit());
+        cmd.spawn().expect("spawn hlf_top scraper")
+    });
 
     // Frontend endpoint in this process, over real sockets.
     let mut config = TcpConfig::new(
@@ -277,6 +326,17 @@ fn run_tcp_cluster(bin: &PathBuf, count: u64, smoke_run: bool) -> TcpRun {
         warm_up(&mut frontend, WARMUP);
     }
     let measured = drive(&mut frontend, count, Duration::from_secs(180));
+
+    // Stop the scraper first (stdin EOF → final audit report). A
+    // non-zero exit means the cross-process auditor saw violations.
+    if let Some(child) = top.as_mut() {
+        drop(child.stdin.take());
+        let status = child.wait().expect("wait for hlf_top");
+        assert!(
+            status.success(),
+            "hlf_top reported audit violations on a clean run"
+        );
+    }
 
     // Close the stdin pipes: replicas dump their obs snapshots and exit.
     for child in &mut children {
@@ -316,6 +376,40 @@ fn run_tcp_cluster(bin: &PathBuf, count: u64, smoke_run: bool) -> TcpRun {
     }
 }
 
+/// Records the 1 Hz scrape overhead as a synthetic registry in
+/// BENCH_obs.json (basis points, so the integer-gauge JSON keeps
+/// precision), replacing any previous row — same shape as the
+/// `trace_overhead` rows `trace_report` writes.
+fn record_scrape_overhead(off_tps: f64, on_tps: f64, overhead_pct: f64) {
+    use hlf_obs::{MetricSnapshot, MetricValue, Snapshot};
+    let mut registries = std::fs::read_to_string("BENCH_obs.json")
+        .ok()
+        .and_then(|s| hlf_obs::from_json_many(&s).ok())
+        .unwrap_or_default();
+    registries.retain(|s| s.registry != "scrape_overhead");
+    registries.push(Snapshot {
+        registry: "scrape_overhead".to_string(),
+        metrics: vec![
+            MetricSnapshot {
+                name: "bench.scrape.overhead_basis_points".to_string(),
+                value: MetricValue::Gauge((overhead_pct * 100.0).round() as i64),
+            },
+            MetricSnapshot {
+                name: "bench.scrape.off_tps".to_string(),
+                value: MetricValue::Gauge(off_tps.round() as i64),
+            },
+            MetricSnapshot {
+                name: "bench.scrape.on_tps".to_string(),
+                value: MetricValue::Gauge(on_tps.round() as i64),
+            },
+        ],
+    });
+    match std::fs::write("BENCH_obs.json", hlf_obs::to_json_many(&registries)) {
+        Ok(()) => println!("recorded scrape overhead in BENCH_obs.json"),
+        Err(error) => eprintln!("failed to update BENCH_obs.json: {error}"),
+    }
+}
+
 fn main() {
     let mut smoke = false;
     let mut bin_flag: Option<PathBuf> = None;
@@ -334,7 +428,7 @@ fn main() {
 
     if smoke {
         // CI smoke: tiny workload, liveness + delivery only.
-        let run = run_tcp_cluster(&bin, 500, true);
+        let run = run_tcp_cluster(&bin, 500, true, None);
         println!(
             "smoke: {} of {} envelopes ordered at {:.0} tx/s (p50 {:.1} ms), \
              {} frames / {} writevs, {} reconnects, {} auth failures",
@@ -365,7 +459,7 @@ fn main() {
         inproc.tx_s, inproc.p50_ms, inproc.p99_ms, inproc.delivered, inproc.elapsed_s
     );
 
-    let tcp = run_tcp_cluster(&bin, COUNT, false);
+    let tcp = run_tcp_cluster(&bin, COUNT, false, None);
     let ratio = tcp.measured.tx_s / inproc.tx_s.max(1e-9);
     let frames_per_writev = tcp.frames_out / tcp.writev_calls.max(1.0);
     let syscalls_per_envelope = tcp.writev_calls / tcp.measured.delivered.max(1) as f64;
@@ -407,6 +501,29 @@ fn main() {
     );
     std::fs::write("BENCH_net.json", &out).expect("write BENCH_net.json");
     println!("wrote BENCH_net.json");
+
+    // Phase 3: the same saturated TCP cluster, this time with the
+    // real `hlf_top` process scraping every replica's admin endpoint
+    // at 1 Hz (metrics deltas + flight rings + live audit). The tx/s
+    // difference against the unscraped run is the telemetry-plane
+    // overhead, recorded in BENCH_obs.json and gated (<3%) by
+    // bench_summary --check.
+    let top = top_bin();
+    println!("## scrape overhead: 1 Hz hlf_top against the saturated cluster");
+    let scraped = run_tcp_cluster(&bin, COUNT, false, Some(&top));
+    assert_eq!(
+        scraped.measured.delivered, COUNT,
+        "scraped TCP cluster lost envelopes"
+    );
+    let off = tcp.measured.tx_s;
+    let on = scraped.measured.tx_s;
+    let overhead_pct = (off - on) / off.max(1e-9) * 100.0;
+    println!(
+        "scraped    : {:>8.0} tx/s  p50 {:>6.2} ms  p99 {:>6.2} ms  \
+         ({overhead_pct:+.2}% vs unscraped {off:.0} tx/s)",
+        on, scraped.measured.p50_ms, scraped.measured.p99_ms
+    );
+    record_scrape_overhead(off, on, overhead_pct);
 
     // Acceptance: the real-socket cluster keeps >= 0.5x the in-process
     // number, and the writer actually coalesces under load.

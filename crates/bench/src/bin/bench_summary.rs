@@ -35,6 +35,10 @@ use std::time::{Duration, Instant};
 /// Allowed throughput regression vs the committed baseline (%).
 const TOLERANCE_PCT: f64 = 10.0;
 
+/// Ceiling for the recorded 1 Hz telemetry-scrape overhead (%),
+/// measured by `bench_net` into BENCH_obs.json.
+const SCRAPE_OVERHEAD_MAX_PCT: f64 = 3.0;
+
 fn main() {
     let mut root = PathBuf::from(".");
     let mut check = false;
@@ -88,6 +92,7 @@ fn write_summary(root: &Path) {
     let trace = read("BENCH_trace.json");
     let audit = read("BENCH_audit.json");
     let net = read("BENCH_net.json");
+    let obs = read("BENCH_obs.json");
 
     let headlines = [
         Headline {
@@ -145,6 +150,12 @@ fn write_summary(root: &Path) {
             file: "BENCH_net.json",
             metric: "frames_per_writev",
             value: scrape(&net, "\"coalescing\"", "frames_per_writev"),
+        },
+        Headline {
+            file: "BENCH_obs.json",
+            metric: "scrape_overhead_pct",
+            value: scrape(&obs, "bench.scrape.overhead_basis_points", "value")
+                .map(|bp| bp / 100.0),
         },
     ];
 
@@ -320,6 +331,35 @@ fn run_gate(root: &Path) {
         } else {
             println!("gate ok {key}: {live:.1} tx/s vs baseline {baseline:.1} ({delta_pct:+.1}%)");
         }
+    }
+    // Recorded-value gate: the committed 1 Hz scrape overhead from
+    // bench_net's telemetry-plane phase must stay under the ceiling.
+    // (Upper-bound semantics, unlike the throughput floors above.)
+    match std::fs::read_to_string(root.join("BENCH_obs.json")) {
+        Ok(obs) => match scrape(&obs, "bench.scrape.overhead_basis_points", "value") {
+            Some(basis_points) => {
+                let pct = basis_points / 100.0;
+                if pct > SCRAPE_OVERHEAD_MAX_PCT {
+                    eprintln!(
+                        "REGRESSION scrape_overhead_pct: {pct:.2}% recorded overhead \
+                         exceeds the {SCRAPE_OVERHEAD_MAX_PCT}% ceiling"
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "gate ok scrape_overhead_pct: {pct:.2}% \
+                         (ceiling {SCRAPE_OVERHEAD_MAX_PCT}%)"
+                    );
+                }
+            }
+            None => {
+                eprintln!(
+                    "BENCH_obs.json has no scrape_overhead row (run `make bench-net` to record it)"
+                );
+                failed = true;
+            }
+        },
+        Err(_) => println!("gate skip scrape_overhead_pct: no BENCH_obs.json"),
     }
     if failed {
         std::process::exit(1);

@@ -24,15 +24,23 @@
 //! parent process stopping — or closing the pipe — stops the node) or
 //! `--duration-s` elapses; on exit it writes its obs registry snapshot
 //! (including the `transport.net.*` socket counters) to `--obs-out`.
+//! With `--obs-interval-secs` the snapshot is also rewritten
+//! periodically (atomic rename, so readers never see a torn file),
+//! covering shutdown paths that skip the exit dump.
+//!
+//! With `--admin-port` (or `--admin-listen ADDR`) a replica also
+//! serves the authenticated telemetry endpoint (`hlf_top` scrapes it
+//! live: metrics snapshots/deltas, flight-recorder dumps, health).
 
-use hlf_obs::Registry;
-use hlf_transport::{PeerId, TcpConfig, TcpNetwork};
+use hlf_obs::{FlightRecorder, Registry};
+use hlf_transport::{AdminServer, AdminSources, HealthReport, PeerId, TcpConfig, TcpNetwork};
 use hlf_wire::Bytes;
-use ordering_core::proc::{connect_frontend_endpoint, start_replica_endpoint};
+use ordering_core::proc::{connect_frontend_endpoint, start_replica_endpoint_with_flight};
 use ordering_core::service::ServiceOptions;
 use std::collections::VecDeque;
 use std::io::Read;
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -51,6 +59,9 @@ struct NodeArgs {
     batch_max: usize,
     request_timeout_ms: u64,
     obs_out: Option<String>,
+    obs_interval_secs: Option<u64>,
+    admin_listen: Option<String>,
+    admin_port: Option<u16>,
     out: Option<String>,
     duration_s: Option<u64>,
     // Frontend workload knobs.
@@ -75,6 +86,9 @@ impl Default for NodeArgs {
             batch_max: 400,
             request_timeout_ms: 60_000,
             obs_out: None,
+            obs_interval_secs: None,
+            admin_listen: None,
+            admin_port: None,
             out: None,
             duration_s: None,
             count: 5_000,
@@ -109,6 +123,12 @@ fn apply(args: &mut NodeArgs, key: &str, value: &str) {
         "batch-max" | "batch_max" => args.batch_max = parse_num(value) as usize,
         "request-timeout-ms" | "request_timeout_ms" => args.request_timeout_ms = parse_num(value),
         "obs-out" | "obs_out" => args.obs_out = Some(value.to_string()),
+        "obs-interval-secs" | "obs_interval_secs" => {
+            args.obs_interval_secs = Some(parse_num(value))
+        }
+        "admin-listen" | "admin_listen" => args.admin_listen = Some(value.to_string()),
+        // Shorthand: same interface as --listen, on the given port.
+        "admin-port" | "admin_port" => args.admin_port = Some(parse_num(value) as u16),
         "out" => args.out = Some(value.to_string()),
         "duration-s" | "duration_s" => args.duration_s = Some(parse_num(value)),
         "count" => args.count = parse_num(value),
@@ -217,6 +237,29 @@ fn bind_network(args: &NodeArgs, id: PeerId, registry: Option<Arc<Registry>>) ->
         .unwrap_or_else(|err| die(&format!("cannot bind {}: {err}", args.listen)))
 }
 
+/// Writes an obs snapshot via tmp-file + rename, so a concurrent
+/// reader (hlf_top, a tailing script) never observes a torn file.
+fn write_obs_atomic(path: &str, json: &str) {
+    let tmp = format!("{path}.tmp");
+    let result = std::fs::write(&tmp, json).and_then(|()| std::fs::rename(&tmp, path));
+    if let Err(err) = result {
+        eprintln!("hlf_node: cannot write {path}: {err}");
+    }
+}
+
+/// Where the admin endpoint should listen: `--admin-listen` verbatim,
+/// or `--admin-port` on the same interface as `--listen`.
+fn admin_addr(args: &NodeArgs) -> Option<SocketAddr> {
+    if let Some(listen) = &args.admin_listen {
+        return Some(parse_addr(listen));
+    }
+    args.admin_port.map(|port| {
+        let mut addr = parse_addr(&args.listen);
+        addr.set_port(port);
+        addr
+    })
+}
+
 fn run_replica(args: &NodeArgs) {
     let registry = Registry::new(format!("node-{}", args.id));
     let network = bind_network(args, PeerId::Replica(args.id), Some(Arc::clone(&registry)));
@@ -226,12 +269,68 @@ fn run_replica(args: &NodeArgs) {
         args.n,
         network.local_addr()
     );
-    let handle = start_replica_endpoint(
+    let admin_listen = admin_addr(args);
+    // The flight ring exists whenever someone can read it: the admin
+    // endpoint (remote scrapes) or HLF_TRACE (local dumps).
+    let flight = (admin_listen.is_some() || hlf_obs::trace_enabled())
+        .then(|| Arc::new(FlightRecorder::new(format!("node-{}", args.id))));
+    let handle = start_replica_endpoint_with_flight(
         args.id as usize,
         args.n,
         &service_options(args),
         network.endpoint(),
         Arc::clone(&registry),
+        flight.clone(),
+    );
+
+    let started = Instant::now();
+    let admin = admin_listen.map(|addr| {
+        let stats = handle.stats_arc();
+        let health_registry = Arc::clone(&registry);
+        let sources = AdminSources {
+            registry: Arc::clone(&registry),
+            flight,
+            health: Arc::new(move || HealthReport {
+                regency: health_registry
+                    .counter("consensus.replica.regency_changes")
+                    .get(),
+                window: health_registry.gauge("consensus.pipeline.window").get().max(0) as u64,
+                frontier: stats.last_cid(),
+                suspected: health_registry
+                    .gauge("consensus.health.suspected_peers")
+                    .get()
+                    .max(0) as u64,
+                decided: stats.decided(),
+                uptime_us: started.elapsed().as_micros() as u64,
+            }),
+        };
+        let server =
+            AdminServer::bind(PeerId::Replica(args.id), addr, args.secret.as_bytes(), sources)
+                .unwrap_or_else(|err| die(&format!("cannot bind admin {addr}: {err}")));
+        eprintln!("hlf_node: admin endpoint on {}", server.local_addr());
+        server
+    });
+
+    // Periodic snapshot dumps so crashes / kills still leave a recent
+    // obs file behind (the exit-path dump below only covers clean
+    // shutdowns).
+    let stop = Arc::new(AtomicBool::new(false));
+    let dumper = args.obs_out.clone().zip(args.obs_interval_secs).map(
+        |(path, secs)| {
+            let dump_registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let interval = Duration::from_secs(secs.max(1));
+                let mut next = Instant::now() + interval;
+                while !stop.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(100));
+                    if Instant::now() >= next {
+                        write_obs_atomic(&path, &dump_registry.snapshot().to_json());
+                        next = Instant::now() + interval;
+                    }
+                }
+            })
+        },
     );
 
     // Park until the parent closes stdin (or the duration elapses).
@@ -244,11 +343,15 @@ fn run_replica(args: &NodeArgs) {
         }
     }
 
+    stop.store(true, Ordering::Release);
+    if let Some(thread) = dumper {
+        let _ = thread.join();
+    }
     if let Some(path) = &args.obs_out {
-        let json = registry.snapshot().to_json();
-        if let Err(err) = std::fs::write(path, json) {
-            eprintln!("hlf_node: cannot write {path}: {err}");
-        }
+        write_obs_atomic(path, &registry.snapshot().to_json());
+    }
+    if let Some(server) = admin {
+        server.shutdown();
     }
     handle.shutdown();
     network.shutdown();
@@ -322,7 +425,7 @@ fn run_frontend(args: &NodeArgs) {
         None => println!("{json}"),
     }
     if let Some(path) = &args.obs_out {
-        let _ = std::fs::write(path, registry.snapshot().to_json());
+        write_obs_atomic(path, &registry.snapshot().to_json());
     }
     network.shutdown();
     if delivered < args.count {

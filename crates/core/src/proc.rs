@@ -57,7 +57,6 @@ fn consensus_config(i: usize, n: usize, options: &ServiceOptions) -> ConsensusCo
 /// # Panics
 ///
 /// Panics on invalid `(n, f)` combinations or `i >= n`.
-// lint:allow(panic): process bootstrap — a replica index outside the cluster must fail startup loudly
 pub fn start_replica_endpoint(
     i: usize,
     n: usize,
@@ -65,13 +64,32 @@ pub fn start_replica_endpoint(
     endpoint: Endpoint,
     registry: Arc<Registry>,
 ) -> NodeHandle {
+    let flight = hlf_obs::trace_enabled()
+        .then(|| Arc::new(hlf_obs::FlightRecorder::new(format!("node-{i}"))));
+    start_replica_endpoint_with_flight(i, n, options, endpoint, registry, flight)
+}
+
+/// [`start_replica_endpoint`] with an explicit flight recorder (e.g.
+/// one shared with an admin/telemetry endpoint), instead of the
+/// `HLF_TRACE`-gated default.
+///
+/// # Panics
+///
+/// Panics on invalid `(n, f)` combinations or `i >= n`.
+// lint:allow(panic): process bootstrap — a replica index outside the cluster must fail startup loudly
+pub fn start_replica_endpoint_with_flight(
+    i: usize,
+    n: usize,
+    options: &ServiceOptions,
+    endpoint: Endpoint,
+    registry: Arc<Registry>,
+    flight: Option<Arc<hlf_obs::FlightRecorder>>,
+) -> NodeHandle {
     assert!(i < n, "replica index {i} outside cluster of {n}");
     let keys = ClusterKeys::derive("runtime", n);
     let mut node_config = NodeConfig::new(consensus_config(i, n, options));
     node_config.registry = Some(Arc::clone(&registry));
-    if hlf_obs::trace_enabled() {
-        node_config.flight = Some(Arc::new(hlf_obs::FlightRecorder::new(format!("node-{i}"))));
-    }
+    node_config.flight = flight;
     let app_options = options.clone();
     spawn_replica_endpoint_with(
         node_config,

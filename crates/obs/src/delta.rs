@@ -1,0 +1,272 @@
+//! Delta snapshots and scrape-cursor sessions for remote telemetry.
+//!
+//! A full [`Snapshot`] of a busy node is kilobytes of histogram
+//! buckets; a 1 Hz scraper mostly re-reads numbers that barely moved.
+//! [`delta_since`] computes the *change* between two snapshots of the
+//! same registry — counters subtract, gauges report their signed
+//! movement, histograms subtract bucket-wise — chosen so that merging
+//! a base snapshot with a stream of deltas ([`Snapshot::merge`])
+//! reconstructs the current full snapshot exactly.
+//!
+//! [`ScrapeSession`] is the server side of a delta-scraping
+//! connection: it remembers the last snapshot it served and a cursor
+//! that must echo back on the next request. A cursor mismatch (first
+//! request, client restart, lost response) resets the session to a
+//! full snapshot instead of producing garbage, and a *server* restart
+//! is detected by the session `epoch` changing — a fresh process can
+//! never continue an old cursor chain, so counters never go negative
+//! on either side.
+
+use crate::snapshot::{HistogramSnapshot, MetricSnapshot, MetricValue, Snapshot};
+
+/// The change from `base` to `current` (two snapshots of the same
+/// registry, `base` taken earlier).
+///
+/// Semantics, per metric name in `current`:
+///
+/// * **counter** — `current - base` (saturating; a metric missing
+///   from `base` contributes its full value).
+/// * **gauge** — the signed movement `current - base`, so summing
+///   deltas onto a base reconstructs the live value.
+/// * **histogram** — bucket-wise subtraction of counts and `sum`;
+///   `min`/`max` are taken from `current` (both are monotone over a
+///   histogram's lifetime, so merged deltas still reproduce them).
+///
+/// Metrics that exist only in `base` (impossible for a live registry,
+/// which never unregisters) are dropped. Unchanged metrics are elided
+/// entirely — that is the point: a steady-state delta is tiny.
+pub fn delta_since(current: &Snapshot, base: &Snapshot) -> Snapshot {
+    let mut metrics = Vec::new();
+    for m in &current.metrics {
+        let delta = match (&m.value, base.metric(&m.name)) {
+            (MetricValue::Counter(cur), Some(MetricValue::Counter(old))) => {
+                let moved = cur.saturating_sub(*old);
+                (moved != 0).then_some(MetricValue::Counter(moved))
+            }
+            (MetricValue::Gauge(cur), Some(MetricValue::Gauge(old))) => {
+                let moved = cur.wrapping_sub(*old);
+                (moved != 0).then_some(MetricValue::Gauge(moved))
+            }
+            (MetricValue::Histogram(cur), Some(MetricValue::Histogram(old))) => {
+                let h = histogram_delta(cur, old);
+                (h.count != 0).then_some(MetricValue::Histogram(h))
+            }
+            // New metric, or a kind change (registry restart): ship it whole.
+            (value, _) => Some(value.clone()),
+        };
+        if let Some(value) = delta {
+            metrics.push(MetricSnapshot {
+                name: m.name.clone(),
+                value,
+            });
+        }
+    }
+    Snapshot {
+        registry: current.registry.clone(),
+        metrics,
+    }
+}
+
+/// Bucket-wise histogram subtraction (see [`delta_since`]).
+fn histogram_delta(cur: &HistogramSnapshot, old: &HistogramSnapshot) -> HistogramSnapshot {
+    let mut buckets = Vec::with_capacity(cur.buckets.len());
+    for &(lo, hi, count) in &cur.buckets {
+        let before = old
+            .buckets
+            .iter()
+            .find(|&&(blo, _, _)| blo == lo)
+            .map(|&(_, _, c)| c)
+            .unwrap_or(0);
+        let moved = count.saturating_sub(before);
+        if moved > 0 {
+            buckets.push((lo, hi, moved));
+        }
+    }
+    HistogramSnapshot {
+        count: cur.count.saturating_sub(old.count),
+        sum: cur.sum.saturating_sub(old.sum),
+        min: cur.min,
+        max: cur.max,
+        buckets,
+    }
+}
+
+/// Server-side state of one delta-scraping session (one admin
+/// connection, typically).
+///
+/// The protocol: the client echoes the cursor from the previous
+/// response (0 on its first request). On a match the session serves
+/// [`delta_since`] the last served snapshot; on a mismatch — or when
+/// no snapshot was served yet — it serves the full snapshot. Either
+/// way the cursor advances, so a lost response desynchronises exactly
+/// once and the next exchange resets to a full snapshot.
+#[derive(Debug)]
+pub struct ScrapeSession {
+    epoch: u64,
+    cursor: u64,
+    last: Option<Snapshot>,
+}
+
+impl ScrapeSession {
+    /// A fresh session under the given `epoch` (an identifier for the
+    /// serving process instance; scrapers compare it across responses
+    /// to detect restarts).
+    pub fn new(epoch: u64) -> ScrapeSession {
+        ScrapeSession {
+            epoch,
+            cursor: 0,
+            last: None,
+        }
+    }
+
+    /// This session's process-instance identifier.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Serves one delta: returns `(new_cursor, delta)` where `delta`
+    /// is the change since the previous exchange when `client_cursor`
+    /// matches, or `current` in full otherwise.
+    pub fn serve(&mut self, current: Snapshot, client_cursor: u64) -> (u64, Snapshot) {
+        let delta = match (&self.last, client_cursor == self.cursor) {
+            (Some(base), true) => delta_since(&current, base),
+            _ => current.clone(),
+        };
+        self.last = Some(current);
+        self.cursor += 1;
+        (self.cursor, delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(counter: u64, gauge: i64, hist: &[(u64, u64, u64)]) -> Snapshot {
+        let (count, sum) = hist
+            .iter()
+            .fold((0, 0), |(c, s), &(lo, _, n)| (c + n, s + lo * n));
+        Snapshot {
+            registry: "node-0".into(),
+            metrics: vec![
+                MetricSnapshot {
+                    name: "a.b.counter".into(),
+                    value: MetricValue::Counter(counter),
+                },
+                MetricSnapshot {
+                    name: "a.b.gauge".into(),
+                    value: MetricValue::Gauge(gauge),
+                },
+                MetricSnapshot {
+                    name: "a.b.hist".into(),
+                    value: MetricValue::Histogram(HistogramSnapshot {
+                        count,
+                        sum,
+                        min: hist.first().map(|&(lo, _, _)| lo).unwrap_or(0),
+                        max: hist.last().map(|&(_, hi, _)| hi).unwrap_or(0),
+                        buckets: hist.to_vec(),
+                    }),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn unchanged_metrics_are_elided() {
+        let s = snap(5, -2, &[(1, 1, 3)]);
+        let d = delta_since(&s, &s);
+        assert!(d.metrics.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn counter_and_gauge_deltas_are_movements() {
+        let base = snap(10, 4, &[(1, 1, 1)]);
+        let cur = snap(17, -3, &[(1, 1, 1)]);
+        let d = delta_since(&cur, &base);
+        assert_eq!(d.counter_value("a.b.counter"), Some(7));
+        assert_eq!(d.gauge_value("a.b.gauge"), Some(-7));
+        assert!(d.metric("a.b.hist").is_none());
+    }
+
+    /// The load-bearing algebra: base ⊕ delta₁ ⊕ delta₂ == current,
+    /// and the two consecutive deltas merged equal the full diff.
+    #[test]
+    fn consecutive_deltas_sum_to_full_diff() {
+        let s0 = snap(10, 5, &[(1, 1, 2)]);
+        let s1 = snap(25, 2, &[(1, 1, 4), (8, 9, 1)]);
+        let s2 = snap(60, 9, &[(1, 1, 4), (8, 9, 3), (16, 17, 2)]);
+
+        let d1 = delta_since(&s1, &s0);
+        let d2 = delta_since(&s2, &s1);
+
+        // Two consecutive deltas merge into the full-snapshot diff.
+        let mut summed = d1.clone();
+        summed.merge(&d2);
+        let full = delta_since(&s2, &s0);
+        assert_eq!(summed.counter_value("a.b.counter"), full.counter_value("a.b.counter"));
+        assert_eq!(summed.gauge_value("a.b.gauge"), full.gauge_value("a.b.gauge"));
+        let (sh, fh) = (summed.histogram("a.b.hist").unwrap(), full.histogram("a.b.hist").unwrap());
+        assert_eq!(sh.count, fh.count);
+        assert_eq!(sh.sum, fh.sum);
+        assert_eq!(sh.buckets, fh.buckets);
+
+        // And replaying them onto the base reconstructs the live state.
+        let mut rebuilt = s0.clone();
+        rebuilt.merge(&d1);
+        rebuilt.merge(&d2);
+        assert_eq!(rebuilt.counter_value("a.b.counter"), s2.counter_value("a.b.counter"));
+        assert_eq!(rebuilt.gauge_value("a.b.gauge"), s2.gauge_value("a.b.gauge"));
+        let (rh, ch) = (rebuilt.histogram("a.b.hist").unwrap(), s2.histogram("a.b.hist").unwrap());
+        assert_eq!((rh.count, rh.sum, &rh.buckets), (ch.count, ch.sum, &ch.buckets));
+        assert_eq!((rh.min, rh.max), (ch.min, ch.max));
+    }
+
+    #[test]
+    fn new_metric_ships_whole() {
+        let base = Snapshot {
+            registry: "node-0".into(),
+            metrics: vec![],
+        };
+        let cur = snap(3, 1, &[(2, 3, 1)]);
+        let d = delta_since(&cur, &base);
+        assert_eq!(d.counter_value("a.b.counter"), Some(3));
+        assert_eq!(d.histogram("a.b.hist").unwrap().count, 1);
+    }
+
+    /// A "restarted node" snapshot (counters below the base) must not
+    /// produce underflowed garbage: saturating math floors at zero.
+    #[test]
+    fn regressed_counters_saturate_instead_of_underflowing() {
+        let base = snap(100, 0, &[(1, 1, 50)]);
+        let cur = snap(3, 0, &[(1, 1, 2)]);
+        let d = delta_since(&cur, &base);
+        // Saturating: the regressed counter is elided (movement floors
+        // at zero), never emitted as wrapped-around garbage.
+        assert!(d.metric("a.b.counter").is_none(), "{d:?}");
+        let h = d.histogram("a.b.hist");
+        assert!(h.map(|h| h.count == 0 && h.buckets.is_empty()).unwrap_or(true));
+    }
+
+    #[test]
+    fn session_serves_full_then_deltas_then_resets_on_mismatch() {
+        let mut session = ScrapeSession::new(7);
+        assert_eq!(session.epoch(), 7);
+        let s1 = snap(10, 1, &[(1, 1, 1)]);
+        let s2 = snap(15, 1, &[(1, 1, 2)]);
+
+        // First exchange (client cursor 0): full snapshot.
+        let (c1, d1) = session.serve(s1.clone(), 0);
+        assert_eq!(c1, 1);
+        assert_eq!(d1, s1);
+
+        // Matching cursor: a delta.
+        let (c2, d2) = session.serve(s2.clone(), c1);
+        assert_eq!(c2, 2);
+        assert_eq!(d2.counter_value("a.b.counter"), Some(5));
+
+        // Stale cursor (lost response / restarted client): full reset.
+        let (c3, d3) = session.serve(s2.clone(), 0);
+        assert_eq!(c3, 3);
+        assert_eq!(d3, s2);
+    }
+}

@@ -26,6 +26,10 @@
 //!   replicas relative to the median peer.
 //! - [`TimeSeries`] — windowed sample ring with sparkline rendering for
 //!   live dashboards (`HLF_DASH`).
+//! - [`delta_since`] / [`ScrapeSession`] — delta snapshots and scrape
+//!   cursors, so remote 1 Hz scrapes ship changes instead of the world.
+//! - [`to_prometheus`] — Prometheus text exposition over snapshots,
+//!   one `node="…"` label per registry.
 //!
 //! Metric names follow `crate.subsystem.metric`, e.g.
 //! `consensus.replica.write_phase_ms` (see DESIGN.md §Observability).
@@ -52,20 +56,24 @@
 //! assert_eq!(back.counter_value("smr.node.decided"), Some(1));
 //! ```
 
+pub mod delta;
 pub mod flight;
 pub mod health;
 pub mod histogram;
 pub mod logging;
 pub mod metrics;
+pub mod prometheus;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
 pub mod timeseries;
 pub mod trace;
 
+pub use delta::{delta_since, ScrapeSession};
 pub use flight::{
     dumps_from_json, dumps_to_json, EventKind, FlightDump, FlightEvent, FlightRecorder,
 };
+pub use prometheus::to_prometheus;
 pub use health::{StragglerDetector, SuspicionEvent};
 pub use histogram::Histogram;
 pub use logging::Level;

@@ -30,9 +30,11 @@
 //! assert_eq!(&msg[..], b"hello");
 //! ```
 
+pub mod admin;
 pub mod hub;
 pub mod tcp;
 
+pub use admin::{AdminClient, AdminRequest, AdminServer, AdminSources, DeltaReply, HealthReport};
 pub use hub::Network;
 pub use tcp::{NetStats, TcpConfig, TcpNetwork};
 
