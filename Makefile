@@ -1,6 +1,6 @@
 # Convenience targets for the hlf-bft reproduction.
 
-.PHONY: build test lint figures bench bench-crypto bench-wire bench-pipeline bench-net bench-all obs-report trace-report audit-report clean-results
+.PHONY: build test lint figures bench bench-crypto bench-wire bench-pipeline bench-net bench-all obs-report trace-report audit-report tsan asan clean-results
 
 build:
 	cargo build --workspace --release
@@ -9,14 +9,29 @@ test:
 	cargo test --workspace 2>&1 | tee test_output.txt
 
 # hlf-lint enforces the invariants the compiler cannot see: panic
-# discipline, SAFETY-documented unsafe, an acyclic lock graph,
+# discipline, SAFETY-documented unsafe, an acyclic lock graph (now
+# interprocedural, following call edges across crates), no blocking IO
+# or waits while a guard is live, thread-lifecycle discipline
+# (spawns joined or reasoned-detached, no channel wait cycles),
 # constant-time secret scopes, Encode/Decode completeness, and the
 # println discipline the old grep target approximated. Zero unsuppressed
 # findings is the bar; suppressions need a reason
 # (`// lint:allow(<pass>): <why>`). See DESIGN.md §7.
+# The cache keeps re-runs incremental: unchanged files (by content
+# hash) skip extraction and only the cross-file combine re-runs.
 lint:
-	cargo run --release -p hlf-lint -- --workspace
+	cargo run --release -p hlf-lint -- --workspace --cache .lint-cache.json
 	cargo clippy --workspace --all-targets -- -D warnings
+
+# Sanitizer sweeps over the threaded transport stack (transport unit
+# tests, tcp_codec, tcp_cluster). Both are nightly-gated and skip with
+# a notice when toolchain pieces are missing; tsan additionally needs
+# rust-src for an instrumented std (see scripts/sanitize.sh).
+asan:
+	scripts/sanitize.sh asan
+
+tsan:
+	scripts/sanitize.sh tsan
 
 # Regenerate every figure/table of the paper's evaluation.
 figures:

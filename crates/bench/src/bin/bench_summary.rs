@@ -93,6 +93,7 @@ fn write_summary(root: &Path) {
     let audit = read("BENCH_audit.json");
     let net = read("BENCH_net.json");
     let obs = read("BENCH_obs.json");
+    let lint = read("BENCH_lint.json");
 
     let headlines = [
         Headline {
@@ -156,6 +157,23 @@ fn write_summary(root: &Path) {
             metric: "scrape_overhead_pct",
             value: scrape(&obs, "bench.scrape.overhead_basis_points", "value")
                 .map(|bp| bp / 100.0),
+        },
+        // hlf-lint sweep health: the workspace must stay finding-free,
+        // and the suppression count surfaces creeping allow-sprawl.
+        Headline {
+            file: "BENCH_lint.json",
+            metric: "lint_files_scanned",
+            value: scrape(&lint, "", "files_scanned"),
+        },
+        Headline {
+            file: "BENCH_lint.json",
+            metric: "lint_findings",
+            value: scrape(&lint, "", "findings_total"),
+        },
+        Headline {
+            file: "BENCH_lint.json",
+            metric: "lint_suppressions_used",
+            value: scrape(&lint, "", "suppressions_used"),
         },
     ];
 

@@ -150,6 +150,7 @@ impl SigningPool {
                 let stats = Arc::clone(&stats);
                 let obs = obs.clone();
                 let flight = flight.clone();
+                // lint:allow(thread): the handles are collected into `workers` below and joined in SigningPool::drop
                 std::thread::Builder::new()
                     .name(format!("signer-{node}-{w}"))
                     .spawn(move || {

@@ -16,7 +16,13 @@
 //!
 //! # Passes
 //!
-//! See [`passes`] for the seven passes and the suppression grammar:
+//! Analysis is two-stage: [`facts::extract`] produces serializable
+//! per-file facts (local findings plus the call/lock/blocking facts the
+//! interprocedural passes need — this is what makes the incremental
+//! `--cache` mode possible), and [`conc::combine`] joins them
+//! workspace-wide, building the call graph and running the
+//! `lock-order`, `blocking`, `thread`, and codec-completeness passes.
+//! See [`passes`] for the local passes and the suppression grammar:
 //! `// lint:allow(<pass>): <reason>` on the finding's line, the line
 //! above, or above the enclosing `fn` (whole-function scope).
 //!
@@ -35,13 +41,15 @@
 //! assert!(report.findings[0].render().contains("[panic]"));
 //! ```
 
+pub mod conc;
+pub mod facts;
 pub mod lexer;
 pub mod passes;
 pub mod report;
 pub mod scan;
 pub mod walk;
 
-pub use passes::{analyze, FileClass, SourceFile};
+pub use passes::{analyze, analyze_timed, FileClass, SourceFile};
 pub use report::{Finding, Report, Severity};
 
 #[cfg(test)]

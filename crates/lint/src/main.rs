@@ -4,14 +4,24 @@
 //! hlf-lint --workspace                 # scan the whole workspace, strict
 //! hlf-lint --warn crates/bench         # advisory scan of one path
 //! hlf-lint --workspace --json out.json # also write the stable report
+//! hlf-lint --workspace --cache .lint-cache.json  # incremental mode
 //! hlf-lint --root /repo --workspace    # run from elsewhere
 //! ```
 //!
 //! Exit status: 0 when no error findings (or `--warn`), 1 when
 //! findings remain, 2 on usage or I/O errors.
+//!
+//! `--cache FILE` keys per-file facts by FNV-1a content hash: unchanged
+//! files skip lexing and the local passes entirely, and only the
+//! cross-file combine stage re-runs over the whole workspace. The cache
+//! is advisory — a missing, stale, or malformed cache file just means a
+//! full analysis.
 
+use hlf_lint::conc::combine;
+use hlf_lint::facts::{extract_timed, facts_from_json, facts_to_json, fnv1a, FileFacts};
 use hlf_lint::walk::{discover_path, discover_workspace};
-use hlf_lint::{analyze, Severity, SourceFile};
+use hlf_lint::{Severity, SourceFile};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -20,16 +30,19 @@ struct Options {
     workspace: bool,
     warn: bool,
     json: Option<PathBuf>,
+    cache: Option<PathBuf>,
     paths: Vec<PathBuf>,
 }
 
 fn usage() -> &'static str {
-    "usage: hlf-lint [--root DIR] [--json FILE] [--warn] (--workspace | PATH...)\n\
+    "usage: hlf-lint [--root DIR] [--json FILE] [--cache FILE] [--warn] (--workspace | PATH...)\n\
      \n\
-     Runs the six invariant passes (panic, unsafe, lock-order, consttime,\n\
-     codec, println) over the workspace's library crates, plus the unsafe\n\
-     audit over benches/tests/examples. --warn downgrades findings to\n\
-     advisories (exit 0). --json writes the stable machine-readable report."
+     Runs the invariant passes (panic, unsafe, lock-order, blocking,\n\
+     thread, consttime, codec, println, metric-name) over the workspace's\n\
+     library crates, plus the unsafe audit over benches/tests/examples.\n\
+     --warn downgrades findings to advisories (exit 0). --json writes the\n\
+     stable machine-readable report. --cache enables incremental\n\
+     re-analysis keyed by per-file content hashes."
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -38,6 +51,7 @@ fn parse_args() -> Result<Options, String> {
         workspace: false,
         warn: false,
         json: None,
+        cache: None,
         paths: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -50,6 +64,9 @@ fn parse_args() -> Result<Options, String> {
             }
             "--json" => {
                 opts.json = Some(PathBuf::from(args.next().ok_or("--json needs a file path")?));
+            }
+            "--cache" => {
+                opts.cache = Some(PathBuf::from(args.next().ok_or("--cache needs a file path")?));
             }
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with('-') => {
@@ -91,10 +108,51 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let mut report = analyze(&files);
+    // Load the cache (advisory): path → facts, keyed valid by hash.
+    let mut cached: BTreeMap<String, FileFacts> = BTreeMap::new();
+    if let Some(cache_path) = &opts.cache {
+        if let Ok(text) = std::fs::read_to_string(cache_path) {
+            match facts_from_json(&text) {
+                Some(entries) => {
+                    for f in entries {
+                        cached.insert(f.path.clone(), f);
+                    }
+                }
+                None => eprintln!(
+                    "hlf-lint: cache {} is unreadable — running full analysis",
+                    cache_path.display()
+                ),
+            }
+        }
+    }
+
+    let mut timings: BTreeMap<String, u64> = BTreeMap::new();
+    let mut facts: Vec<FileFacts> = Vec::new();
+    let mut reused = 0usize;
+    for f in &files {
+        let hash = fnv1a(f.text.as_bytes());
+        match cached.remove(&f.path) {
+            Some(hit) if hit.hash == hash => {
+                reused += 1;
+                facts.push(hit);
+            }
+            _ => facts.push(extract_timed(f, &mut timings)),
+        }
+    }
+
+    let mut report = combine(&facts, &mut timings);
+    report.timings_us = timings;
     if opts.warn {
         for f in &mut report.findings {
             f.severity = Severity::Warn;
+        }
+    }
+
+    // Persist the refreshed cache (drop entries for files that no
+    // longer exist — `cached` retains only unmatched paths here).
+    if let Some(cache_path) = &opts.cache {
+        if let Err(e) = std::fs::write(cache_path, facts_to_json(&facts)) {
+            eprintln!("hlf-lint: cannot write cache {}: {e}", cache_path.display());
         }
     }
 
@@ -103,8 +161,13 @@ fn main() -> ExitCode {
     }
     let counts = report.counts();
     let summary: Vec<String> = counts.iter().map(|(p, n)| format!("{p}: {n}")).collect();
+    let cache_note = if opts.cache.is_some() {
+        format!(" ({reused} cached, {} analyzed)", files.len() - reused)
+    } else {
+        String::new()
+    };
     eprintln!(
-        "hlf-lint: {} file(s), {} finding(s){}{}, {} suppression(s) honored",
+        "hlf-lint: {} file(s){cache_note}, {} finding(s){}{}, {} suppression(s) honored",
         report.files_scanned,
         report.findings.len(),
         if summary.is_empty() { "" } else { " — " },

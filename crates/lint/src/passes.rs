@@ -1,22 +1,27 @@
-//! The seven repo-specific analysis passes.
+//! The per-file (local) analysis passes, plus the [`analyze`] facade.
 //!
 //! | pass       | invariant enforced                                        |
 //! |------------|-----------------------------------------------------------|
 //! | `panic`    | no unjustified panic paths in library non-test code       |
 //! | `unsafe`   | every `unsafe` carries an adjacent `// SAFETY:` comment   |
-//! | `lock-order` | the Mutex/RwLock acquisition graph is acyclic           |
 //! | `consttime`| no secret-dependent control flow in `lint:secret-scope`s  |
-//! | `codec`    | every `Encode` has `Decode` + `encoded_len`, unique tags  |
+//! | `codec`    | unique tags per `Encode` impl (completeness cross-file)   |
 //! | `println`  | library crates log through hlf-obs, never stdout          |
 //! | `metric-name` | metric names follow the `crate.subsystem.name` scheme  |
+//!
+//! The interprocedural passes — `lock-order`, `blocking-while-locked`
+//! (`blocking`), thread-lifecycle (`thread`), and codec completeness —
+//! need the whole workspace at once and live in [`crate::conc`], fed by
+//! per-file facts from [`crate::facts`].
 //!
 //! Every pass honors `// lint:allow(<pass>): <reason>` suppressions
 //! (same line, line above, or above the enclosing `fn` for whole-item
 //! scope); the meta pass reports unused or malformed suppressions.
 
-use crate::lexer::{int_value, lex, Tok, TokKind};
+use crate::facts::FileFacts;
+use crate::lexer::{int_value, Tok, TokKind};
 use crate::report::{Finding, Report, Severity};
-use crate::scan::{is_non_index_keyword, scan, Structure};
+use crate::scan::{is_non_index_keyword, Structure};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// What kind of file is being analyzed; decides which passes run.
@@ -43,15 +48,15 @@ pub struct SourceFile {
     pub text: String,
 }
 
-struct FileCtx<'a> {
-    path: &'a str,
-    src: &'a str,
-    toks: &'a [Tok],
-    st: &'a Structure,
+pub(crate) struct FileCtx<'a> {
+    pub(crate) path: &'a str,
+    pub(crate) src: &'a str,
+    pub(crate) toks: &'a [Tok],
+    pub(crate) st: &'a Structure,
 }
 
 impl FileCtx<'_> {
-    fn ctext(&self, ci: usize) -> &str {
+    pub(crate) fn ctext(&self, ci: usize) -> &str {
         self.st
             .code
             .get(ci)
@@ -59,11 +64,11 @@ impl FileCtx<'_> {
             .map_or("", |t| t.text(self.src))
     }
 
-    fn ckind(&self, ci: usize) -> Option<TokKind> {
+    pub(crate) fn ckind(&self, ci: usize) -> Option<TokKind> {
         self.st.code.get(ci).and_then(|&ti| self.toks.get(ti)).map(|t| t.kind)
     }
 
-    fn cline(&self, ci: usize) -> u32 {
+    pub(crate) fn cline(&self, ci: usize) -> u32 {
         self.st
             .code
             .get(ci)
@@ -71,11 +76,11 @@ impl FileCtx<'_> {
             .map_or(0, |t| t.line)
     }
 
-    fn mate(&self, ci: usize) -> Option<usize> {
+    pub(crate) fn mate(&self, ci: usize) -> Option<usize> {
         self.st.mate.get(ci).copied().filter(|&m| m != usize::MAX)
     }
 
-    fn emit(&self, out: &mut Vec<Finding>, pass: &'static str, line: u32, message: String) {
+    pub(crate) fn emit(&self, out: &mut Vec<Finding>, pass: &'static str, line: u32, message: String) {
         if self.st.suppressed(pass, line) {
             return;
         }
@@ -89,95 +94,22 @@ impl FileCtx<'_> {
     }
 }
 
-/// Analyzes a set of files and returns the combined report.
-// lint:allow(panic): `analyzed` holds indices produced by enumerating `files`
+/// Analyzes a set of files and returns the combined report: extracts
+/// per-file facts ([`crate::facts::extract`]), then combines them
+/// workspace-wide ([`crate::conc::combine`]).
 pub fn analyze(files: &[SourceFile]) -> Report {
-    let mut report = Report::default();
-    report.files_scanned = files.len();
+    analyze_timed(files, &mut BTreeMap::new())
+}
 
-    // Per-file lexing + structure; files that fail to lex produce a
-    // meta finding and are skipped.
-    let mut analyzed: Vec<(usize, Vec<Tok>, Structure)> = Vec::new();
-    for (idx, f) in files.iter().enumerate() {
-        match lex(&f.text) {
-            Ok(toks) => {
-                let st = scan(&f.text, &toks);
-                analyzed.push((idx, toks, st));
-            }
-            Err(e) => report.findings.push(Finding {
-                file: f.path.clone(),
-                line: e.line,
-                pass: "lint",
-                severity: Severity::Error,
-                message: format!("file does not lex: {}", e.msg),
-            }),
-        }
-    }
-
-    // Cross-file state.
-    let mut lock_fields: BTreeSet<String> = BTreeSet::new();
-    for (idx, toks, st) in &analyzed {
-        let f = &files[*idx];
-        if f.class == FileClass::Lib {
-            collect_lock_fields(&f.text, toks, st, &mut lock_fields);
-        }
-    }
-    let mut lock_facts: Vec<FnLockFacts> = Vec::new();
-    let mut codec: CodecState = CodecState::default();
-
-    for (idx, toks, st) in &analyzed {
-        let f = &files[*idx];
-        let ctx = FileCtx {
-            path: &f.path,
-            src: &f.text,
-            toks,
-            st,
-        };
-        pass_unsafe(&ctx, &mut report.findings);
-        if f.class == FileClass::Lib {
-            pass_panic(&ctx, &mut report.findings);
-            pass_println(&ctx, &mut report.findings);
-            pass_metric_names(&ctx, &mut report.findings);
-            pass_consttime(&ctx, &mut report.findings);
-            collect_codec(&ctx, &mut codec, &mut report.findings);
-            collect_lock_facts(&ctx, &lock_fields, &mut lock_facts);
-        }
-    }
-
-    finish_codec(files, &analyzed, &codec, &mut report.findings);
-    finish_lock_order(files, &analyzed, &lock_facts, &mut report.findings);
-
-    // Meta pass: malformed and unused suppressions.
-    for (idx, _, st) in &analyzed {
-        let f = &files[*idx];
-        for (line, msg) in &st.malformed {
-            report.findings.push(Finding {
-                file: f.path.clone(),
-                line: *line,
-                pass: "lint",
-                severity: Severity::Error,
-                message: msg.clone(),
-            });
-        }
-        for s in &st.allows {
-            if s.used.get() {
-                report.suppressions_used += 1;
-            } else {
-                report.findings.push(Finding {
-                    file: f.path.clone(),
-                    line: s.line,
-                    pass: "lint",
-                    severity: Severity::Error,
-                    message: format!(
-                        "unused suppression lint:allow({}) — nothing to silence here; remove it",
-                        s.pass
-                    ),
-                });
-            }
-        }
-    }
-
-    report.sort();
+/// [`analyze`] accumulating per-pass wall-clock microseconds into
+/// `timings`; the result's `timings_us` field carries the totals.
+pub fn analyze_timed(files: &[SourceFile], timings: &mut BTreeMap<String, u64>) -> Report {
+    let facts: Vec<FileFacts> = files
+        .iter()
+        .map(|f| crate::facts::extract_timed(f, timings))
+        .collect();
+    let mut report = crate::conc::combine(&facts, timings);
+    report.timings_us = timings.clone();
     report
 }
 
@@ -187,7 +119,7 @@ pub fn analyze(files: &[SourceFile]) -> Report {
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
-fn pass_panic(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+pub(crate) fn pass_panic(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     let n = ctx.st.code.len();
     for ci in 0..n {
         let line = ctx.cline(ci);
@@ -276,7 +208,7 @@ fn indexing_finding(ctx: &FileCtx<'_>, ci: usize) -> Option<String> {
 // ---------------------------------------------------------------------
 
 // lint:allow(panic): `ti` is a valid token index supplied by the pass driver
-fn pass_unsafe(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+pub(crate) fn pass_unsafe(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     for (ti, t) in ctx.toks.iter().enumerate() {
         if t.kind != TokKind::Ident || t.text(ctx.src) != "unsafe" {
             continue;
@@ -333,7 +265,7 @@ fn pass_unsafe(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
 // println-discipline
 // ---------------------------------------------------------------------
 
-fn pass_println(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+pub(crate) fn pass_println(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     for ci in 0..ctx.st.code.len() {
         let text = ctx.ctext(ci);
         if (text == "println" || text == "print")
@@ -370,7 +302,7 @@ const METRIC_CTORS: &[&str] = &["counter", "gauge", "histogram"];
 /// segments of `[a-z0-9_]`, each starting with a lowercase letter.
 /// Dynamically built names (`&format!`-per-peer gauges, variables) are
 /// skipped — their static scheme is checked where the literal lives.
-fn pass_metric_names(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+pub(crate) fn pass_metric_names(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     for ci in 0..ctx.st.code.len() {
         if ctx.ckind(ci) != Some(TokKind::Ident) || !METRIC_CTORS.contains(&ctx.ctext(ci)) {
             continue;
@@ -426,7 +358,7 @@ fn metric_name_ok(name: &str) -> bool {
 // constant-time
 // ---------------------------------------------------------------------
 
-fn pass_consttime(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+pub(crate) fn pass_consttime(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     for scope in &ctx.st.secret_scopes {
         let secrets: BTreeSet<&str> = scope.secrets.iter().map(String::as_str).collect();
         let (lo, hi) = scope.range;
@@ -571,15 +503,28 @@ fn span_mentions<'a>(
 // ---------------------------------------------------------------------
 // codec-completeness
 // ---------------------------------------------------------------------
-
-#[derive(Default)]
-struct CodecState {
-    /// self_ty → (file, line, has_encoded_len)
-    encodes: BTreeMap<String, (String, u32, bool)>,
-    decodes: BTreeSet<String>,
+/// One `impl Encode for T` record, carried in [`FileFacts`] for the
+/// cross-file completeness check in [`crate::conc`].
+#[derive(Clone, Debug)]
+pub struct EncodeImpl {
+    /// The impl's self type, as written.
+    pub ty: String,
+    /// 1-based line of the `impl`.
+    pub line: u32,
+    /// The impl overrides `encoded_len`.
+    pub has_len: bool,
 }
 
-fn collect_codec(ctx: &FileCtx<'_>, state: &mut CodecState, out: &mut Vec<Finding>) {
+/// Collects `Encode`/`Decode` impls from one file, emitting the local
+/// duplicate-tag findings along the way. Completeness (every `Encode`
+/// paired with a `Decode` + `encoded_len`) is checked cross-file in
+/// [`crate::conc::combine`].
+pub(crate) fn collect_codec_impls(
+    ctx: &FileCtx<'_>,
+    out: &mut Vec<Finding>,
+) -> (Vec<EncodeImpl>, Vec<String>) {
+    let mut encodes: Vec<EncodeImpl> = Vec::new();
+    let mut decodes: Vec<String> = Vec::new();
     for imp in &ctx.st.impls {
         if ctx.st.in_test(imp.line) {
             continue;
@@ -629,487 +574,17 @@ fn collect_codec(ctx: &FileCtx<'_>, state: &mut CodecState, out: &mut Vec<Findin
                         }
                     }
                 }
-                state
-                    .encodes
-                    .entry(imp.self_ty.clone())
-                    .or_insert((ctx.path.to_string(), imp.line, has_len));
-                if let Some(e) = state.encodes.get_mut(&imp.self_ty) {
-                    e.2 |= has_len;
-                }
+                encodes.push(EncodeImpl {
+                    ty: imp.self_ty.clone(),
+                    line: imp.line,
+                    has_len,
+                });
             }
             "Decode" => {
-                state.decodes.insert(imp.self_ty.clone());
+                decodes.push(imp.self_ty.clone());
             }
             _ => {}
         }
     }
-}
-
-// lint:allow(panic): `analyzed` holds indices produced by enumerating `files`
-fn finish_codec(
-    files: &[SourceFile],
-    analyzed: &[(usize, Vec<Tok>, Structure)],
-    state: &CodecState,
-    out: &mut Vec<Finding>,
-) {
-    let structures: BTreeMap<&str, &Structure> = analyzed
-        .iter()
-        .map(|(idx, _, st)| (files[*idx].path.as_str(), st))
-        .collect();
-    let suppressed = |file: &str, line: u32| {
-        structures
-            .get(file)
-            .is_some_and(|st| st.suppressed("codec", line))
-    };
-    for (ty, (file, line, has_len)) in &state.encodes {
-        // Normalize generic params away for the Decode lookup:
-        // `Vec<T>` ↔ `Vec<T>` matches textually; `&T`-style one-way
-        // encode helpers must carry their Decode on the owned type.
-        let decoded = state.decodes.contains(ty)
-            || state.decodes.contains(ty.trim_start_matches('&'));
-        if !decoded && !suppressed(file, *line) {
-            out.push(Finding {
-                file: file.clone(),
-                line: *line,
-                pass: "codec",
-                severity: Severity::Error,
-                message: format!(
-                    "`impl Encode for {ty}` has no matching `impl Decode` — every wire message \
-                     must decode exactly what it encodes"
-                ),
-            });
-        }
-        if !has_len && !suppressed(file, *line) {
-            out.push(Finding {
-                file: file.clone(),
-                line: *line,
-                pass: "codec",
-                severity: Severity::Error,
-                message: format!(
-                    "`impl Encode for {ty}` does not override `encoded_len` — the default \
-                     scratch-encode defeats single-allocation sends"
-                ),
-            });
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// lock-order
-// ---------------------------------------------------------------------
-
-/// Collects names of fields/statics/bindings declared as `Mutex<…>` or
-/// `RwLock<…>` (including through `Arc<…>` wrappers).
-// lint:allow(panic): `code[]` entries are token indices from the scanner, and `i`/`k` stay below `code.len()`
-fn collect_lock_fields(src: &str, toks: &[Tok], st: &Structure, out: &mut BTreeSet<String>) {
-    let code = &st.code;
-    for i in 0..code.len() {
-        let name_ti = code[i];
-        let name = toks[name_ti].text(src);
-        if toks[name_ti].kind != TokKind::Ident || is_non_index_keyword(name) {
-            continue;
-        }
-        if code
-            .get(i + 1)
-            .map(|&ti| toks[ti].text(src))
-            .is_none_or(|t| t != ":")
-        {
-            continue;
-        }
-        // Scan a handful of tokens after the colon for Mutex/RwLock.
-        for k in i + 2..(i + 10).min(code.len()) {
-            let t = toks[code[k]].text(src);
-            if matches!(t, "," | ";" | "{" | "}" | ")" | "=") {
-                break;
-            }
-            if (t == "Mutex" || t == "RwLock")
-                && code.get(k + 1).map(|&ti| toks[ti].text(src)) == Some("<")
-            {
-                out.insert(name.to_string());
-                break;
-            }
-        }
-    }
-}
-
-/// One acquisition inside a function.
-struct Acq {
-    lock: String,
-    method: String,
-    ci: usize,
-    line: u32,
-    /// Code-index range during which the guard is live.
-    live: (usize, usize),
-}
-
-/// Lock-relevant facts about one function.
-struct FnLockFacts {
-    file: String,
-    name: String,
-    /// All locks acquired anywhere in the body.
-    acquires: BTreeSet<String>,
-    /// All function/method names called anywhere in the body.
-    calls: BTreeSet<String>,
-    /// (held lock, acquired lock, method, line) — nested acquisitions.
-    nested: Vec<(String, String, String, u32)>,
-    /// (held lock, callee name, line) — calls made while holding.
-    held_calls: Vec<(String, String, u32)>,
-}
-
-fn collect_lock_facts(ctx: &FileCtx<'_>, fields: &BTreeSet<String>, out: &mut Vec<FnLockFacts>) {
-    for f in &ctx.st.fns {
-        if f.is_test {
-            continue;
-        }
-        let (Some(open), Some(close)) = (f.open_ci, f.close_ci) else {
-            continue;
-        };
-        let mut acqs: Vec<Acq> = Vec::new();
-        let mut calls: Vec<(String, usize, u32)> = Vec::new();
-        let mut ci = open + 1;
-        while ci < close {
-            let text = ctx.ctext(ci);
-            if ctx.ckind(ci) == Some(TokKind::Ident) && ctx.ctext(ci + 1) == "(" {
-                let is_method = ctx.ctext(ci.wrapping_sub(1)) == ".";
-                let is_lock_call = matches!(text, "lock" | "read" | "write") && is_method;
-                if is_lock_call {
-                    let recv_ci = ci.wrapping_sub(2);
-                    let recv = ctx.ctext(recv_ci);
-                    if ctx.ckind(recv_ci) == Some(TokKind::Ident) && fields.contains(recv) {
-                        let call_end = ctx.mate(ci + 1).unwrap_or(ci + 2);
-                        let live = guard_live_range(ctx, recv_ci, call_end, close);
-                        acqs.push(Acq {
-                            lock: recv.to_string(),
-                            method: text.to_string(),
-                            ci,
-                            line: ctx.cline(ci),
-                            live,
-                        });
-                    }
-                } else if !is_non_index_keyword(text)
-                    && !matches!(text, "Some" | "Ok" | "Err" | "None" | "self" | "Self")
-                    && ctx.ckind(ci) == Some(TokKind::Ident)
-                {
-                    // Only `self.method(..)` and bare `func(..)` become
-                    // call-graph edges. Method calls on other receivers
-                    // (`guard.push(..)`) and path calls (`Type::new(..)`)
-                    // would conflate unrelated std/foreign names with
-                    // workspace functions and flood the graph with
-                    // phantom edges.
-                    let prev = ctx.ctext(ci.wrapping_sub(1));
-                    let is_self_method = prev == "." && ctx.ctext(ci.wrapping_sub(2)) == "self";
-                    let is_bare = prev != "." && prev != "::";
-                    if is_self_method || is_bare {
-                        calls.push((text.to_string(), ci, ctx.cline(ci)));
-                    }
-                }
-            }
-            ci += 1;
-        }
-        if acqs.is_empty() && calls.is_empty() {
-            continue;
-        }
-        let mut facts = FnLockFacts {
-            file: ctx.path.to_string(),
-            name: f.name.clone(),
-            acquires: acqs.iter().map(|a| a.lock.clone()).collect(),
-            calls: calls.iter().map(|(n, _, _)| n.clone()).collect(),
-            nested: Vec::new(),
-            held_calls: Vec::new(),
-        };
-        for a in &acqs {
-            for b in &acqs {
-                if b.ci != a.ci && b.ci > a.live.0 && b.ci <= a.live.1 {
-                    facts
-                        .nested
-                        .push((a.lock.clone(), b.lock.clone(), b.method.clone(), b.line));
-                }
-            }
-            for (name, cci, cline) in &calls {
-                if *cci > a.live.0 && *cci <= a.live.1 {
-                    facts.held_calls.push((a.lock.clone(), name.clone(), *cline));
-                }
-            }
-        }
-        out.push(facts);
-    }
-}
-
-/// Computes the code-index range `(start, end]` during which a guard
-/// obtained at `recv_ci … call_end` is live.
-///
-/// - `let g = x.lock();` → to the end of the enclosing block (or an
-///   explicit `drop(g)`);
-/// - `match x.lock().y { … }` / `for _ in x.lock()… { … }` → through
-///   the match/loop body (Rust extends scrutinee temporaries);
-/// - `if`/`while` conditions and plain expression statements → to the
-///   end of the statement (`;`) or the condition's `{`.
-fn guard_live_range(ctx: &FileCtx<'_>, recv_ci: usize, call_end: usize, fn_close: usize) -> (usize, usize) {
-    // Backscan to the statement head to classify it.
-    let mut head_kw = String::new();
-    let mut binding: Option<String> = None;
-    let mut b = recv_ci;
-    let mut steps = 0;
-    while b > 0 && steps < 64 {
-        steps += 1;
-        b -= 1;
-        let t = ctx.ctext(b);
-        match t {
-            ";" | "{" | "}" => break,
-            ")" | "]" => {
-                if let Some(open) = ctx.mate(b) {
-                    b = open;
-                    continue;
-                }
-            }
-            "let" | "match" | "for" | "if" | "while" | "return" => {
-                head_kw = t.to_string();
-                if t == "let" {
-                    let mut nb = b + 1;
-                    if ctx.ctext(nb) == "mut" {
-                        nb += 1;
-                    }
-                    if ctx.ckind(nb) == Some(TokKind::Ident) {
-                        binding = Some(ctx.ctext(nb).to_string());
-                    }
-                }
-                break;
-            }
-            _ => {}
-        }
-    }
-    match head_kw.as_str() {
-        "let" => {
-            // Live to end of enclosing block, or an explicit drop(g).
-            let mut depth = 0i32;
-            let mut ci = call_end + 1;
-            while ci < fn_close {
-                let t = ctx.ctext(ci);
-                match t {
-                    "(" | "[" | "{" => depth += 1,
-                    ")" | "]" | "}" => {
-                        depth -= 1;
-                        if depth < 0 {
-                            return (call_end, ci);
-                        }
-                    }
-                    "drop" => {
-                        if binding.is_some()
-                            && ctx.ctext(ci + 1) == "("
-                            && Some(ctx.ctext(ci + 2).to_string()) == binding
-                            && ctx.ctext(ci + 3) == ")"
-                        {
-                            return (call_end, ci);
-                        }
-                    }
-                    _ => {}
-                }
-                ci += 1;
-            }
-            (call_end, fn_close)
-        }
-        "match" | "for" => {
-            // Through the body: find the `{` at depth 0, jump to mate.
-            let mut depth = 0i32;
-            let mut ci = call_end + 1;
-            while ci < fn_close {
-                let t = ctx.ctext(ci);
-                match t {
-                    "(" | "[" => depth += 1,
-                    ")" | "]" => depth -= 1,
-                    "{" if depth == 0 => {
-                        return (call_end, ctx.mate(ci).unwrap_or(fn_close));
-                    }
-                    ";" if depth == 0 => return (call_end, ci),
-                    _ => {}
-                }
-                ci += 1;
-            }
-            (call_end, fn_close)
-        }
-        _ => {
-            // Statement/condition scope: to `;` or `{` at depth 0.
-            let mut depth = 0i32;
-            let mut ci = call_end + 1;
-            while ci < fn_close {
-                let t = ctx.ctext(ci);
-                match t {
-                    "(" | "[" => depth += 1,
-                    ")" | "]" => {
-                        depth -= 1;
-                        if depth < 0 {
-                            return (call_end, ci);
-                        }
-                    }
-                    "{" if depth == 0 => return (call_end, ci),
-                    ";" if depth == 0 => return (call_end, ci),
-                    _ => {}
-                }
-                ci += 1;
-            }
-            (call_end, fn_close)
-        }
-    }
-}
-
-/// Site + description of one lock-graph edge.
-#[derive(Clone)]
-struct EdgeSite {
-    file: String,
-    line: u32,
-    desc: String,
-}
-
-// lint:allow(panic): `analyzed` holds indices produced by enumerating `files`
-fn finish_lock_order(
-    files: &[SourceFile],
-    analyzed: &[(usize, Vec<Tok>, Structure)],
-    facts: &[FnLockFacts],
-    out: &mut Vec<Finding>,
-) {
-    // locks_reachable[fn] = direct ∪ reachable via calls (fixpoint over
-    // the name-based call graph).
-    let mut reach: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
-    for f in facts {
-        reach
-            .entry(f.name.as_str())
-            .or_default()
-            .extend(f.acquires.iter().cloned());
-    }
-    loop {
-        let mut changed = false;
-        for f in facts {
-            let mut add: BTreeSet<String> = BTreeSet::new();
-            for callee in &f.calls {
-                if let Some(r) = reach.get(callee.as_str()) {
-                    add.extend(r.iter().cloned());
-                }
-            }
-            let own = reach.entry(f.name.as_str()).or_default();
-            let before = own.len();
-            own.extend(add);
-            changed |= own.len() != before;
-        }
-        if !changed {
-            break;
-        }
-    }
-
-    // Edges: held lock → acquired lock, with a representative site.
-    let mut edges: BTreeMap<(String, String), EdgeSite> = BTreeMap::new();
-    for f in facts {
-        for (held, acquired, method, line) in &f.nested {
-            edges
-                .entry((held.clone(), acquired.clone()))
-                .or_insert_with(|| EdgeSite {
-                    file: f.file.clone(),
-                    line: *line,
-                    desc: format!(
-                        "{}() takes `{acquired}.{method}()` while holding `{held}`",
-                        f.name
-                    ),
-                });
-        }
-        for (held, callee, line) in &f.held_calls {
-            if let Some(r) = reach.get(callee.as_str()) {
-                for acquired in r {
-                    edges
-                        .entry((held.clone(), acquired.clone()))
-                        .or_insert_with(|| EdgeSite {
-                            file: f.file.clone(),
-                            line: *line,
-                            desc: format!(
-                                "{}() calls {callee}() (which acquires `{acquired}`) while \
-                                 holding `{held}`",
-                                f.name
-                            ),
-                        });
-                }
-            }
-        }
-    }
-
-    // Cycle detection (DFS, deduplicated by canonical rotation).
-    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
-    for (held, acquired) in edges.keys() {
-        adj.entry(held.as_str()).or_default().push(acquired.as_str());
-    }
-    let mut cycles: Vec<Vec<String>> = Vec::new();
-    let mut reported: BTreeSet<String> = BTreeSet::new();
-    let starts: Vec<&str> = adj.keys().copied().collect();
-    for start in starts {
-        let mut path: Vec<&str> = Vec::new();
-        dfs_cycles(start, &adj, &mut path, &mut reported, &mut cycles);
-    }
-
-    // Per-file suppression lookup for cycle sites.
-    let structures: BTreeMap<&str, &Structure> = analyzed
-        .iter()
-        .map(|(idx, _, st)| (files[*idx].path.as_str(), st))
-        .collect();
-    // Shortest cycle first, then at most one finding per edge site —
-    // a large strongly connected component would otherwise repeat the
-    // same root cause once per elementary cycle through it.
-    cycles.sort_by_key(|c| (c.len(), c.join("->")));
-    let mut seen_sites: BTreeSet<(String, u32)> = BTreeSet::new();
-    for canon in cycles {
-        let first = canon.first().cloned().unwrap_or_default();
-        let second = canon.get(1).cloned().unwrap_or_else(|| first.clone());
-        let site = edges.get(&(first.clone(), second.clone()));
-        let (file, line, hint) = match site {
-            Some(e) => (e.file.clone(), e.line, format!(" ({})", e.desc)),
-            None => (String::from("<workspace>"), 0, String::new()),
-        };
-        if !seen_sites.insert((file.clone(), line)) {
-            continue;
-        }
-        if let Some(st) = structures.get(file.as_str()) {
-            if st.suppressed("lock-order", line) {
-                continue;
-            }
-        }
-        let mut ring = canon.join(" -> ");
-        ring.push_str(" -> ");
-        ring.push_str(&first);
-        out.push(Finding {
-            file,
-            line,
-            pass: "lock-order",
-            severity: Severity::Error,
-            message: format!("lock acquisition cycle {ring} — deadlock candidate{hint}"),
-        });
-    }
-}
-
-// lint:allow(panic): `pos` comes from `position()` on the same path, and rotation indices are taken modulo the cycle length
-fn dfs_cycles<'g>(
-    node: &'g str,
-    adj: &BTreeMap<&'g str, Vec<&'g str>>,
-    path: &mut Vec<&'g str>,
-    reported: &mut BTreeSet<String>,
-    cycles: &mut Vec<Vec<String>>,
-) {
-    if let Some(pos) = path.iter().position(|&n| n == node) {
-        let cycle = &path[pos..];
-        // Canonical rotation: smallest name first.
-        let min_idx = cycle
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, n)| **n)
-            .map_or(0, |(i, _)| i);
-        let canon: Vec<String> = (0..cycle.len())
-            .map(|k| cycle[(min_idx + k) % cycle.len()].to_string())
-            .collect();
-        if reported.insert(canon.join("->")) {
-            cycles.push(canon);
-        }
-        return;
-    }
-    path.push(node);
-    if let Some(nexts) = adj.get(node) {
-        for &n in nexts {
-            dfs_cycles(n, adj, path, reported, cycles);
-        }
-    }
-    path.pop();
+    (encodes, decodes)
 }

@@ -63,6 +63,9 @@ pub struct Report {
     pub files_scanned: usize,
     /// Number of suppressions honored (used `lint:allow`s).
     pub suppressions_used: usize,
+    /// Per-pass wall-clock microseconds (populated by the timed entry
+    /// points; empty otherwise).
+    pub timings_us: BTreeMap<String, u64>,
 }
 
 impl Report {
@@ -109,6 +112,7 @@ impl Report {
         let _ = writeln!(out, "  \"version\": 1,");
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
         let _ = writeln!(out, "  \"suppressions_used\": {},", self.suppressions_used);
+        let _ = writeln!(out, "  \"findings_total\": {},", self.findings.len());
         out.push_str("  \"counts\": {");
         let counts = self.counts();
         for (i, (pass, n)) in counts.iter().enumerate() {
@@ -116,6 +120,13 @@ impl Report {
                 out.push_str(", ");
             }
             let _ = write!(out, "\"{pass}\": {n}");
+        }
+        out.push_str("},\n  \"timings_us\": {");
+        for (i, (pass, us)) in self.timings_us.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}: {us}", json_str(pass));
         }
         out.push_str("},\n  \"findings\": [");
         for (i, f) in self.findings.iter().enumerate() {
@@ -141,7 +152,7 @@ impl Report {
 }
 
 /// Minimal JSON string escaping.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

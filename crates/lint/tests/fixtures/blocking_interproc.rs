@@ -1,0 +1,25 @@
+//! Fixture: blocking pass — the blocking op sits two call hops away
+//! from the lock acquisition.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub struct Engine {
+    state: Mutex<u64>,
+}
+
+impl Engine {
+    pub fn tick(&self) {
+        let g = self.state.lock();
+        self.settle();
+        drop(g);
+    }
+
+    fn settle(&self) {
+        self.pause();
+    }
+
+    fn pause(&self) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}

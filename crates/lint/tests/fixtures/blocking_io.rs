@@ -1,0 +1,62 @@
+//! Fixture: blocking pass — socket IO while a Mutex guard is live,
+//! mirroring the transport broadcast/shutdown shape.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Mutex, MutexGuard};
+
+pub struct Pool {
+    streams: Mutex<Vec<TcpStream>>,
+}
+
+/// Poison-tolerant acquire, as the transport's `lock_clean` does.
+fn lock_clean<'a>(m: &'a Mutex<Vec<TcpStream>>) -> MutexGuard<'a, Vec<TcpStream>> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Pool {
+    pub fn broadcast(&self, frame: &[u8]) {
+        let mut streams = self.streams.lock();
+        for s in streams.iter_mut() {
+            let _ = s.write_all(frame);
+        }
+    }
+
+    pub fn broadcast_clean(&self, frame: &[u8]) {
+        let mut streams = lock_clean(&self.streams);
+        for s in streams.iter_mut() {
+            let _ = s.write_all(frame);
+        }
+    }
+
+    pub fn broadcast_suppressed(&self, frame: &[u8]) {
+        let mut streams = self.streams.lock();
+        for s in streams.iter_mut() {
+            let _ = s.write_all(frame); // lint:allow(blocking): fixture — writes here are bounded by the test harness
+        }
+    }
+
+    /// Regression shape for the admin.rs fix: drain under the lock
+    /// (the chain projects the Vec out, so the guard dies with the
+    /// statement), then issue the shutdown syscalls unlocked. Clean.
+    pub fn shutdown_drained(&self) {
+        let drained: Vec<TcpStream> = self
+            .streams
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .drain(..)
+            .collect();
+        for s in drained {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// Regression shape for the tcp.rs fix: same drain-then-shutdown
+    /// split through the guard-returning helper. Clean.
+    pub fn shutdown_drained_clean(&self) {
+        let drained: Vec<TcpStream> = lock_clean(&self.streams).drain(..).collect();
+        for s in drained {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: thread pass — a recv-before-send wait cycle between two
+//! spawned workers.
+
+use std::sync::mpsc::channel;
+
+pub fn deadlocked_pair() {
+    let (tx_ping, rx_ping) = channel();
+    let (tx_pong, rx_pong) = channel();
+    // lint:allow(detach): fixture — the wait cycle is the point
+    std::thread::spawn(move || {
+        let v: u32 = rx_ping.recv().unwrap_or(0);
+        let _ = tx_pong.send(v);
+    });
+    // lint:allow(detach): fixture — the wait cycle is the point
+    std::thread::spawn(move || {
+        let v: u32 = rx_pong.recv().unwrap_or(0);
+        let _ = tx_ping.send(v);
+    });
+}

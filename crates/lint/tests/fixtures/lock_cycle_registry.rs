@@ -1,0 +1,21 @@
+//! Fixture: interprocedural lock-order — the other half of the
+//! cross-crate cycle (paired with `lock_cycle_router.rs`).
+
+use std::sync::Mutex;
+
+pub struct Registry {
+    metrics: Mutex<u32>,
+}
+
+impl Registry {
+    pub fn poke_metrics_registry(&self) {
+        let g = self.metrics.lock();
+        drop(g);
+    }
+
+    pub fn flush_metrics(&self, r: &Router) {
+        let g = self.metrics.lock();
+        poke_routes(r);
+        drop(g);
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: interprocedural lock-order — one half of a cross-crate
+//! cycle (paired with `lock_cycle_registry.rs`).
+
+use std::sync::Mutex;
+
+pub struct Router {
+    routes: Mutex<u32>,
+}
+
+pub fn poke_routes(r: &Router) {
+    let g = r.routes.lock();
+    drop(g);
+}
+
+impl Router {
+    pub fn rebalance(&self) {
+        let g = self.routes.lock();
+        poke_metrics_registry();
+        drop(g);
+    }
+}

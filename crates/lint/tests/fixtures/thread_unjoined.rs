@@ -1,0 +1,17 @@
+//! Fixture: thread pass — spawn lifecycle discipline.
+
+pub fn leak() {
+    std::thread::spawn(|| work());
+}
+
+pub fn joined() {
+    let handle = std::thread::spawn(|| work());
+    let _ = handle.join();
+}
+
+pub fn detached() {
+    // lint:allow(detach): fixture — fire-and-forget by design
+    std::thread::spawn(|| work());
+}
+
+fn work() {}

@@ -127,6 +127,173 @@ fn metric_name_pass_detects_and_suppresses() {
     assert!(by_pass(&findings, "lint").is_empty(), "{findings:?}");
 }
 
+/// Analyzes several fixture files together (the interprocedural passes
+/// need to see cross-file call edges).
+fn run_files(files: &[(&str, &str)]) -> Vec<Finding> {
+    let sources: Vec<SourceFile> = files
+        .iter()
+        .map(|(path, text)| SourceFile {
+            path: (*path).to_string(),
+            class: FileClass::Lib,
+            text: (*text).to_string(),
+        })
+        .collect();
+    analyze(&sources).findings
+}
+
+#[test]
+fn blocking_pass_catches_io_under_a_guard() {
+    let findings = run("blocking_io.rs", include_str!("fixtures/blocking_io.rs"));
+    let hits = by_pass(&findings, "blocking");
+    assert_eq!(hits.len(), 2, "{findings:?}");
+    assert_eq!(hits[0].0, 21, "write under the direct `.lock()` guard");
+    assert!(
+        hits[0].1.contains("`write_all()` while `streams` guard is live"),
+        "{}",
+        hits[0].1
+    );
+    assert_eq!(hits[1].0, 28, "write under the guard-returning `lock_clean`");
+    assert!(
+        hits[1].1.contains("`write_all()` while `streams` guard is live"),
+        "{}",
+        hits[1].1
+    );
+    // The allow in broadcast_suppressed was honored, not left dangling,
+    // and the two drain-then-shutdown regression shapes (the fixed
+    // transport/admin teardown paths) stay clean: exactly the two
+    // seeded writes above, nothing from the shutdown fns.
+    assert!(by_pass(&findings, "lint").is_empty(), "{findings:?}");
+}
+
+#[test]
+fn blocking_pass_follows_call_chains() {
+    let findings = run(
+        "blocking_interproc.rs",
+        include_str!("fixtures/blocking_interproc.rs"),
+    );
+    let hits = by_pass(&findings, "blocking");
+    assert_eq!(hits.len(), 1, "{findings:?}");
+    assert_eq!(hits[0].0, 14, "the held call site, not the sleep, is flagged");
+    assert!(
+        hits[0]
+            .1
+            .contains("call chain settle() -> pause() blocks while `state` guard is live"),
+        "{}",
+        hits[0].1
+    );
+    assert!(
+        hits[0].1.contains("thread::sleep at fixtures/blocking_interproc.rs:23"),
+        "witness names the op and its site: {}",
+        hits[0].1
+    );
+}
+
+#[test]
+fn lock_order_pass_crosses_file_boundaries() {
+    let findings = run_files(&[
+        (
+            "crates/router/src/lib.rs",
+            include_str!("fixtures/lock_cycle_router.rs"),
+        ),
+        (
+            "crates/registry/src/lib.rs",
+            include_str!("fixtures/lock_cycle_registry.rs"),
+        ),
+    ]);
+    let hits: Vec<&Finding> = findings.iter().filter(|f| f.pass == "lock-order").collect();
+    assert_eq!(hits.len(), 1, "{findings:?}");
+    assert_eq!(hits[0].file, "crates/registry/src/lib.rs");
+    assert_eq!(hits[0].line, 18, "the second half of the cycle is the edge site");
+    assert!(
+        hits[0].message.contains("metrics -> routes -> metrics"),
+        "{}",
+        hits[0].message
+    );
+    assert!(
+        hits[0].message.contains("flush_metrics() calls poke_routes()"),
+        "the call chain through the other crate is rendered: {}",
+        hits[0].message
+    );
+    // Each half alone is cycle-free: the edge only exists through the
+    // cross-file call graph.
+    let solo = run(
+        "lock_cycle_router.rs",
+        include_str!("fixtures/lock_cycle_router.rs"),
+    );
+    assert!(by_pass(&solo, "lock-order").is_empty(), "{solo:?}");
+}
+
+#[test]
+fn thread_pass_flags_unjoined_spawns() {
+    let findings = run(
+        "thread_unjoined.rs",
+        include_str!("fixtures/thread_unjoined.rs"),
+    );
+    let hits = by_pass(&findings, "thread");
+    assert_eq!(hits.len(), 1, "{findings:?}");
+    assert_eq!(hits[0].0, 4, "only leak()'s spawn is unhandled");
+    assert!(hits[0].1.contains("spawned thread in leak()"), "{}", hits[0].1);
+    // joined() is handled by the join, detached() by its allow.
+    assert!(by_pass(&findings, "lint").is_empty(), "{findings:?}");
+}
+
+#[test]
+fn thread_pass_flags_channel_wait_cycles() {
+    let findings = run(
+        "channel_cycle.rs",
+        include_str!("fixtures/channel_cycle.rs"),
+    );
+    let hits = by_pass(&findings, "thread");
+    assert_eq!(hits.len(), 1, "{findings:?}");
+    assert_eq!(hits[0].0, 11, "the first recv of the cycle is the site");
+    assert!(hits[0].1.contains("channel wait cycle"), "{}", hits[0].1);
+    assert!(
+        hits[0].1.contains("@spawn:"),
+        "spawn-closure contexts are named by their site: {}",
+        hits[0].1
+    );
+    assert!(by_pass(&findings, "lint").is_empty(), "{findings:?}");
+}
+
+#[test]
+fn facts_cache_round_trips_exactly() {
+    use hlf_lint::facts::{extract, facts_from_json, facts_to_json};
+    use std::collections::BTreeMap;
+
+    let sources: Vec<SourceFile> = [
+        ("fixtures/blocking_io.rs", include_str!("fixtures/blocking_io.rs")),
+        ("fixtures/lock_order.rs", include_str!("fixtures/lock_order.rs")),
+        ("fixtures/channel_cycle.rs", include_str!("fixtures/channel_cycle.rs")),
+        ("fixtures/codec.rs", include_str!("fixtures/codec.rs")),
+    ]
+    .iter()
+    .map(|(path, text)| SourceFile {
+        path: (*path).to_string(),
+        class: FileClass::Lib,
+        text: (*text).to_string(),
+    })
+    .collect();
+
+    let facts: Vec<_> = sources.iter().map(extract).collect();
+    let reloaded = facts_from_json(&facts_to_json(&facts)).expect("cache round-trips");
+
+    let mut t_direct = BTreeMap::new();
+    let mut t_cached = BTreeMap::new();
+    let direct = hlf_lint::conc::combine(&facts, &mut t_direct);
+    let cached = hlf_lint::conc::combine(&reloaded, &mut t_cached);
+
+    let render = |r: &hlf_lint::Report| -> Vec<String> {
+        r.findings.iter().map(Finding::render).collect()
+    };
+    assert_eq!(render(&direct), render(&cached));
+    assert_eq!(direct.suppressions_used, cached.suppressions_used);
+    assert_eq!(direct.files_scanned, cached.files_scanned);
+
+    // Malformed or version-skewed caches are rejected, not trusted.
+    assert!(facts_from_json("{").is_none());
+    assert!(facts_from_json("{\"version\": 2, \"files\": []}").is_none());
+}
+
 #[test]
 fn json_report_shape_is_stable() {
     let file = SourceFile {
@@ -141,6 +308,7 @@ fn json_report_shape_is_stable() {
     assert!(json.contains("\"files_scanned\": 1"), "{json}");
     assert!(json.contains("\"suppressions_used\": 1"), "{json}");
     assert!(json.contains("\"counts\": {\"panic\": 1}"), "{json}");
+    assert!(json.contains("\"timings_us\""), "{json}");
     assert!(
         json.contains("\"file\": \"fixtures/panic.rs\", \"line\": 4, \"pass\": \"panic\""),
         "{json}"

@@ -260,6 +260,7 @@ impl AdminServer {
             nonce_counter: AtomicU64::new(1),
         });
         let acceptor = Arc::clone(&shared);
+        // lint:allow(detach): the acceptor is detached; shutdown() sets the flag and kicks the listener with a loopback connect to unblock accept
         std::thread::Builder::new()
             .name(format!("admin-accept-{id}"))
             .spawn(move || acceptor_loop(&acceptor, &listener))?;
@@ -282,15 +283,18 @@ impl AdminServer {
         if self.shared.shutdown.swap(true, Ordering::AcqRel) {
             return;
         }
-        {
-            let mut streams = self
-                .shared
-                .streams
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
-            for stream in streams.drain(..) {
-                let _ = stream.shutdown(std::net::Shutdown::Both);
-            }
+        // Drain under the lock, shut the sockets down outside it:
+        // `shutdown()` is a syscall that can stall on a wedged scraper,
+        // and serve_connection threads take `streams` when registering.
+        let drained: Vec<TcpStream> = self
+            .shared
+            .streams
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .drain(..)
+            .collect();
+        for stream in drained {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
         }
         // Unblock the acceptor's blocking accept().
         let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(200));
@@ -333,6 +337,7 @@ fn acceptor_loop(shared: &Arc<AdminShared>, listener: &TcpListener) {
             return;
         }
         let handler = Arc::clone(shared);
+        // lint:allow(detach): per-scraper threads are detached; shutdown() closes their registered sockets, which ends serve_connection
         std::thread::Builder::new()
             .name(format!("admin-serve-{addr}"))
             .spawn(move || serve_connection(&handler, stream))

@@ -355,7 +355,6 @@ impl TcpCore {
         {
             return Err(TransportError::UnknownPeer(to));
         }
-        // lint:allow(lock-order): the earlier `links.read()` / `addrs.read()` guards are same-statement temporaries, dropped before this write lock
         let mut links = match self.links.write() {
             Ok(links) => links,
             Err(poisoned) => poisoned.into_inner(),
@@ -374,6 +373,7 @@ impl TcpCore {
         if needs_writer {
             if let Some(core) = self.this.upgrade() {
                 let thread_link = Arc::clone(&link);
+                // lint:allow(detach): writer threads are intentionally detached; writer_loop exits when the shutdown flag is set and the condvar wakes it
                 std::thread::Builder::new()
                     .name(format!("tcp-write-{to}"))
                     .spawn(move || core.writer_loop(&thread_link))
@@ -583,6 +583,7 @@ impl TcpCore {
                 return;
             }
             if let Some(core) = self.this.upgrade() {
+                // lint:allow(detach): reader threads are detached; reader_session exits when its socket is shut down (peer close or our shutdown() draining streams)
                 std::thread::Builder::new()
                     .name(format!("tcp-read-{addr}"))
                     .spawn(move || core.reader_session(stream))
@@ -804,6 +805,7 @@ impl TcpNetwork {
             this: this.clone(),
         });
         let acceptor_core = Arc::clone(&core);
+        // lint:allow(detach): the acceptor is detached; shutdown() sets the flag and dials the listener to unblock accept, after which the loop returns
         std::thread::Builder::new()
             .name(format!("tcp-accept-{}", core.id))
             .spawn(move || acceptor_core.acceptor_loop(&listener))?;
@@ -844,7 +846,6 @@ impl TcpNetwork {
         if let Ok(mut addrs) = self.core.addrs.write() {
             addrs.insert(id, addr);
         }
-        // lint:allow(lock-order): the `addrs.write()` guard above is scoped to its own block and already dropped here
         if let Some(link) = self.core.links.read().ok().and_then(|l| l.get(&id).cloned()) {
             link.wake.notify_one();
         }
@@ -879,8 +880,12 @@ impl TcpNetwork {
                 link.wake.notify_all();
             }
         }
-        // Unblock readers and half-written writers.
-        for stream in lock_clean(&self.core.streams).drain(..) {
+        // Unblock readers and half-written writers. Drain under the
+        // lock, shut the sockets down outside it: `shutdown()` is a
+        // syscall that can stall on a wedged peer, and reader threads
+        // take `streams` on every accepted connection.
+        let drained: Vec<TcpStream> = lock_clean(&self.core.streams).drain(..).collect();
+        for stream in drained {
             let _ = stream.shutdown(std::net::Shutdown::Both);
         }
         // Unblock the acceptor's blocking accept().
